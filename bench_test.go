@@ -1,0 +1,409 @@
+package crisp
+
+// Benchmark harness: one benchmark per paper table/figure, plus ablation
+// benchmarks for the design choices DESIGN.md calls out. Each benchmark
+// regenerates its experiment (results are memoized inside the experiments
+// package, so additional b.N iterations are cheap) and reports the
+// headline quantities as custom metrics. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Tables are printed under -v via b.Logf.
+
+import (
+	"testing"
+
+	"crisp/internal/core"
+	"crisp/internal/experiments"
+	"crisp/internal/geom"
+	"crisp/internal/render"
+	"crisp/internal/scene"
+)
+
+var benchScale = experiments.DefaultScale
+
+func BenchmarkTable2_Configs(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table2().String()
+	}
+	b.Logf("\n%s", out)
+}
+
+func BenchmarkFig3_VertexInvocations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.R, "pearson_r")
+		b.ReportMetric(100*r.MeanRelErr, "mean_overcount_%")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+func BenchmarkFig6_FrameTimeCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.R, "pearson_r")
+		b.ReportMetric(100*r.SimHighFraction, "sim_reads_high_%")
+		b.ReportMetric(r.ITScaling, "IT_4K/2K")
+		b.ReportMetric(r.MaxScaling, "max_4K/2K")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+func BenchmarkFig7_MipMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Level0Distinct), "level0_texels")
+		b.ReportMetric(float64(r.Level1Distinct), "level1_texels")
+	}
+}
+
+func BenchmarkFig9_LodTextureAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MAPEOn, "mape_lod_on_%")
+		b.ReportMetric(100*r.MAPEOff, "mape_lod_off_%")
+		b.ReportMetric(r.Improvement, "mape_reduction_x")
+		b.ReportMetric(r.MaxInflation, "max_inflation_x")
+	}
+}
+
+func BenchmarkFig10_TexLinesPerCTA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Mode), "mode_lines")
+		b.ReportMetric(r.Mean, "mean_lines")
+		if i == 0 {
+			b.Logf("drawcall %s:\n%s", r.Drawcall, r.Histogram)
+		}
+	}
+}
+
+func BenchmarkFig11_L2Composition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.TexFraction["PT"], "PT_tex_%")
+		b.ReportMetric(100*r.TexFraction["SPL"], "SPL_tex_%")
+		b.ReportMetric(100*r.L2Hit["PT"], "PT_L2hit_%")
+		b.ReportMetric(100*r.L2Hit["SPL"], "SPL_L2hit_%")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+func BenchmarkFig12_WarpedSlicer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoMean[core.PolicyEven], "EVEN_vs_MPS")
+		b.ReportMetric(r.GeoMean[core.PolicyWarpedSlicer], "Dynamic_vs_MPS")
+		b.ReportMetric(r.BestNNSpeedup, "best_NN_speedup")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+func BenchmarkFig13_OccupancyTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.PeakWarps), "peak_warps")
+		b.ReportMetric(float64(r.MinBusyWarps), "min_busy_warps")
+		b.ReportMetric(float64(r.Samples), "samples")
+	}
+}
+
+func BenchmarkFig14_TAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoMean[core.PolicyMiG], "MiG_vs_MPS")
+		b.ReportMetric(r.GeoMean[core.PolicyTAP], "TAP_vs_MPS")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+func BenchmarkFig15_TAPComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.RenderFraction, "render_L2_share_%")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+// BenchmarkCaseStudy_AsyncUpscale runs the DLSS-analog async-compute case
+// study the paper's background motivates: tensor-core upscaling co-runs
+// with FP/TEX-heavy rendering, so intra-SM sharing beats dedicating SMs.
+func BenchmarkCaseStudy_AsyncUpscale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CaseStudyAsyncUpscale(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Norm[core.PolicyEven], "EVEN_vs_MPS")
+		b.ReportMetric(r.Norm[core.PolicyPriority], "Priority_vs_MPS")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+// BenchmarkCaseStudy_QoS measures frame-ready time (the MTP-latency proxy
+// of the paper's future-work QoS direction) under MPS/EVEN/Priority.
+func BenchmarkCaseStudy_QoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CaseStudyQoS(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.FrameDone[core.PolicyEven]), "frame_ready_EVEN")
+		b.ReportMetric(float64(r.FrameDone[core.PolicyPriority]), "frame_ready_Priority")
+		if i == 0 {
+			b.Logf("\n%s", r.Table)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §4) ---------------------------------
+
+// BenchmarkAblation_VertexBatchSize sweeps the vertex batch size and
+// reports the shaded-vertex inflation versus the unique count; the paper
+// fixes 96 after the same sweep.
+func BenchmarkAblation_VertexBatchSize(b *testing.B) {
+	f, err := scene.ByName("SPL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{32, 96, 256} {
+			shaded, unique := 0, 0
+			for _, d := range f.Draws {
+				batches := geom.BatchIndices(d.Mesh.Idx, size)
+				shaded += geom.ShadedVertexCount(batches)
+				seen := map[uint32]bool{}
+				for _, ix := range d.Mesh.Idx {
+					seen[ix] = true
+				}
+				unique += len(seen)
+			}
+			b.ReportMetric(float64(shaded)/float64(unique), "shade_inflation_b"+itoa(size))
+		}
+	}
+}
+
+// BenchmarkAblation_EarlyZ renders with the early depth test on and off
+// and reports the fragment (overdraw) inflation.
+func BenchmarkAblation_EarlyZ(b *testing.B) {
+	f, err := scene.ByName("SPL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		opts := render.DefaultOptions()
+		opts.W, opts.H = benchScale.W2K, benchScale.H2K
+		on, err := render.RenderFrame(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.DisableEarlyZ = true
+		off, err := render.RenderFrame(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(off.Raster.Fragments)/float64(on.Raster.Fragments), "overdraw_x")
+	}
+}
+
+// BenchmarkAblation_GraphicsWindow sweeps the in-flight batch window to
+// show the pipelining headroom of the ITR binning buffer.
+func BenchmarkAblation_GraphicsWindow(b *testing.B) {
+	gfx, err := experiments.Frame("SPL", benchScale.W2K, benchScale.H2K, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, window := range []int{1, 4, 32} {
+			job := core.Job{GPU: JetsonOrin(), Graphics: gfx, Policy: core.PolicySerial, GraphicsWindow: window}
+			res, err := job.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles_w"+itoa(window))
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblation_StrictQuads compares the paper's approximated-quad
+// warp packing (LoD pre-calculated at rasterization) against strict 2×2
+// quads with runtime derivatives: the texture-access error of the
+// approximation and its traffic delta.
+func BenchmarkAblation_StrictQuads(b *testing.B) {
+	f, err := scene.ByName("SPL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		run := func(strict bool) (sim, ref float64) {
+			opts := render.DefaultOptions()
+			opts.W, opts.H = benchScale.W2K, benchScale.H2K
+			opts.CollectRefTex = true
+			opts.StrictQuads = strict
+			res, err := render.RenderFrame(f, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, m := range res.Metrics {
+				sim += float64(m.SimTexAccesses)
+				ref += float64(m.RefTexAccesses)
+			}
+			return
+		}
+		aSim, aRef := run(false)
+		sSim, sRef := run(true)
+		b.ReportMetric(100*abs(aSim-aRef)/aRef, "approx_err_%")
+		b.ReportMetric(100*abs(sSim-sRef)/sRef, "strict_err_%")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BenchmarkAblation_SectoredCaches compares line-granular fills (the
+// calibrated default) against 32B-sectored caches on DRAM read traffic
+// for one rendered frame.
+func BenchmarkAblation_SectoredCaches(b *testing.B) {
+	gfx, err := experiments.Frame("SPL", benchScale.W2K, benchScale.H2K, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		run := func(sector int) int64 {
+			cfg := JetsonOrin()
+			cfg.SectorSize = sector
+			job := core.Job{GPU: cfg, Graphics: gfx, Policy: core.PolicySerial}
+			res, err := job.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bytes int64
+			for _, st := range res.PerStream {
+				bytes += st.DRAMReads
+			}
+			return bytes
+		}
+		full := run(0)
+		sect := run(32)
+		b.ReportMetric(float64(full)/1024, "dram_rd_KB_line")
+		b.ReportMetric(float64(sect)/1024, "dram_rd_KB_sector32")
+	}
+}
+
+// BenchmarkAblation_WarpScheduler compares greedy-then-oldest against
+// loose round-robin warp scheduling on a full concurrent pair.
+func BenchmarkAblation_WarpScheduler(b *testing.B) {
+	gfx, err := experiments.Frame("SPL", benchScale.W2K, benchScale.H2K, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		run := func(lrr bool) int64 {
+			comp, err := experiments.BuildComputeForBench("VIO")
+			if err != nil {
+				b.Fatal(err)
+			}
+			job := core.Job{GPU: JetsonOrin(), Graphics: gfx, Compute: comp, Policy: core.PolicyEven, LRRScheduler: lrr}
+			res, err := job.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Cycles
+		}
+		b.ReportMetric(float64(run(false)), "cycles_GTO")
+		b.ReportMetric(float64(run(true)), "cycles_LRR")
+	}
+}
+
+// BenchmarkSimulatorSpeed reports the simulator's own throughput in
+// simulated warp instructions per host second (the engineering metric of
+// "Need for Speed": trustworthy simulators must also be fast).
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	gfx, err := experiments.Frame("SPH", benchScale.W2K, benchScale.H2K, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := experiments.BuildComputeForBench("VIO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := core.Job{GPU: JetsonOrin(), Graphics: gfx, Compute: comp, Policy: core.PolicyEven}
+		res, err := job.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = 0
+		for _, st := range res.PerStream {
+			insts += st.WarpInsts
+		}
+	}
+	b.StopTimer()
+	kips := float64(insts) * float64(b.N) / b.Elapsed().Seconds() / 1000
+	b.ReportMetric(kips, "warp_KIPS")
+}

@@ -1,0 +1,117 @@
+// Command crispsim runs one simulation: a rendering workload and/or a
+// compute workload under a chosen GPU partitioning policy, printing
+// per-stream and per-task statistics.
+//
+// Examples:
+//
+//	crispsim -scene SPL                       # graphics only, Orin
+//	crispsim -scene SPH -compute VIO -policy EVEN
+//	crispsim -compute NN -gpu RTX3070
+//	crispsim -scene PT -compute HOLO -policy TAP -gpu RTX3070 -w 640 -h 360
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"crisp"
+	"crisp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	sceneName := flag.String("scene", "", "rendering workload: SPL, SPH, PT, IT, PL, MT (empty = none)")
+	computeName := flag.String("compute", "", "compute workload: VIO, HOLO, NN, UPSCALE, ATW (empty = none)")
+	policy := flag.String("policy", "serial", "partition policy: serial, MPS, MiG, EVEN, WarpedSlicer, TAP, Priority")
+	gpuName := flag.String("gpu", "JetsonOrin", "GPU config: JetsonOrin or RTX3070")
+	gpuFile := flag.String("config", "", "JSON GPU configuration file (overrides -gpu; artifact-style customization)")
+	w := flag.Int("w", 0, "render width (default 2K-class 320)")
+	h := flag.Int("h", 0, "render height (default 2K-class 180)")
+	lod := flag.Bool("lod", true, "enable mipmap LoD")
+	perStream := flag.Bool("streams", false, "print per-stream statistics")
+	perKernel := flag.Bool("kernels", false, "print per-kernel launch timing")
+	flag.Parse()
+
+	if *sceneName == "" && *computeName == "" {
+		fmt.Fprintln(os.Stderr, "need -scene and/or -compute")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var cfg crisp.GPUConfig
+	var err error
+	if *gpuFile != "" {
+		cfg, err = crisp.GPUFromFile(*gpuFile)
+	} else {
+		cfg, err = crisp.GPUByName(*gpuName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := crisp.DefaultRenderOptions()
+	if *w > 0 {
+		opts.W = *w
+	}
+	if *h > 0 {
+		opts.H = *h
+	}
+	opts.LoD = *lod
+
+	res, err := crisp.RunPair(cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s", header(*sceneName, *computeName, cfg.Name, *policy))
+	fmt.Printf("cycles      : %d\n", res.Cycles)
+	fmt.Printf("frame time  : %.4f ms\n", res.FrameTimeMS)
+
+	t := stats.Table{Header: []string{"task", "warp insts", "IPC", "L1 hit", "L2 hit", "DRAM rd KB", "DRAM wr KB"}}
+	for task := 0; task < 2; task++ {
+		st, ok := res.PerTask[task]
+		if !ok {
+			continue
+		}
+		t.AddRow(fmt.Sprint(task), fmt.Sprint(st.WarpInsts), stats.F(st.IPC()),
+			stats.Pct(st.L1HitRate()), stats.Pct(st.L2HitRate()),
+			fmt.Sprint(st.DRAMReads/1024), fmt.Sprint(st.DRAMWrites/1024))
+	}
+	fmt.Println(t.String())
+
+	fmt.Printf("L2 composition (%d valid lines):", res.L2Lines)
+	for class, n := range res.L2ByClass {
+		fmt.Printf(" %v=%d", class, n)
+	}
+	fmt.Println()
+
+	if *perKernel {
+		kt := stats.Table{Header: []string{"kernel", "stream", "task", "launched", "done", "cycles", "CTAs"}}
+		for _, k := range res.Kernels {
+			kt.AddRow(k.Name, fmt.Sprint(k.Stream), fmt.Sprint(k.Task),
+				fmt.Sprint(k.Launched), fmt.Sprint(k.Done), fmt.Sprint(k.Done-k.Launched), fmt.Sprint(k.CTAs))
+		}
+		fmt.Println(kt.String())
+	}
+
+	if *perStream {
+		st := stats.Table{Header: []string{"stream", "label", "kernels", "CTAs", "warp insts", "cycles"}}
+		for _, s := range res.PerStream {
+			st.AddRow(fmt.Sprint(s.Stream), s.Label, fmt.Sprint(s.KernelsLaunched),
+				fmt.Sprint(s.CTAsLaunched), fmt.Sprint(s.WarpInsts), fmt.Sprint(s.Cycles))
+		}
+		fmt.Println(st.String())
+	}
+}
+
+func header(sceneName, computeName, gpu, policy string) string {
+	pair := sceneName
+	if computeName != "" {
+		if pair != "" {
+			pair += "+"
+		}
+		pair += computeName
+	}
+	return fmt.Sprintf("== %s on %s under %s ==\n", pair, gpu, policy)
+}

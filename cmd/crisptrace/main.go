@@ -1,0 +1,262 @@
+// Command crisptrace implements the trace-driven workflow: collect a
+// workload's execution traces once and replay them in any combination
+// later — the Accel-Sim flow the paper builds on ("execution traces can
+// be collected separately for each task and replayed together to achieve
+// concurrent execution").
+//
+//	crisptrace collect -scene SPL -o spl.trace.gz
+//	crisptrace collect -compute VIO -o vio.trace.gz
+//	crisptrace replay -gpu JetsonOrin -policy EVEN spl.trace.gz vio.trace.gz
+//	crisptrace info spl.trace.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"crisp"
+	"crisp/internal/core"
+	"crisp/internal/gpu"
+	"crisp/internal/stats"
+	"crisp/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "collect":
+		collect(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "dump":
+		dump(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: crisptrace collect|replay|info|dump [flags]")
+	os.Exit(2)
+}
+
+// dump disassembles the first warp of a kernel in a trace file.
+func dump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	kernelName := fs.String("kernel", "", "kernel to disassemble (default: first)")
+	maxInsts := fs.Int("n", 64, "max instructions to print")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("dump: need a trace file")
+	}
+	kernels, err := trace.LoadFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var k *trace.Kernel
+	for _, cand := range kernels {
+		if *kernelName == "" || cand.Name == *kernelName {
+			k = cand
+			break
+		}
+	}
+	if k == nil {
+		log.Fatalf("dump: kernel %q not found", *kernelName)
+	}
+	w := &k.CTAs[0].Warps[0]
+	fmt.Printf("%s  CTA 0 warp 0  (%d instructions, showing %d)\n", k.Name, len(w.Insts), min(len(w.Insts), *maxInsts))
+	for i, in := range w.Insts {
+		if i >= *maxInsts {
+			fmt.Println("  ...")
+			break
+		}
+		operands := ""
+		if in.Dst != 255 {
+			operands = fmt.Sprintf(" R%d", in.Dst)
+		}
+		for _, src := range []uint8{in.SrcA, in.SrcB, in.SrcC} {
+			if src != 255 {
+				operands += fmt.Sprintf(", R%d", src)
+			}
+		}
+		extra := ""
+		if len(in.Addrs) > 0 {
+			extra = fmt.Sprintf("  [%#x … %#x] %s", in.Addrs[0], in.Addrs[len(in.Addrs)-1], in.Class)
+		}
+		fmt.Printf("  %4d: %-9s%-16s mask=%08x%s\n", i, in.Op.String(), operands, in.Mask, extra)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// collect renders a scene or builds a compute workload and saves its
+// kernels.
+func collect(args []string) {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	sceneName := fs.String("scene", "", "rendering workload to trace")
+	computeName := fs.String("compute", "", "compute workload to trace")
+	out := fs.String("o", "out.trace.gz", "output trace file")
+	w := fs.Int("w", 0, "render width")
+	h := fs.Int("h", 0, "render height")
+	lod := fs.Bool("lod", true, "enable mipmap LoD")
+	fs.Parse(args)
+
+	var kernels []*trace.Kernel
+	switch {
+	case *sceneName != "" && *computeName == "":
+		opts := crisp.DefaultRenderOptions()
+		if *w > 0 {
+			opts.W = *w
+		}
+		if *h > 0 {
+			opts.H = *h
+		}
+		opts.LoD = *lod
+		res, err := crisp.RenderScene(*sceneName, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, st := range res.Streams {
+			kernels = append(kernels, st.Kernels...)
+		}
+	case *computeName != "" && *sceneName == "":
+		wl, err := crisp.BuildCompute(*computeName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernels = wl.Kernels
+	default:
+		log.Fatal("collect: need exactly one of -scene or -compute")
+	}
+	if err := trace.SaveFile(*out, kernels); err != nil {
+		log.Fatal(err)
+	}
+	insts := 0
+	for _, k := range kernels {
+		insts += k.InstCount()
+	}
+	fmt.Printf("wrote %s: %d kernels, %d warp instructions\n", *out, len(kernels), insts)
+}
+
+// replay loads one or more trace files and runs them concurrently; each
+// file becomes one task.
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	gpuName := fs.String("gpu", "JetsonOrin", "GPU config")
+	policy := fs.String("policy", "serial", "partition policy")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		log.Fatal("replay: need at least one trace file")
+	}
+
+	cfg, err := crisp.GPUByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := gpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.TaskWindows[0] = 32
+
+	for task, path := range files {
+		kernels, err := trace.LoadFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		// Group kernels by their recorded stream; renumber into the
+		// task's stream space so files never collide.
+		byStream := map[int][]*trace.Kernel{}
+		var order []int
+		for _, k := range kernels {
+			if _, ok := byStream[k.Stream]; !ok {
+				order = append(order, k.Stream)
+			}
+			byStream[k.Stream] = append(byStream[k.Stream], k)
+		}
+		for i, s := range order {
+			id := task*core.ComputeStreamBase + i
+			if task == 0 && id >= core.ComputeStreamBase {
+				log.Fatalf("%s: too many streams", path)
+			}
+			ks := make([]*trace.Kernel, len(byStream[s]))
+			for j, k := range byStream[s] {
+				kk := *k
+				kk.Stream = id
+				ks[j] = &kk
+			}
+			def := gpu.StreamDef{ID: id, Task: task, Label: fmt.Sprintf("%s.s%d", path, i), Kernels: ks}
+			if err := g.AddStream(def); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if err := installPolicy(g, core.PolicyKind(*policy), len(files)); err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := g.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d task(s) under %s on %s: %d cycles (%.4f ms)\n",
+		len(files), *policy, cfg.Name, cycles, cfg.FrameTimeMS(cycles))
+	t := stats.Table{Header: []string{"task", "warp insts", "L2 hit"}}
+	for task, st := range g.TaskStats() {
+		t.AddRow(fmt.Sprint(task), fmt.Sprint(st.WarpInsts), stats.Pct(st.L2HitRate()))
+	}
+	fmt.Println(t.String())
+}
+
+// info summarizes a trace file.
+func info(args []string) {
+	if len(args) == 0 {
+		log.Fatal("info: need a trace file")
+	}
+	for _, path := range args {
+		kernels, err := trace.LoadFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		var insts, ctas int
+		streams := map[int]bool{}
+		for _, k := range kernels {
+			insts += k.InstCount()
+			ctas += len(k.CTAs)
+			streams[k.Stream] = true
+		}
+		fmt.Printf("%s: %d kernels, %d streams, %d CTAs, %d warp instructions\n",
+			path, len(kernels), len(streams), ctas, insts)
+		t := stats.Table{Header: []string{"kernel", "kind", "stream", "CTAs", "warp insts", "regs/thread", "shmem"}}
+		for _, k := range kernels {
+			t.AddRow(k.Name, k.Kind.String(), fmt.Sprint(k.Stream), fmt.Sprint(len(k.CTAs)),
+				fmt.Sprint(k.InstCount()), fmt.Sprint(k.RegsPerThread), fmt.Sprint(k.SharedMem))
+		}
+		fmt.Println(t.String())
+	}
+}
+
+// installPolicy wires the named policy for an n-task replay.
+func installPolicy(g *gpu.GPU, kind core.PolicyKind, tasks int) error {
+	p, err := core.BuildPolicy(g, kind, tasks)
+	if err != nil {
+		return err
+	}
+	if p != nil {
+		g.SetPolicy(p)
+	}
+	return nil
+}

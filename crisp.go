@@ -1,0 +1,113 @@
+// Package crisp is a cycle-level GPU simulation platform for studying the
+// CONCURRENT execution of raster-graphics rendering and general-purpose
+// compute kernels, reproducing "CRISP: Concurrent Rendering and Compute
+// Simulation Platform for GPUs" (Pan & Rogers, IISWC 2024).
+//
+// The platform has three layers:
+//
+//   - A functional graphics front end (Vulkan-style command submission,
+//     batch-based vertex shading, immediate tiled rasterization with
+//     early-Z and pre-calculated LoD, mipmapped texturing, and a unified
+//     shader model) that renders real frames and records SASS-like
+//     execution traces.
+//   - CUDA-analog compute workload generators for the paper's XR system
+//     tasks: visual-inertial odometry (VIO), hologram generation (HOLO),
+//     and the RITnet eye-segmentation principal kernels (NN).
+//   - A trace-driven, cycle-level GPU timing model (SMs with GTO warp
+//     scheduling, scoreboards and per-scheduler pipelines; unified L1;
+//     banked L2; bandwidth-metered DRAM) with pluggable GPU partitioning:
+//     MPS, MiG, fine-grained intra-SM sharing, warped-slicer dynamic
+//     partitioning, and TAP utility-based L2 set partitioning.
+//
+// Quick start:
+//
+//	res, err := crisp.RunPair(crisp.JetsonOrin(), "SPH", "VIO",
+//	    crisp.PolicyEven, crisp.DefaultRenderOptions())
+//	fmt.Println(res.Cycles, res.FrameTimeMS)
+package crisp
+
+import (
+	"crisp/internal/compute"
+	"crisp/internal/config"
+	"crisp/internal/core"
+	"crisp/internal/render"
+	"crisp/internal/scene"
+)
+
+// GPUConfig describes one simulated GPU (see JetsonOrin and RTX3070).
+type GPUConfig = config.GPU
+
+// JetsonOrin returns the embedded-GPU configuration (paper Table II).
+func JetsonOrin() GPUConfig { return config.JetsonOrin() }
+
+// RTX3070 returns the discrete-GPU configuration (paper Table II).
+func RTX3070() GPUConfig { return config.RTX3070() }
+
+// GPUByName resolves "JetsonOrin" or "RTX3070".
+func GPUByName(name string) (GPUConfig, error) { return config.ByName(name) }
+
+// GPUFromFile loads a custom JSON GPU configuration (any subset of fields
+// overriding a named base config) — the artifact's experiment-
+// customization workflow.
+func GPUFromFile(path string) (GPUConfig, error) { return config.LoadFile(path) }
+
+// RenderOptions configure the graphics pipeline (resolution, batch size,
+// LoD, filtering).
+type RenderOptions = render.Options
+
+// DefaultRenderOptions is a 2K-class render with LoD enabled.
+func DefaultRenderOptions() RenderOptions { return render.DefaultOptions() }
+
+// FrameResult is a functionally rendered frame plus its recorded traces.
+type FrameResult = render.Result
+
+// PolicyKind selects a GPU partitioning policy.
+type PolicyKind = core.PolicyKind
+
+// The supported partitioning policies.
+const (
+	PolicySerial       = core.PolicySerial
+	PolicyMPS          = core.PolicyMPS
+	PolicyMiG          = core.PolicyMiG
+	PolicyEven         = core.PolicyEven
+	PolicyWarpedSlicer = core.PolicyWarpedSlicer
+	PolicyTAP          = core.PolicyTAP
+	PolicyPriority     = core.PolicyPriority
+)
+
+// Policies lists every supported policy.
+func Policies() []PolicyKind { return core.PolicyKinds() }
+
+// Job is one configured simulation (graphics and/or compute under a
+// policy on a GPU).
+type Job = core.Job
+
+// Result is a completed simulation with per-stream and per-task
+// statistics and the L2 composition snapshot.
+type Result = core.Result
+
+// ComputeWorkload is an in-order stream of compute kernels.
+type ComputeWorkload = compute.Workload
+
+// SceneNames lists the built-in rendering workloads (paper abbreviations:
+// SPL, SPH, PT, IT, PL, MT).
+func SceneNames() []string { return scene.Names() }
+
+// ComputeNames lists the built-in compute workloads (VIO, HOLO, NN).
+func ComputeNames() []string { return compute.Names() }
+
+// RenderScene renders a built-in scene, producing a frame and its traces.
+func RenderScene(name string, opts RenderOptions) (*FrameResult, error) {
+	return core.RenderScene(name, opts)
+}
+
+// BuildCompute builds a built-in compute workload.
+func BuildCompute(name string) (*ComputeWorkload, error) {
+	return compute.ByName(name, core.ComputeStreamBase)
+}
+
+// RunPair renders sceneName (may be empty), builds computeName (may be
+// empty), and simulates them concurrently under policy on cfg.
+func RunPair(cfg GPUConfig, sceneName, computeName string, policy PolicyKind, opts RenderOptions) (*Result, error) {
+	return core.RunPair(cfg, sceneName, computeName, policy, opts)
+}

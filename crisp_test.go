@@ -1,0 +1,75 @@
+package crisp
+
+import "testing"
+
+func tinyOpts() RenderOptions {
+	o := DefaultRenderOptions()
+	o.W, o.H = 128, 72
+	return o
+}
+
+func TestPublicQuickstart(t *testing.T) {
+	res, err := RunPair(JetsonOrin(), "SPL", "", PolicySerial, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.FrameTimeMS <= 0 {
+		t.Fatalf("cycles=%d time=%v", res.Cycles, res.FrameTimeMS)
+	}
+}
+
+func TestPublicConcurrentPair(t *testing.T) {
+	res, err := RunPair(RTX3070(), "PL", "HOLO", PolicyEven, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerTask) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(res.PerTask))
+	}
+}
+
+func TestPublicCatalogs(t *testing.T) {
+	if len(SceneNames()) != 6 {
+		t.Errorf("scenes = %v", SceneNames())
+	}
+	if len(ComputeNames()) != 5 {
+		t.Errorf("compute = %v", ComputeNames())
+	}
+	if len(Policies()) != 7 {
+		t.Errorf("policies = %v", Policies())
+	}
+}
+
+func TestPublicGPUByName(t *testing.T) {
+	for _, name := range []string{"JetsonOrin", "RTX3070"} {
+		cfg, err := GPUByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Name != name {
+			t.Errorf("GPUByName(%q).Name = %q", name, cfg.Name)
+		}
+	}
+	if _, err := GPUByName("H100"); err == nil {
+		t.Error("unknown GPU accepted")
+	}
+}
+
+func TestPublicRenderAndCompute(t *testing.T) {
+	frame, err := RenderScene("MT", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := BuildCompute("NN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{GPU: JetsonOrin(), Graphics: frame, Compute: comp, Policy: PolicyMPS}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L2Lines == 0 {
+		t.Error("no L2 composition recorded")
+	}
+}

@@ -1,0 +1,59 @@
+package crisp_test
+
+import (
+	"fmt"
+
+	"crisp"
+)
+
+// ExampleSceneNames lists the built-in workload catalogs.
+func ExampleSceneNames() {
+	fmt.Println(crisp.SceneNames())
+	fmt.Println(crisp.ComputeNames())
+	// Output:
+	// [IT MT PL PT SPH SPL]
+	// [VIO HOLO NN UPSCALE ATW]
+}
+
+// ExampleRunPair simulates a rendering+compute pair in one call.
+func ExampleRunPair() {
+	res, err := crisp.RunPair(crisp.JetsonOrin(), "SPL", "VIO",
+		crisp.PolicyEven, crisp.DefaultRenderOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Cycles > 0, len(res.PerTask))
+	// Output: true 2
+}
+
+// ExampleJob shows the lower-level API: render once, reuse the traces
+// under several policies.
+func ExampleJob() {
+	gfx, err := crisp.RenderScene("PL", crisp.DefaultRenderOptions())
+	if err != nil {
+		panic(err)
+	}
+	comp, err := crisp.BuildCompute("HOLO")
+	if err != nil {
+		panic(err)
+	}
+	for _, pol := range []crisp.PolicyKind{crisp.PolicyMPS, crisp.PolicyEven} {
+		job := crisp.Job{GPU: crisp.RTX3070(), Graphics: gfx, Compute: comp, Policy: pol}
+		res, err := job.Run()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(pol, res.Cycles > 0)
+	}
+	// Output:
+	// MPS true
+	// EVEN true
+}
+
+// ExampleGPUByName resolves the two Table II configurations.
+func ExampleGPUByName() {
+	orin, _ := crisp.GPUByName("JetsonOrin")
+	rtx, _ := crisp.GPUByName("RTX3070")
+	fmt.Println(orin.NumSMs, rtx.NumSMs)
+	// Output: 14 46
+}

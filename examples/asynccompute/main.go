@@ -1,0 +1,63 @@
+// Async compute in a mixed-reality system: Sponza renders while the
+// RITnet eye-segmentation network (NN) runs concurrently on the same GPU —
+// the paper's motivating scenario (eye tracking supporting foveated
+// rendering). Both tasks must run every frame; the design question is how
+// to share the GPU. The example contrasts coarse spatial sharing (MPS:
+// each SM dedicated to one task) with fine-grained intra-SM sharing
+// (EVEN: both tasks on every SM — the async-compute model), reproducing
+// the paper's finding that the complementary NN pairing gains most from
+// intra-SM sharing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crisp"
+)
+
+func main() {
+	cfg := crisp.JetsonOrin()
+	opts := crisp.DefaultRenderOptions()
+
+	// Render once; replay the same traces under both policies.
+	gfx, err := crisp.RenderScene("SPL", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := crisp.BuildCompute("NN")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(policy crisp.PolicyKind) *crisp.Result {
+		job := crisp.Job{GPU: cfg, Graphics: gfx, Compute: comp, Policy: policy}
+		res, err := job.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	mps := run(crisp.PolicyMPS)
+	even := run(crisp.PolicyEven)
+
+	fmt.Printf("Sponza + RITnet(NN) on %s\n", cfg.Name)
+	fmt.Printf("  MPS  (inter-SM, coarse)   : %8d cycles\n", mps.Cycles)
+	fmt.Printf("  EVEN (intra-SM, async)    : %8d cycles\n", even.Cycles)
+	fmt.Printf("  async-compute speedup     : %.2fx\n", float64(mps.Cycles)/float64(even.Cycles))
+
+	fmt.Println("\nper-task statistics of the intra-SM run:")
+	for task := 0; task < 2; task++ {
+		st := even.PerTask[task]
+		name := "render"
+		if task == 1 {
+			name = "NN"
+		}
+		fmt.Printf("  %-7s insts=%9d  IPC %5.2f  L2 hit %.0f%%  DRAM read %d KB\n",
+			name, st.WarpInsts, st.IPC(), 100*st.L2HitRate(), st.DRAMReads/1024)
+	}
+	fmt.Println("\nThe register-heavy fragment shaders and the shared-memory-heavy")
+	fmt.Println("matmuls occupy complementary SM resources, so interleaving them")
+	fmt.Println("on every SM beats dedicating whole SMs to either task.")
+}

@@ -1,0 +1,54 @@
+// Partition study: one rendering+compute pair swept across every GPU
+// partitioning policy the platform supports (serial, MPS, MiG, EVEN,
+// warped-slicer, TAP), reporting throughput normalized to MPS — a
+// miniature of the paper's two concurrency case studies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"crisp"
+)
+
+func main() {
+	sceneName := flag.String("scene", "SPL", "rendering workload (SPL, SPH, PT, IT, PL, MT)")
+	computeName := flag.String("compute", "VIO", "compute workload (VIO, HOLO, NN, UPSCALE, ATW)")
+	gpuName := flag.String("gpu", "RTX3070", "GPU config (JetsonOrin or RTX3070)")
+	flag.Parse()
+
+	cfg, err := crisp.GPUByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := crisp.DefaultRenderOptions()
+
+	// Render once, reuse the traces for every policy (trace-driven!).
+	gfx, err := crisp.RenderScene(*sceneName, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := crisp.BuildCompute(*computeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s + %s on %s\n\n", *sceneName, *computeName, cfg.Name)
+	var baseline int64
+	for _, pol := range crisp.Policies() {
+		job := crisp.Job{GPU: cfg, Graphics: gfx, Compute: comp, Policy: pol}
+		res, err := job.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pol == crisp.PolicyMPS {
+			baseline = res.Cycles
+		}
+		norm := ""
+		if baseline > 0 {
+			norm = fmt.Sprintf("  (%.3fx vs MPS)", float64(baseline)/float64(res.Cycles))
+		}
+		fmt.Printf("  %-13s %9d cycles%s\n", pol, res.Cycles, norm)
+	}
+}

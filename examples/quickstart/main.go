@@ -1,0 +1,33 @@
+// Quickstart: render one frame of the Sponza scene, simulate it on the
+// Jetson Orin at cycle level, and print the headline statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crisp"
+)
+
+func main() {
+	res, err := crisp.RunPair(crisp.JetsonOrin(), "SPL", "", crisp.PolicySerial, crisp.DefaultRenderOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Sponza on %s\n", crisp.JetsonOrin().Name)
+	fmt.Printf("  frame time : %.3f ms (%d cycles)\n", res.FrameTimeMS, res.Cycles)
+	for task, st := range res.PerTask {
+		fmt.Printf("  task %d     : %d warp instructions, IPC %.2f, L1 hit %.0f%%, L2 hit %.0f%%\n",
+			task, st.WarpInsts, st.IPC(), 100*st.L1HitRate(), 100*st.L2HitRate())
+	}
+	fmt.Printf("  L2 lines   : %d valid", res.L2Lines)
+	for class, n := range res.L2ByClass {
+		fmt.Printf(", %v=%d", class, n)
+	}
+	fmt.Println()
+
+	fmt.Println("\nAvailable scenes:  ", crisp.SceneNames())
+	fmt.Println("Available compute: ", crisp.ComputeNames())
+	fmt.Println("Available policies:", crisp.Policies())
+}

@@ -1,0 +1,3 @@
+module crisp
+
+go 1.22

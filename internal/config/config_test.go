@@ -1,0 +1,93 @@
+package config
+
+import "testing"
+
+func TestTable2Configs(t *testing.T) {
+	orin := JetsonOrin()
+	rtx := RTX3070()
+
+	// Table II values.
+	if orin.NumSMs != 14 {
+		t.Errorf("Orin SMs = %d, want 14", orin.NumSMs)
+	}
+	if rtx.NumSMs != 46 {
+		t.Errorf("3070 SMs = %d, want 46", rtx.NumSMs)
+	}
+	for _, g := range []GPU{orin, rtx} {
+		if g.RegistersPerSM != 65536 {
+			t.Errorf("%s registers = %d, want 65536", g.Name, g.RegistersPerSM)
+		}
+		if g.MaxWarpsPerSM != 64 || g.SchedulersPerSM != 4 {
+			t.Errorf("%s warps/schedulers = %d/%d, want 64/4", g.Name, g.MaxWarpsPerSM, g.SchedulersPerSM)
+		}
+		if g.FPUnits != 4 || g.SFUUnits != 4 || g.INTUnits != 4 || g.TensorUnits != 4 {
+			t.Errorf("%s exec units wrong", g.Name)
+		}
+		if g.L2Size != 4<<20 {
+			t.Errorf("%s L2 = %d, want 4MB", g.Name, g.L2Size)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", g.Name, err)
+		}
+	}
+	if orin.CoreClockMHz != 1300 || rtx.CoreClockMHz != 1132 {
+		t.Error("core clocks do not match Table II")
+	}
+	if orin.MemBandwidthGBps != 200 || rtx.MemBandwidthGBps != 448 {
+		t.Error("memory bandwidths do not match Table II")
+	}
+	if orin.MemTech != "LPDDR5" || rtx.MemTech != "GDDR6" {
+		t.Error("memory technologies do not match Table II")
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	g := RTX3070()
+	bpc := g.BytesPerCycle()
+	// 448 GB/s at 1132 MHz ≈ 395.8 B/cycle.
+	if bpc < 390 || bpc > 400 {
+		t.Errorf("BytesPerCycle = %v, want ≈396", bpc)
+	}
+}
+
+func TestFrameTimeMS(t *testing.T) {
+	g := JetsonOrin()
+	// 1.3M cycles at 1300 MHz = 1 ms.
+	if got := g.FrameTimeMS(1300000); got < 0.999 || got > 1.001 {
+		t.Errorf("FrameTimeMS = %v, want 1.0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"JetsonOrin", "orin", "RTX3070", "3070"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("A100"); err == nil {
+		t.Error("ByName accepted unknown GPU")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := JetsonOrin()
+	bad.NumSMs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted 0 SMs")
+	}
+	bad = JetsonOrin()
+	bad.L2Banks = 7 // 4MB not divisible
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted indivisible bank count")
+	}
+	bad = JetsonOrin()
+	bad.MaxWarpsPerSM = 63
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted warps not multiple of schedulers")
+	}
+	bad = JetsonOrin()
+	bad.MemBandwidthGBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero bandwidth")
+	}
+}

@@ -1,0 +1,326 @@
+// Package core is CRISP's concurrent simulation platform: it pairs a
+// functionally rendered frame (graphics task) with a compute workload
+// (CUDA-analog task), places both on one cycle-level GPU under a selected
+// partitioning policy, runs the simulation, and reports per-stream,
+// per-task, and whole-run statistics — the paper's central capability.
+package core
+
+import (
+	"fmt"
+
+	"crisp/internal/compute"
+	"crisp/internal/config"
+	"crisp/internal/gpu"
+	"crisp/internal/partition"
+	"crisp/internal/render"
+	"crisp/internal/scene"
+	"crisp/internal/sm"
+	"crisp/internal/stats"
+	"crisp/internal/trace"
+)
+
+// ComputeStreamBase numbers compute streams; graphics streams count up
+// from zero, so any stream at or above the base belongs to the compute
+// task.
+const ComputeStreamBase = 1 << 20
+
+// defaultGraphicsWindow is how many rendering batch streams may be in
+// flight at once — the capacity of the ITR binning buffer. Batches are
+// small (≤96 vertices), so hardware keeps many in flight to fill the SMs.
+const defaultGraphicsWindow = 32
+
+// TaskOf maps a stream id to its task: graphics streams (below the base)
+// are task 0; the i-th compute workload's stream, (i+1)*ComputeStreamBase,
+// is task i+1.
+func TaskOf(stream int) int {
+	if stream < ComputeStreamBase {
+		return partition.TaskGraphics
+	}
+	return stream / ComputeStreamBase
+}
+
+// PolicyKind names a partitioning configuration.
+type PolicyKind string
+
+// The supported policies. Serial is stock Accel-Sim behavior: CTAs drain
+// from one kernel exhaustively before the next, so big kernels never
+// co-run.
+const (
+	PolicySerial       PolicyKind = "serial"
+	PolicyMPS          PolicyKind = "MPS"
+	PolicyMiG          PolicyKind = "MiG"
+	PolicyEven         PolicyKind = "EVEN"
+	PolicyWarpedSlicer PolicyKind = "WarpedSlicer"
+	PolicyTAP          PolicyKind = "TAP"
+	// PolicyPriority is QoS-aware intra-SM sharing: an even split where
+	// the rendering task's CTAs claim freed resources first (the
+	// latency/QoS dimension of the paper's future work).
+	PolicyPriority PolicyKind = "Priority"
+)
+
+// PolicyKinds lists all supported policies.
+func PolicyKinds() []PolicyKind {
+	return []PolicyKind{PolicySerial, PolicyMPS, PolicyMiG, PolicyEven, PolicyWarpedSlicer, PolicyTAP, PolicyPriority}
+}
+
+// Job is one simulation: optional graphics frame traces, optional compute
+// workload, a GPU configuration, and a policy.
+type Job struct {
+	GPU      config.GPU
+	Graphics *render.Result
+	Compute  *compute.Workload
+	// Computes adds further compute workloads as additional tasks
+	// (2, 3, …) — the more-than-two-workloads extension the paper's
+	// limitation section describes. MPS and EVEN generalize to n tasks;
+	// WarpedSlicer and TAP remain pairwise.
+	Computes []*compute.Workload
+	Policy   PolicyKind
+	// GraphicsWindow bounds concurrently active rendering batch streams
+	// (the binning buffer); 0 means the default of 4.
+	GraphicsWindow int
+	// GraphicsFrames replays the graphics trace this many times (0/1 =
+	// one frame). Later frames run against warm caches, and because
+	// batches are streams bounded by GraphicsWindow, frame N+1's early
+	// batches pipeline behind frame N's tail — the steady-state frame
+	// pipelining of real renderers.
+	GraphicsFrames int
+	// TimelineInterval, when > 0, samples per-task occupancy every so
+	// many cycles (paper Fig. 13).
+	TimelineInterval int64
+	// LRRScheduler switches the warp schedulers from greedy-then-oldest
+	// to loose round-robin (the scheduling ablation).
+	LRRScheduler bool
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Policy      PolicyKind
+	Cycles      int64
+	FrameTimeMS float64
+	PerStream   []*stats.Stream
+	PerTask     map[int]*stats.Stream
+	// L2ByClass counts valid L2 lines by data class at end of run
+	// (paper Figs. 11/15).
+	L2ByClass map[trace.MemClass]int
+	// L2ByTask counts valid L2 lines by owning task.
+	L2ByTask map[int]int
+	L2Lines  int
+	Timeline *stats.Timeline
+	// Kernels lists every completed kernel launch in completion order.
+	Kernels []gpu.KernelStat
+	// WS exposes warped-slicer state when that policy ran.
+	WS *partition.WarpedSlicer
+}
+
+// Run executes the job.
+func (j *Job) Run() (*Result, error) {
+	if j.Graphics == nil && j.Compute == nil {
+		return nil, fmt.Errorf("core: job has neither graphics nor compute work")
+	}
+	g, err := gpu.New(j.GPU)
+	if err != nil {
+		return nil, err
+	}
+
+	window := j.GraphicsWindow
+	if window == 0 {
+		window = defaultGraphicsWindow
+	}
+	g.TaskWindows[partition.TaskGraphics] = window
+
+	if j.Graphics != nil {
+		frames := j.GraphicsFrames
+		if frames < 1 {
+			frames = 1
+		}
+		// Frame f's stream ids are offset so replays never collide; the
+		// kernels (and their addresses) are shared, so later frames see
+		// warm caches.
+		maxID := 0
+		for _, st := range j.Graphics.Streams {
+			if st.Stream > maxID {
+				maxID = st.Stream
+			}
+		}
+		stride := maxID + 1
+		if frames*stride > ComputeStreamBase {
+			return nil, fmt.Errorf("core: %d frames × %d streams exceed the graphics stream space", frames, stride)
+		}
+		for f := 0; f < frames; f++ {
+			for _, st := range j.Graphics.Streams {
+				id := f*stride + st.Stream
+				label := st.Label
+				if frames > 1 {
+					label = fmt.Sprintf("f%d.%s", f, st.Label)
+				}
+				def := gpu.StreamDef{ID: id, Task: partition.TaskGraphics, Label: label, Kernels: renumber(st.Kernels, id)}
+				if err := g.AddStream(def); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	computes := j.Computes
+	if j.Compute != nil {
+		computes = append([]*compute.Workload{j.Compute}, computes...)
+	}
+	for ci, w := range computes {
+		id := (ci + 1) * ComputeStreamBase
+		task := ci + 1
+		kernels := make([]*trace.Kernel, len(w.Kernels))
+		for i, k := range w.Kernels {
+			kk := *k
+			kk.Stream = id
+			kernels[i] = &kk
+		}
+		def := gpu.StreamDef{ID: id, Task: task, Label: w.Name, Kernels: kernels}
+		if err := g.AddStream(def); err != nil {
+			return nil, err
+		}
+	}
+
+	totalTasks := 1 + len(computes)
+
+	res := &Result{Policy: j.Policy}
+	pol, ws, err := BuildPolicyWS(g, j.Policy, totalTasks)
+	if err != nil {
+		return nil, err
+	}
+	if pol != nil {
+		g.SetPolicy(pol)
+	}
+	res.WS = ws
+
+	if j.TimelineInterval > 0 {
+		g.Timeline = &stats.Timeline{Interval: j.TimelineInterval}
+	}
+	if j.LRRScheduler {
+		g.SetWarpScheduler(sm.SchedLRR)
+	}
+
+	cycles, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Cycles = cycles
+	res.FrameTimeMS = j.GPU.FrameTimeMS(cycles)
+	res.PerStream = g.StreamStats()
+	res.PerTask = g.TaskStats()
+	res.Timeline = g.Timeline
+	res.Kernels = g.KernelStats()
+
+	comp := g.Mem().L2Composition()
+	res.L2ByClass = comp.ByClass
+	res.L2Lines = comp.Valid
+	res.L2ByTask = make(map[int]int)
+	for stream, n := range comp.ByStream {
+		res.L2ByTask[TaskOf(stream)] += n
+	}
+	return res, nil
+}
+
+// renumber copies kernels onto a new stream id (kernels are value-copied;
+// the CTA/warp traces are shared).
+func renumber(kernels []*trace.Kernel, id int) []*trace.Kernel {
+	out := make([]*trace.Kernel, len(kernels))
+	for i, k := range kernels {
+		if k.Stream == id {
+			out[i] = k
+			continue
+		}
+		kk := *k
+		kk.Stream = id
+		out[i] = &kk
+	}
+	return out
+}
+
+// BuildPolicy constructs the named partitioning policy for a GPU hosting
+// totalTasks tasks (nil for PolicySerial). MPS and EVEN generalize to any
+// task count; MiG, WarpedSlicer, TAP, and Priority are pairwise.
+func BuildPolicy(g *gpu.GPU, kind PolicyKind, totalTasks int) (gpu.Policy, error) {
+	p, _, err := BuildPolicyWS(g, kind, totalTasks)
+	return p, err
+}
+
+// BuildPolicyWS is BuildPolicy, additionally returning the warped-slicer
+// instance when that policy was selected (its sampling state is part of
+// the Fig. 13 experiment).
+func BuildPolicyWS(g *gpu.GPU, kind PolicyKind, totalTasks int) (gpu.Policy, *partition.WarpedSlicer, error) {
+	pairwise := func() error {
+		if totalTasks > 2 {
+			return fmt.Errorf("core: policy %s supports exactly two tasks, got %d", kind, totalTasks)
+		}
+		return nil
+	}
+	cfg := g.Config()
+	switch kind {
+	case PolicySerial, "":
+		return nil, nil, nil
+	case PolicyMPS:
+		if totalTasks <= 2 {
+			return partition.NewMPS(cfg.NumSMs), nil, nil
+		}
+		p, err := partition.NewSMGroups(cfg.NumSMs, totalTasks)
+		return p, nil, err
+	case PolicyMiG:
+		if err := pairwise(); err != nil {
+			return nil, nil, err
+		}
+		return partition.NewMiG(g, TaskOf), nil, nil
+	case PolicyEven:
+		if totalTasks <= 2 {
+			return partition.NewFGEven(g), nil, nil
+		}
+		p, err := partition.NewFGN(g, totalTasks)
+		return p, nil, err
+	case PolicyWarpedSlicer:
+		if err := pairwise(); err != nil {
+			return nil, nil, err
+		}
+		ws := partition.NewWarpedSlicer(g)
+		return ws, ws, nil
+	case PolicyTAP:
+		if err := pairwise(); err != nil {
+			return nil, nil, err
+		}
+		return partition.NewTAP(g, TaskOf), nil, nil
+	case PolicyPriority:
+		if err := pairwise(); err != nil {
+			return nil, nil, err
+		}
+		return partition.NewPriorityEven(g), nil, nil
+	}
+	return nil, nil, fmt.Errorf("core: unknown policy %q", kind)
+}
+
+// RenderScene renders a named scene workload with the given options,
+// producing the graphics traces a Job consumes.
+func RenderScene(name string, opts render.Options) (*render.Result, error) {
+	f, err := scene.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return render.RenderFrame(f, opts)
+}
+
+// RunPair is the one-call convenience: render sceneName (may be ""),
+// build computeName (may be ""), and run them under policy on cfg.
+func RunPair(cfg config.GPU, sceneName, computeName string, policy PolicyKind, opts render.Options) (*Result, error) {
+	job := Job{GPU: cfg, Policy: policy}
+	if sceneName != "" {
+		res, err := RenderScene(sceneName, opts)
+		if err != nil {
+			return nil, err
+		}
+		job.Graphics = res
+	}
+	if computeName != "" {
+		w, err := compute.ByName(computeName, ComputeStreamBase)
+		if err != nil {
+			return nil, err
+		}
+		job.Compute = w
+	}
+	return job.Run()
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"crisp/internal/compute"
+	"crisp/internal/config"
+	"crisp/internal/partition"
+	"crisp/internal/render"
+	"crisp/internal/trace"
+)
+
+func tinyOpts() render.Options {
+	o := render.DefaultOptions()
+	o.W, o.H = 128, 72
+	return o
+}
+
+func TestTaskOf(t *testing.T) {
+	if TaskOf(0) != partition.TaskGraphics || TaskOf(500) != partition.TaskGraphics {
+		t.Error("graphics streams misclassified")
+	}
+	if TaskOf(ComputeStreamBase) != partition.TaskCompute {
+		t.Error("compute stream misclassified")
+	}
+}
+
+func TestRunPairGraphicsOnly(t *testing.T) {
+	res, err := RunPair(config.JetsonOrin(), "SPL", "", PolicySerial, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.FrameTimeMS <= 0 {
+		t.Fatalf("cycles=%d frame=%v", res.Cycles, res.FrameTimeMS)
+	}
+	if len(res.PerStream) == 0 {
+		t.Fatal("no per-stream stats")
+	}
+	if _, ok := res.PerTask[partition.TaskGraphics]; !ok {
+		t.Fatal("no graphics task stats")
+	}
+	if res.L2Lines == 0 {
+		t.Error("empty L2 composition")
+	}
+	if res.L2ByClass[trace.ClassTexture] == 0 {
+		t.Error("no texture lines in L2 after a rendered frame")
+	}
+}
+
+func TestRunPairComputeOnly(t *testing.T) {
+	res, err := RunPair(config.JetsonOrin(), "", "HOLO", PolicySerial, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	st, ok := res.PerTask[partition.TaskCompute]
+	if !ok || st.WarpInsts == 0 {
+		t.Fatal("compute task stats missing")
+	}
+}
+
+func TestRunPairNothingFails(t *testing.T) {
+	job := Job{GPU: config.JetsonOrin()}
+	if _, err := job.Run(); err == nil {
+		t.Error("empty job accepted")
+	}
+}
+
+func TestRunPairUnknownPolicy(t *testing.T) {
+	if _, err := RunPair(config.JetsonOrin(), "SPL", "", PolicyKind("bogus"), tinyOpts()); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestConcurrentPairUnderEveryPolicy(t *testing.T) {
+	gfx, err := RenderScene("SPL", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := compute.ByName("VIO", ComputeStreamBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range PolicyKinds() {
+		job := Job{GPU: config.JetsonOrin(), Graphics: gfx, Compute: comp, Policy: pol}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.Cycles <= 0 {
+			t.Errorf("%s: no cycles", pol)
+		}
+		g := res.PerTask[partition.TaskGraphics]
+		c := res.PerTask[partition.TaskCompute]
+		if g == nil || c == nil || g.WarpInsts == 0 || c.WarpInsts == 0 {
+			t.Errorf("%s: per-task stats incomplete", pol)
+		}
+		if pol == PolicyWarpedSlicer && res.WS == nil {
+			t.Error("warped-slicer state not exposed")
+		}
+	}
+}
+
+func TestJobDeterministic(t *testing.T) {
+	gfx, err := RenderScene("PL", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := compute.ByName("HOLO", ComputeStreamBase)
+	run := func() int64 {
+		job := Job{GPU: config.JetsonOrin(), Graphics: gfx, Compute: comp, Policy: PolicyEven}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestTimelineCollection(t *testing.T) {
+	gfx, err := RenderScene("PL", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := compute.ByName("VIO", ComputeStreamBase)
+	job := Job{GPU: config.JetsonOrin(), Graphics: gfx, Compute: comp, Policy: PolicyEven, TimelineInterval: 512}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil || len(res.Timeline.Samples) < 2 {
+		t.Fatal("timeline missing")
+	}
+	sawG, sawC := false, false
+	for _, s := range res.Timeline.Samples {
+		if s.WarpsByStream[partition.TaskGraphics] > 0 {
+			sawG = true
+		}
+		if s.WarpsByStream[partition.TaskCompute] > 0 {
+			sawC = true
+		}
+	}
+	if !sawG || !sawC {
+		t.Errorf("timeline never saw both tasks resident (g=%v c=%v)", sawG, sawC)
+	}
+}
+
+func TestL2ByTaskSplitsComposition(t *testing.T) {
+	gfx, err := RenderScene("SPL", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := compute.ByName("VIO", ComputeStreamBase)
+	job := Job{GPU: config.JetsonOrin(), Graphics: gfx, Compute: comp, Policy: PolicyMPS}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L2ByTask[partition.TaskGraphics] == 0 || res.L2ByTask[partition.TaskCompute] == 0 {
+		t.Errorf("L2 by task = %v", res.L2ByTask)
+	}
+	sum := 0
+	for _, n := range res.L2ByTask {
+		sum += n
+	}
+	if sum != res.L2Lines {
+		t.Errorf("task split %d does not sum to %d", sum, res.L2Lines)
+	}
+}
+
+func TestGraphicsWindowDefaults(t *testing.T) {
+	gfx, err := RenderScene("PL", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := Job{GPU: config.JetsonOrin(), Graphics: gfx, Policy: PolicySerial, GraphicsWindow: 1}
+	rN, err := narrow.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := Job{GPU: config.JetsonOrin(), Graphics: gfx, Policy: PolicySerial, GraphicsWindow: 16}
+	rW, err := wide.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rN.Cycles <= rW.Cycles {
+		t.Errorf("window-1 (%d cycles) should be slower than window-16 (%d)", rN.Cycles, rW.Cycles)
+	}
+}
+
+func TestRenderSceneUnknown(t *testing.T) {
+	if _, err := RenderScene("nope", tinyOpts()); err == nil {
+		t.Error("unknown scene accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crisp/internal/config"
+	"crisp/internal/core"
+	"crisp/internal/partition"
+	"crisp/internal/stats"
+)
+
+// QoSResult is the quality-of-service case study the paper's future work
+// points toward: "XR workloads have distinct quality-of-service
+// requirements, which must be considered in the system design as well."
+// The rendering task has a frame deadline (motion-to-photon budget); the
+// study measures when the frame finishes — not just aggregate throughput —
+// under each sharing policy.
+type QoSResult struct {
+	Table *stats.Table
+	// FrameDone maps policy → cycle at which the last rendering stream
+	// completed (the frame's ready time).
+	FrameDone map[core.PolicyKind]int64
+	// Makespan maps policy → total cycles (both tasks done).
+	Makespan map[core.PolicyKind]int64
+}
+
+// CaseStudyQoS co-runs PT (the frame) with VIO (the tracking service) on
+// the Orin and compares frame-ready time and total throughput across
+// EVEN, Priority, and MPS.
+func CaseStudyQoS(sc Scale) (*QoSResult, error) {
+	cfg := config.JetsonOrin()
+	gfx, err := Frame("PT", sc.W2K, sc.H2K, true)
+	if err != nil {
+		return nil, err
+	}
+	policies := []core.PolicyKind{core.PolicyMPS, core.PolicyEven, core.PolicyPriority}
+	out := &QoSResult{
+		Table:     &stats.Table{Header: []string{"policy", "frame-ready", "makespan"}},
+		FrameDone: map[core.PolicyKind]int64{},
+		Makespan:  map[core.PolicyKind]int64{},
+	}
+	for _, pol := range policies {
+		comp, err := buildCompute("VIO")
+		if err != nil {
+			return nil, err
+		}
+		job := core.Job{GPU: cfg, Graphics: gfx, Compute: comp, Policy: pol}
+		res, err := job.Run()
+		if err != nil {
+			return nil, err
+		}
+		var frameDone int64
+		for _, st := range res.PerStream {
+			if core.TaskOf(st.Stream) == partition.TaskGraphics && st.Cycles > frameDone {
+				frameDone = st.Cycles
+			}
+		}
+		out.FrameDone[pol] = frameDone
+		out.Makespan[pol] = res.Cycles
+		out.Table.AddRow(string(pol), fmt.Sprint(frameDone), fmt.Sprint(res.Cycles))
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"crisp/internal/config"
+	"crisp/internal/core"
+	"crisp/internal/stats"
+)
+
+// UpscaleResult is the async-compute case study the paper's background
+// motivates: the scene renders at low resolution and a DLSS-analog
+// tensor-core network upscales it. "DLSS uses tensor cores extensively,
+// and fragment shaders use floating-point units. This makes DLSS
+// post-processing and the rendering pipeline suitable for async compute
+// to maximize system throughput."
+type UpscaleResult struct {
+	Table *stats.Table
+	// Norm maps policy → performance normalized to MPS.
+	Norm map[core.PolicyKind]float64
+}
+
+// CaseStudyAsyncUpscale runs low-res rendering + UPSCALE under MPS and
+// EVEN on the RTX 3070 (frame N's upscale overlaps frame N+1's render,
+// so the pair co-runs in steady state).
+func CaseStudyAsyncUpscale(sc Scale) (*UpscaleResult, error) {
+	cfg := config.RTX3070()
+	policies := []core.PolicyKind{core.PolicyMPS, core.PolicyEven, core.PolicyPriority}
+	out := &UpscaleResult{
+		Table: &stats.Table{Header: []string{"policy", "cycles", "vs MPS"}},
+		Norm:  map[core.PolicyKind]float64{},
+	}
+	var base int64
+	for _, pol := range policies {
+		res, err := Simulate(cfg, "SPL", sc.W2K, sc.H2K, true, "UPSCALE", pol)
+		if err != nil {
+			return nil, err
+		}
+		if pol == core.PolicyMPS {
+			base = res.Cycles
+		}
+		n := float64(base) / float64(res.Cycles)
+		out.Norm[pol] = n
+		out.Table.AddRow(string(pol), itoa64(res.Cycles), stats.F(n))
+	}
+	return out, nil
+}
+
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

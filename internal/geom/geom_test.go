@@ -1,0 +1,272 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crisp/internal/gmath"
+)
+
+// stripIndices builds a triangle-strip-like index pattern with heavy
+// vertex sharing.
+func stripIndices(n int) []uint32 {
+	var idx []uint32
+	for i := 0; i < n; i++ {
+		a := uint32(i)
+		idx = append(idx, a, a+1, a+2)
+	}
+	return idx
+}
+
+func TestBatchIndicesDedupWithinBatch(t *testing.T) {
+	// 10 triangles sharing vertices: 0,1,2 / 1,2,3 / ... 12 unique verts.
+	idx := stripIndices(10)
+	batches := BatchIndices(idx, 96)
+	if len(batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(batches))
+	}
+	if got := len(batches[0].Unique); got != 12 {
+		t.Errorf("unique = %d, want 12", got)
+	}
+	if got := len(batches[0].LocalIdx); got != 30 {
+		t.Errorf("local indices = %d, want 30", got)
+	}
+}
+
+func TestBatchIndicesSplitsAtCapacity(t *testing.T) {
+	// A long strip: 200 triangles → 202 unique vertices, batch size 96.
+	idx := stripIndices(200)
+	batches := BatchIndices(idx, 96)
+	if len(batches) < 3 {
+		t.Fatalf("batches = %d, want ≥3", len(batches))
+	}
+	for i, b := range batches {
+		if len(b.Unique) > 96 {
+			t.Errorf("batch %d has %d uniques (cap 96)", i, len(b.Unique))
+		}
+		if len(b.LocalIdx)%3 != 0 {
+			t.Errorf("batch %d splits a triangle", i)
+		}
+		for _, li := range b.LocalIdx {
+			if int(li) >= len(b.Unique) {
+				t.Fatalf("batch %d local index %d out of range", i, li)
+			}
+		}
+	}
+	// Boundary vertices are re-shaded in the next batch (duplication
+	// across batches, dedup only within) — total shaded > unique total.
+	shaded := ShadedVertexCount(batches)
+	if shaded <= 202 {
+		t.Errorf("shaded = %d, want > 202 (cross-batch duplication)", shaded)
+	}
+}
+
+func TestBatchSizeAffectsShadedCount(t *testing.T) {
+	// Smaller batches force more cross-batch re-shading (the paper's
+	// batch-size sweep: larger batches approach the unique count).
+	idx := stripIndices(300)
+	small := ShadedVertexCount(BatchIndices(idx, 12))
+	big := ShadedVertexCount(BatchIndices(idx, 192))
+	if small <= big {
+		t.Errorf("batch-12 shaded %d should exceed batch-192 shaded %d", small, big)
+	}
+}
+
+// Property: every triangle is preserved (same global index triple) after
+// batching, in order.
+func TestBatchIndicesPreservesTriangles(t *testing.T) {
+	f := func(raw []uint8) bool {
+		n := len(raw) / 3 * 3
+		idx := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			idx[i] = uint32(raw[i]) % 64
+		}
+		batches := BatchIndices(idx, 32)
+		var rebuilt []uint32
+		for _, b := range batches {
+			for _, li := range b.LocalIdx {
+				rebuilt = append(rebuilt, b.Unique[li])
+			}
+		}
+		if len(rebuilt) != len(idx) {
+			return false
+		}
+		for i := range idx {
+			if rebuilt[i] != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshValidate(t *testing.T) {
+	m := &Mesh{
+		Verts: []Vertex{{}, {}, {}},
+		Idx:   []uint32{0, 1, 2},
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid mesh rejected: %v", err)
+	}
+	m.Idx = []uint32{0, 1}
+	if err := m.Validate(); err == nil {
+		t.Error("accepted non-multiple-of-3 indices")
+	}
+	m.Idx = []uint32{0, 1, 9}
+	if err := m.Validate(); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	if (&Mesh{Verts: m.Verts, Idx: []uint32{0, 1, 2, 0, 2, 1}}).Triangles() != 2 {
+		t.Error("Triangles count wrong")
+	}
+}
+
+// cv builds a ClipVert directly in clip space.
+func cv(x, y, z, w float32) ClipVert {
+	return ClipVert{Clip: gmath.V4(x, y, z, w)}
+}
+
+func TestAssembleCullKeepsVisibleTriangle(t *testing.T) {
+	verts := []ClipVert{
+		cv(-0.5, -0.5, 0.5, 1),
+		cv(0.5, -0.5, 0.5, 1),
+		cv(0, 0.5, 0.5, 1),
+	}
+	tris, st := AssembleCull(verts, []uint16{0, 1, 2}, false)
+	if len(tris) != 1 || st.Output != 1 {
+		t.Fatalf("visible triangle culled: %+v", st)
+	}
+}
+
+func TestAssembleCullRejectsOffscreen(t *testing.T) {
+	// Entirely beyond the right plane: x > w for all vertices.
+	verts := []ClipVert{
+		cv(2, 0, 0.5, 1),
+		cv(3, 0, 0.5, 1),
+		cv(2.5, 1, 0.5, 1),
+	}
+	tris, st := AssembleCull(verts, []uint16{0, 1, 2}, false)
+	if len(tris) != 0 || st.Frustum != 1 {
+		t.Fatalf("offscreen triangle kept: %+v", st)
+	}
+}
+
+func TestAssembleCullBackface(t *testing.T) {
+	// Counter-clockwise in NDC is front-facing under our convention;
+	// check one winding survives and its reverse is culled.
+	front := []ClipVert{
+		cv(-0.5, -0.5, 0.5, 1),
+		cv(0.5, -0.5, 0.5, 1),
+		cv(0, 0.5, 0.5, 1),
+	}
+	t1, _ := AssembleCull(front, []uint16{0, 1, 2}, true)
+	t2, _ := AssembleCull(front, []uint16{0, 2, 1}, true)
+	if len(t1)+len(t2) != 1 {
+		t.Fatalf("backface culling kept %d+%d, want exactly one winding", len(t1), len(t2))
+	}
+}
+
+func TestNearPlaneClipSplits(t *testing.T) {
+	// One vertex behind the near plane (z<0): clip produces 2 triangles.
+	verts := []ClipVert{
+		cv(-0.5, -0.5, 0.5, 1),
+		cv(0.5, -0.5, 0.5, 1),
+		cv(0, 0.5, -0.5, 1),
+	}
+	tris, st := AssembleCull(verts, []uint16{0, 1, 2}, false)
+	if len(tris) != 2 || st.Clipped != 1 {
+		t.Fatalf("near clip: %d tris, stats %+v", len(tris), st)
+	}
+	for _, tr := range tris {
+		for _, v := range tr.V {
+			if v.Clip.Z < -1e-4 {
+				t.Errorf("clipped vertex still behind near plane: %v", v.Clip)
+			}
+		}
+	}
+}
+
+func TestNearPlaneClipOneInside(t *testing.T) {
+	verts := []ClipVert{
+		cv(0, 0.5, 0.5, 1),
+		cv(-0.5, -0.5, -0.5, 1),
+		cv(0.5, -0.5, -0.5, 1),
+	}
+	tris, _ := AssembleCull(verts, []uint16{0, 1, 2}, false)
+	if len(tris) != 1 {
+		t.Fatalf("one-inside clip made %d tris, want 1", len(tris))
+	}
+}
+
+func TestClipInterpolatesAttributes(t *testing.T) {
+	a := ClipVert{Clip: gmath.V4(0, 0, 1, 1), UV: gmath.Vec2{X: 0, Y: 0}}
+	b := ClipVert{Clip: gmath.V4(0, 0, -1, 1), UV: gmath.Vec2{X: 1, Y: 1}}
+	mid := lerpClipVert(a, b, 0.5)
+	if mid.UV.X != 0.5 || mid.Clip.Z != 0 {
+		t.Errorf("lerp = %+v", mid)
+	}
+}
+
+func TestShadedVertexCountEmpty(t *testing.T) {
+	if ShadedVertexCount(nil) != 0 {
+		t.Error("empty batch list should shade 0")
+	}
+	if got := BatchIndices(nil, 96); len(got) != 0 {
+		t.Error("empty index list should produce no batches")
+	}
+}
+
+// Property: near-plane clipping never emits a vertex behind the plane and
+// never grows the triangle count beyond 2.
+func TestClipNearProperty(t *testing.T) {
+	f := func(coords [12]int8) bool {
+		mk := func(i int) ClipVert {
+			return cv(float32(coords[i])/8, float32(coords[i+1])/8,
+				float32(coords[i+2])/8, 1+float32(coords[i+3]%4)/8)
+		}
+		verts := []ClipVert{mk(0), mk(4), mk(8)}
+		tris, _ := AssembleCull(verts, []uint16{0, 1, 2}, false)
+		if len(tris) > 2 {
+			return false
+		}
+		for _, tr := range tris {
+			for _, v := range tr.V {
+				if v.Clip.Z < -1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: batching never exceeds capacity and never loses triangles,
+// for any batch size.
+func TestBatchCapacityProperty(t *testing.T) {
+	f := func(raw []uint8, sizeRaw uint8) bool {
+		size := 3 + int(sizeRaw)%120
+		n := len(raw) / 3 * 3
+		idx := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			idx[i] = uint32(raw[i]) % 100
+		}
+		batches := BatchIndices(idx, size)
+		total := 0
+		for _, b := range batches {
+			if len(b.Unique) > size {
+				return false
+			}
+			total += len(b.LocalIdx)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

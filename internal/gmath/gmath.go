@@ -1,0 +1,298 @@
+// Package gmath provides the small linear-algebra toolkit used by the
+// graphics front end: 2/3/4-component float32 vectors, 4×4 matrices,
+// and the projection/view helpers a rasterization pipeline needs.
+package gmath
+
+import "math"
+
+// Vec2 is a 2-component float32 vector.
+type Vec2 struct{ X, Y float32 }
+
+// Vec3 is a 3-component float32 vector.
+type Vec3 struct{ X, Y, Z float32 }
+
+// Vec4 is a 4-component float32 vector (homogeneous coordinates).
+type Vec4 struct{ X, Y, Z, W float32 }
+
+// V2 constructs a Vec2.
+func V2(x, y float32) Vec2 { return Vec2{x, y} }
+
+// V3 constructs a Vec3.
+func V3(x, y, z float32) Vec3 { return Vec3{x, y, z} }
+
+// V4 constructs a Vec4.
+func V4(x, y, z, w float32) Vec4 { return Vec4{x, y, z, w} }
+
+// Add returns a+b.
+func (a Vec2) Add(b Vec2) Vec2 { return Vec2{a.X + b.X, a.Y + b.Y} }
+
+// Sub returns a-b.
+func (a Vec2) Sub(b Vec2) Vec2 { return Vec2{a.X - b.X, a.Y - b.Y} }
+
+// Scale returns a*s.
+func (a Vec2) Scale(s float32) Vec2 { return Vec2{a.X * s, a.Y * s} }
+
+// Add returns a+b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a-b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Mul returns the component-wise product a*b.
+func (a Vec3) Mul(b Vec3) Vec3 { return Vec3{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+
+// Scale returns a*s.
+func (a Vec3) Scale(s float32) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the dot product a·b.
+func (a Vec3) Dot(b Vec3) float32 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a×b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Len returns |a|.
+func (a Vec3) Len() float32 { return Sqrt(a.Dot(a)) }
+
+// Normalize returns a/|a|, or the zero vector if |a| is zero.
+func (a Vec3) Normalize() Vec3 {
+	l := a.Len()
+	if l == 0 {
+		return Vec3{}
+	}
+	return a.Scale(1 / l)
+}
+
+// Add returns a+b.
+func (a Vec4) Add(b Vec4) Vec4 {
+	return Vec4{a.X + b.X, a.Y + b.Y, a.Z + b.Z, a.W + b.W}
+}
+
+// Sub returns a-b.
+func (a Vec4) Sub(b Vec4) Vec4 {
+	return Vec4{a.X - b.X, a.Y - b.Y, a.Z - b.Z, a.W - b.W}
+}
+
+// Scale returns a*s.
+func (a Vec4) Scale(s float32) Vec4 {
+	return Vec4{a.X * s, a.Y * s, a.Z * s, a.W * s}
+}
+
+// Dot returns the 4-component dot product.
+func (a Vec4) Dot(b Vec4) float32 {
+	return a.X*b.X + a.Y*b.Y + a.Z*b.Z + a.W*b.W
+}
+
+// XYZ drops the W component.
+func (a Vec4) XYZ() Vec3 { return Vec3{a.X, a.Y, a.Z} }
+
+// Mat4 is a 4×4 row-major matrix.
+type Mat4 [16]float32
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns the matrix product m*n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float32
+			for k := 0; k < 4; k++ {
+				s += m[i*4+k] * n[k*4+j]
+			}
+			r[i*4+j] = s
+		}
+	}
+	return r
+}
+
+// MulVec returns m*v.
+func (m Mat4) MulVec(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]*v.W,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]*v.W,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]*v.W,
+		m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]*v.W,
+	}
+}
+
+// MulDir transforms a direction (w=0), ignoring translation.
+func (m Mat4) MulDir(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z,
+	}
+}
+
+// Translate returns a translation matrix.
+func Translate(t Vec3) Mat4 {
+	m := Identity()
+	m[3], m[7], m[11] = t.X, t.Y, t.Z
+	return m
+}
+
+// ScaleUniform returns a uniform scaling matrix.
+func ScaleUniform(s float32) Mat4 {
+	m := Identity()
+	m[0], m[5], m[10] = s, s, s
+	return m
+}
+
+// ScaleVec returns a per-axis scaling matrix.
+func ScaleVec(s Vec3) Mat4 {
+	m := Identity()
+	m[0], m[5], m[10] = s.X, s.Y, s.Z
+	return m
+}
+
+// RotateY returns a rotation about the Y axis by angle radians.
+func RotateY(angle float32) Mat4 {
+	c := Cos(angle)
+	s := Sin(angle)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateX returns a rotation about the X axis by angle radians.
+func RotateX(angle float32) Mat4 {
+	c := Cos(angle)
+	s := Sin(angle)
+	return Mat4{
+		1, 0, 0, 0,
+		0, c, -s, 0,
+		0, s, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateZ returns a rotation about the Z axis by angle radians.
+func RotateZ(angle float32) Mat4 {
+	c := Cos(angle)
+	s := Sin(angle)
+	return Mat4{
+		c, -s, 0, 0,
+		s, c, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Perspective returns a right-handed perspective projection with the given
+// vertical field of view (radians), aspect ratio, and near/far planes,
+// mapping depth to [0,1] (Vulkan convention).
+func Perspective(fovY, aspect, near, far float32) Mat4 {
+	f := 1 / Tan(fovY/2)
+	return Mat4{
+		f / aspect, 0, 0, 0,
+		0, f, 0, 0,
+		0, 0, far / (near - far), near * far / (near - far),
+		0, 0, -1, 0,
+	}
+}
+
+// LookAt returns a right-handed view matrix placing the camera at eye,
+// looking at center, with the given up direction.
+func LookAt(eye, center, up Vec3) Mat4 {
+	fwd := center.Sub(eye).Normalize()
+	right := fwd.Cross(up).Normalize()
+	realUp := right.Cross(fwd)
+	return Mat4{
+		right.X, right.Y, right.Z, -right.Dot(eye),
+		realUp.X, realUp.Y, realUp.Z, -realUp.Dot(eye),
+		-fwd.X, -fwd.Y, -fwd.Z, fwd.Dot(eye),
+		0, 0, 0, 1,
+	}
+}
+
+// Sqrt is float32 square root.
+func Sqrt(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// Sin is float32 sine.
+func Sin(x float32) float32 { return float32(math.Sin(float64(x))) }
+
+// Cos is float32 cosine.
+func Cos(x float32) float32 { return float32(math.Cos(float64(x))) }
+
+// Tan is float32 tangent.
+func Tan(x float32) float32 { return float32(math.Tan(float64(x))) }
+
+// Pow is float32 power.
+func Pow(x, y float32) float32 { return float32(math.Pow(float64(x), float64(y))) }
+
+// Log2 is float32 base-2 logarithm.
+func Log2(x float32) float32 { return float32(math.Log2(float64(x))) }
+
+// Floor is float32 floor.
+func Floor(x float32) float32 { return float32(math.Floor(float64(x))) }
+
+// Abs is float32 absolute value.
+func Abs(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float32) float32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt limits x to [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates from a to b by t.
+func Lerp(a, b, t float32) float32 { return a + (b-a)*t }
+
+// Lerp3 linearly interpolates two Vec3s.
+func Lerp3(a, b Vec3, t float32) Vec3 {
+	return Vec3{Lerp(a.X, b.X, t), Lerp(a.Y, b.Y, t), Lerp(a.Z, b.Z, t)}
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}

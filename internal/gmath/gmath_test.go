@@ -1,0 +1,242 @@
+package gmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float32) bool {
+	return float32(math.Abs(float64(a-b))) <= tol
+}
+
+func vecAlmostEq(a, b Vec3, tol float32) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVec3Basics(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(4, 5, 6)
+	if got := a.Add(b); got != V3(5, 7, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != V3(3, 3, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Scale(2); got != V3(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	a := V3(1, 0, 0)
+	b := V3(0, 1, 0)
+	if got := a.Cross(b); got != V3(0, 0, 1) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	// Property: cross product is orthogonal to both inputs.
+	f := func(ax, ay, az, bx, by, bz float32) bool {
+		u := V3(ax, ay, az)
+		v := V3(bx, by, bz)
+		c := u.Cross(v)
+		scale := u.Len() * v.Len()
+		if scale == 0 || scale > 1e6 {
+			return true
+		}
+		return almostEq(c.Dot(u)/scale, 0, 1e-3) && almostEq(c.Dot(v)/scale, 0, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := V3(3, 4, 0).Normalize()
+	if !almostEq(v.Len(), 1, 1e-6) {
+		t.Errorf("normalized length = %v", v.Len())
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("zero normalize = %v", got)
+	}
+}
+
+func TestMat4Identity(t *testing.T) {
+	id := Identity()
+	v := V4(1, 2, 3, 1)
+	if got := id.MulVec(v); got != v {
+		t.Errorf("I*v = %v", got)
+	}
+	if got := id.Mul(id); got != id {
+		t.Errorf("I*I = %v", got)
+	}
+}
+
+func TestMat4MulAssociative(t *testing.T) {
+	a := Translate(V3(1, 2, 3))
+	b := RotateY(0.7)
+	c := ScaleUniform(2)
+	v := V4(0.5, -1, 2, 1)
+	left := a.Mul(b).Mul(c).MulVec(v)
+	right := a.MulVec(b.MulVec(c.MulVec(v)))
+	if !almostEq(left.X, right.X, 1e-4) || !almostEq(left.Y, right.Y, 1e-4) ||
+		!almostEq(left.Z, right.Z, 1e-4) || !almostEq(left.W, right.W, 1e-4) {
+		t.Errorf("(ABC)v = %v, A(B(Cv)) = %v", left, right)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	m := Translate(V3(10, 20, 30))
+	got := m.MulVec(V4(1, 1, 1, 1))
+	if got != V4(11, 21, 31, 1) {
+		t.Errorf("translate = %v", got)
+	}
+	// Directions (w=0) are unaffected.
+	if d := m.MulDir(V3(1, 0, 0)); d != V3(1, 0, 0) {
+		t.Errorf("translate dir = %v", d)
+	}
+}
+
+func TestRotateYPreservesLength(t *testing.T) {
+	f := func(angle, x, y, z float32) bool {
+		if Abs(x) > 1e3 || Abs(y) > 1e3 || Abs(z) > 1e3 {
+			return true
+		}
+		v := V3(x, y, z)
+		r := RotateY(angle).MulDir(v)
+		return almostEq(r.Len(), v.Len(), 1e-2+v.Len()*1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateYQuarterTurn(t *testing.T) {
+	r := RotateY(float32(math.Pi / 2)).MulDir(V3(1, 0, 0))
+	if !vecAlmostEq(r, V3(0, 0, -1), 1e-6) {
+		t.Errorf("rotY(90°)·x = %v, want -z", r)
+	}
+}
+
+func TestLookAtPlacesEyeAtOrigin(t *testing.T) {
+	eye := V3(5, 3, -2)
+	m := LookAt(eye, V3(0, 0, 0), V3(0, 1, 0))
+	got := m.MulVec(V4(eye.X, eye.Y, eye.Z, 1))
+	if !almostEq(got.X, 0, 1e-4) || !almostEq(got.Y, 0, 1e-4) || !almostEq(got.Z, 0, 1e-4) {
+		t.Errorf("view(eye) = %v, want origin", got)
+	}
+}
+
+func TestLookAtTargetOnNegativeZ(t *testing.T) {
+	m := LookAt(V3(0, 0, 5), V3(0, 0, 0), V3(0, 1, 0))
+	got := m.MulVec(V4(0, 0, 0, 1))
+	if !(got.Z < 0) || !almostEq(got.X, 0, 1e-5) || !almostEq(got.Y, 0, 1e-5) {
+		t.Errorf("view(target) = %v, want on -Z axis", got)
+	}
+}
+
+func TestPerspectiveDepthRange(t *testing.T) {
+	p := Perspective(1.0, 16.0/9, 0.1, 100)
+	// A point at the near plane maps to depth 0 after divide.
+	near := p.MulVec(V4(0, 0, -0.1, 1))
+	if !almostEq(near.Z/near.W, 0, 1e-4) {
+		t.Errorf("near depth = %v, want 0", near.Z/near.W)
+	}
+	far := p.MulVec(V4(0, 0, -100, 1))
+	if !almostEq(far.Z/far.W, 1, 1e-3) {
+		t.Errorf("far depth = %v, want 1", far.Z/far.W)
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+	if Lerp(0, 10, 0.5) != 5 {
+		t.Error("Lerp broken")
+	}
+	if ClampInt(7, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 {
+		t.Error("ClampInt broken")
+	}
+}
+
+func TestScalarHelpers(t *testing.T) {
+	if !almostEq(Sqrt(9), 3, 1e-6) {
+		t.Error("Sqrt")
+	}
+	if !almostEq(Log2(8), 3, 1e-6) {
+		t.Error("Log2")
+	}
+	if !almostEq(Pow(2, 10), 1024, 1e-2) {
+		t.Error("Pow")
+	}
+	if Floor(1.9) != 1 || Floor(-0.5) != -1 {
+		t.Error("Floor")
+	}
+	if Min(1, 2) != 1 || Max(1, 2) != 2 {
+		t.Error("Min/Max")
+	}
+	if Abs(-3) != 3 || Abs(3) != 3 {
+		t.Error("Abs")
+	}
+}
+
+func TestVec2AndVec4Ops(t *testing.T) {
+	a := V2(1, 2)
+	b := V2(3, 4)
+	if a.Add(b) != V2(4, 6) || b.Sub(a) != V2(2, 2) || a.Scale(2) != V2(2, 4) {
+		t.Error("Vec2 arithmetic broken")
+	}
+	p := V4(1, 2, 3, 4)
+	q := V4(5, 6, 7, 8)
+	if p.Add(q) != V4(6, 8, 10, 12) || q.Sub(p) != V4(4, 4, 4, 4) {
+		t.Error("Vec4 add/sub broken")
+	}
+	if p.Scale(2) != V4(2, 4, 6, 8) {
+		t.Error("Vec4 scale broken")
+	}
+	if p.Dot(q) != 70 {
+		t.Errorf("Vec4 dot = %v", p.Dot(q))
+	}
+	if p.XYZ() != V3(1, 2, 3) {
+		t.Error("XYZ broken")
+	}
+}
+
+func TestVec3MulAndLerp3(t *testing.T) {
+	if got := V3(1, 2, 3).Mul(V3(2, 3, 4)); got != V3(2, 6, 12) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Lerp3(V3(0, 0, 0), V3(2, 4, 6), 0.5); got != V3(1, 2, 3) {
+		t.Errorf("Lerp3 = %v", got)
+	}
+}
+
+func TestRotateXZAndScaleVec(t *testing.T) {
+	rx := RotateX(float32(math.Pi / 2)).MulDir(V3(0, 1, 0))
+	if !vecAlmostEq(rx, V3(0, 0, 1), 1e-6) {
+		t.Errorf("rotX(90°)·y = %v, want z", rx)
+	}
+	rz := RotateZ(float32(math.Pi / 2)).MulDir(V3(1, 0, 0))
+	if !vecAlmostEq(rz, V3(0, 1, 0), 1e-6) {
+		t.Errorf("rotZ(90°)·x = %v, want y", rz)
+	}
+	sv := ScaleVec(V3(2, 3, 4)).MulVec(V4(1, 1, 1, 1))
+	if sv != V4(2, 3, 4, 1) {
+		t.Errorf("ScaleVec = %v", sv)
+	}
+}
+
+func TestSinCosTanIdentity(t *testing.T) {
+	for _, x := range []float32{0, 0.5, 1.2, -0.7} {
+		s, c := Sin(x), Cos(x)
+		if !almostEq(s*s+c*c, 1, 1e-5) {
+			t.Errorf("sin²+cos²(%v) = %v", x, s*s+c*c)
+		}
+		if c != 0 && !almostEq(Tan(x), s/c, 1e-4) {
+			t.Errorf("tan(%v) = %v, want %v", x, Tan(x), s/c)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+// Package gpu assembles the whole simulated GPU: the SM array, the shared
+// memory system, the global CTA scheduler with pluggable partitioning
+// policies, and multi-stream execution with per-stream statistics.
+//
+// Streams are in-order command queues (each rendering batch is a stream;
+// compute kernels carry their program's stream). Kernels from different
+// streams execute concurrently subject to the installed partition policy;
+// within a stream kernels are serialized. By default the CTA scheduler
+// behaves like stock Accel-Sim: it drains CTAs from one kernel exhaustively
+// before moving to the next, so concurrency only arises when a kernel
+// cannot fill the machine or a policy reserves resources.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"crisp/internal/config"
+	"crisp/internal/isa"
+	"crisp/internal/mem"
+	"crisp/internal/sm"
+	"crisp/internal/stats"
+	"crisp/internal/trace"
+)
+
+// Prioritizer is an optional Policy extension: when implemented, pending
+// CTAs are placed in descending task priority (ties by launch order),
+// giving latency-critical tasks (rendering with a frame deadline) first
+// claim on freed resources — the QoS dimension the paper's future work
+// calls out.
+type Prioritizer interface {
+	Priority(task int) int
+}
+
+// Policy is a GPU partitioning scheme. Implementations live in
+// internal/partition; the zero policy (nil) shares everything.
+type Policy interface {
+	Name() string
+	// AllowSM reports whether the task may place CTAs on the SM.
+	AllowSM(smID, task int) bool
+	// Limit returns the intra-SM resource envelope for the task on the
+	// SM; ok=false means "no intra-SM limit" (whole SM).
+	Limit(smID, task int) (res sm.Resources, ok bool)
+	// OnLaunch runs when a kernel begins issuing CTAs (kernel launches
+	// and, for graphics, new drawcall batches) so dynamic policies can
+	// re-evaluate.
+	OnLaunch(now int64, k *trace.Kernel, task int)
+	// Tick runs periodically with the current cycle.
+	Tick(now int64)
+}
+
+// StreamDef declares one in-order stream of kernels belonging to a task.
+type StreamDef struct {
+	ID      int
+	Task    int
+	Label   string
+	Kernels []*trace.Kernel
+}
+
+// maxTasks bounds the number of distinct tasks a run may contain. The
+// paper studies pairs; the framework extends to more (its stated
+// extension), and eight is far beyond any experiment here.
+const maxTasks = 8
+
+// KernelStat records one kernel launch's timing.
+type KernelStat struct {
+	Name     string
+	Stream   int
+	Task     int
+	Launched int64 // cycle the kernel entered the running set
+	Done     int64 // cycle its last CTA committed
+	CTAs     int
+}
+
+// launch tracks a kernel that is currently issuing or executing CTAs.
+type launch struct {
+	k        *trace.Kernel
+	task     int
+	stream   *streamRT
+	nextCTA  int
+	doneCTAs int
+	started  int64
+	lastDone int64
+}
+
+type streamRT struct {
+	def    StreamDef
+	idx    int // next kernel to launch
+	active bool
+	stat   *stats.Stream
+	start  int64
+	started bool
+}
+
+// GPU is one simulated GPU instance, configured for a single Run.
+type GPU struct {
+	cfg    config.GPU
+	memsys *mem.System
+	cores  []*sm.Core
+	policy Policy
+
+	streams []*streamRT
+	running []*launch
+
+	statsByStream map[int]*stats.Stream
+	lastStream    int
+	lastStat      *stats.Stream
+
+	// instsBySMTask[sm][task] counts warp instructions, for policies that
+	// sample per-SM progress (warped-slicer).
+	instsBySMTask [][]int64
+
+	// TaskWindows limits how many streams of a task may be active at
+	// once (the rendering pipeline's in-flight batch window). Zero means
+	// unlimited.
+	TaskWindows map[int]int
+
+	// Timeline, when non-nil, receives occupancy samples every
+	// Timeline.Interval cycles (paper Fig. 13).
+	Timeline *stats.Timeline
+
+	now         int64
+	epoch       int64 // policy tick interval
+	maxTask     int
+	kernelStats []KernelStat
+}
+
+// New builds a GPU for cfg. The configuration is validated.
+func New(cfg config.GPU) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	memsys, err := mem.NewSystem(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := &GPU{
+		cfg:           cfg,
+		memsys:        memsys,
+		statsByStream: make(map[int]*stats.Stream),
+		TaskWindows:   make(map[int]int),
+		lastStream:    -1,
+		epoch:         2048,
+	}
+	g.cores = make([]*sm.Core, cfg.NumSMs)
+	g.instsBySMTask = make([][]int64, cfg.NumSMs)
+	for i := range g.cores {
+		g.cores[i] = sm.NewCore(i, &g.cfg, memsys, g)
+		g.instsBySMTask[i] = make([]int64, maxTasks)
+	}
+	return g, nil
+}
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() *config.GPU { return &g.cfg }
+
+// Mem exposes the memory system (for composition snapshots and mapper
+// installation by policies).
+func (g *GPU) Mem() *mem.System { return g.memsys }
+
+// Cores exposes the SM array (read-mostly; policies use it for occupancy).
+func (g *GPU) Cores() []*sm.Core { return g.cores }
+
+// Now reports the current simulation cycle.
+func (g *GPU) Now() int64 { return g.now }
+
+// InstsOnSM reports warp instructions issued on an SM for a task since the
+// last ResetSMCounters (warped-slicer's sampling input).
+func (g *GPU) InstsOnSM(smID, task int) int64 {
+	if task < len(g.instsBySMTask[smID]) {
+		return g.instsBySMTask[smID][task]
+	}
+	return 0
+}
+
+// ResetSMCounters zeroes the per-SM instruction counters.
+func (g *GPU) ResetSMCounters() {
+	for i := range g.instsBySMTask {
+		for j := range g.instsBySMTask[i] {
+			g.instsBySMTask[i][j] = 0
+		}
+	}
+}
+
+// SetWarpScheduler selects the warp-scheduling discipline on every SM
+// (the GTO-vs-LRR ablation).
+func (g *GPU) SetWarpScheduler(p sm.SchedPolicy) {
+	for _, core := range g.cores {
+		core.Sched = p
+	}
+}
+
+// SetPolicy installs the partition policy and wires intra-SM limits.
+func (g *GPU) SetPolicy(p Policy) {
+	g.policy = p
+	for _, core := range g.cores {
+		core := core
+		if p == nil {
+			core.LimitFor = nil
+			continue
+		}
+		core.LimitFor = func(task int) sm.Resources {
+			if res, ok := p.Limit(core.ID, task); ok {
+				return res
+			}
+			return sm.Full(&g.cfg)
+		}
+	}
+}
+
+// AddStream queues a stream definition. Kernels are validated.
+func (g *GPU) AddStream(def StreamDef) error {
+	for _, k := range def.Kernels {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("gpu: stream %d: %w", def.ID, err)
+		}
+		if k.Stream != def.ID {
+			return fmt.Errorf("gpu: stream %d: kernel %q carries stream %d", def.ID, k.Name, k.Stream)
+		}
+	}
+	st := &streamRT{def: def, stat: &stats.Stream{Stream: def.ID, Label: def.Label}}
+	g.streams = append(g.streams, st)
+	g.statsByStream[def.ID] = st.stat
+	if def.Task > g.maxTask {
+		g.maxTask = def.Task
+	}
+	return nil
+}
+
+// OnIssue implements sm.InstStats.
+func (g *GPU) OnIssue(smID, stream, task int, op isa.Opcode, lanes int) {
+	st := g.lastStat
+	if stream != g.lastStream || st == nil {
+		st = g.statsByStream[stream]
+		g.lastStream, g.lastStat = stream, st
+	}
+	if st == nil {
+		return
+	}
+	st.WarpInsts++
+	st.ThreadInsts += int64(lanes)
+	if op == isa.OpTEX {
+		st.TexAccesses++
+	}
+	if task < len(g.instsBySMTask[smID]) {
+		g.instsBySMTask[smID][task]++
+	}
+}
+
+// activateStreams opens stream slots respecting per-task windows.
+func (g *GPU) activateStreams() {
+	activeByTask := make(map[int]int)
+	for _, st := range g.streams {
+		if st.active && st.idx < len(st.def.Kernels) {
+			activeByTask[st.def.Task]++
+		}
+	}
+	for _, st := range g.streams {
+		if st.active || st.idx >= len(st.def.Kernels) {
+			continue
+		}
+		w := g.TaskWindows[st.def.Task]
+		if w > 0 && activeByTask[st.def.Task] >= w {
+			continue
+		}
+		st.active = true
+		activeByTask[st.def.Task]++
+	}
+}
+
+// launchReady moves stream-head kernels into the running set.
+func (g *GPU) launchReady() {
+	for _, st := range g.streams {
+		if !st.active || st.idx >= len(st.def.Kernels) {
+			continue
+		}
+		// Is this stream's head kernel already running?
+		alreadyRunning := false
+		for _, l := range g.running {
+			if l.stream == st {
+				alreadyRunning = true
+				break
+			}
+		}
+		if alreadyRunning {
+			continue
+		}
+		k := st.def.Kernels[st.idx]
+		l := &launch{k: k, task: st.def.Task, stream: st, started: g.now}
+		g.running = append(g.running, l)
+		if !st.started {
+			st.started = true
+			st.start = g.now
+		}
+		st.stat.KernelsLaunched++
+		if g.policy != nil {
+			g.policy.OnLaunch(g.now, k, st.def.Task)
+		}
+	}
+}
+
+// issueCTAs places as many pending CTAs as fit, in launch order, spreading
+// each kernel breadth-first across its allowed SMs (one CTA per SM per
+// sweep, as hardware CTA schedulers do) before stacking SMs deeper.
+func (g *GPU) issueCTAs() {
+	running := g.running
+	if pr, ok := g.policy.(Prioritizer); ok {
+		running = make([]*launch, len(g.running))
+		copy(running, g.running)
+		sort.SliceStable(running, func(i, j int) bool {
+			return pr.Priority(running[i].task) > pr.Priority(running[j].task)
+		})
+	}
+	for _, l := range running {
+		if l.nextCTA >= len(l.k.CTAs) {
+			continue
+		}
+		l := l
+		st := l.stream
+		placed := true
+		for placed && l.nextCTA < len(l.k.CTAs) {
+			placed = false
+			for _, core := range g.cores {
+				if l.nextCTA >= len(l.k.CTAs) {
+					break
+				}
+				if g.policy != nil && !g.policy.AllowSM(core.ID, l.task) {
+					continue
+				}
+				if !core.CanAccept(l.k, l.task) {
+					continue
+				}
+				core.IssueCTA(g.now, l.k, l.nextCTA, l.task, func(doneAt int64) {
+					l.doneCTAs++
+					if doneAt > l.lastDone {
+						l.lastDone = doneAt
+					}
+					st.stat.Cycles = doneAt - st.start
+				})
+				l.nextCTA++
+				st.stat.CTAsLaunched++
+				placed = true
+			}
+		}
+	}
+}
+
+// reapFinished retires completed kernels and advances their streams.
+func (g *GPU) reapFinished() {
+	kept := g.running[:0]
+	for _, l := range g.running {
+		if l.doneCTAs == len(l.k.CTAs) {
+			g.kernelStats = append(g.kernelStats, KernelStat{
+				Name:     l.k.Name,
+				Stream:   l.k.Stream,
+				Task:     l.task,
+				Launched: l.started,
+				Done:     l.lastDone,
+				CTAs:     len(l.k.CTAs),
+			})
+			l.stream.idx++
+			if l.stream.idx >= len(l.stream.def.Kernels) {
+				l.stream.active = false
+			}
+			continue
+		}
+		kept = append(kept, l)
+	}
+	g.running = kept
+}
+
+// KernelStats lists every completed kernel launch in completion order.
+func (g *GPU) KernelStats() []KernelStat { return g.kernelStats }
+
+// Run executes all queued streams to completion and returns the makespan
+// in cycles.
+func (g *GPU) Run() (int64, error) {
+	const never = int64(1<<62 - 1)
+	var nextSample int64
+	if g.Timeline != nil && g.Timeline.Interval <= 0 {
+		g.Timeline.Interval = 1024
+	}
+	lastTick := int64(0)
+	for {
+		g.activateStreams()
+		g.launchReady()
+		g.issueCTAs()
+		g.reapFinished()
+
+		if len(g.running) == 0 {
+			done := true
+			for _, st := range g.streams {
+				if st.idx < len(st.def.Kernels) {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+
+		next := never
+		anyBusy := false
+		for _, core := range g.cores {
+			if !core.Busy() {
+				continue
+			}
+			anyBusy = true
+			if n := core.Step(g.now); n < next {
+				next = n
+			}
+		}
+		if !anyBusy {
+			// CTAs are pending but none was placeable and nothing is
+			// executing: the partition is infeasible.
+			if len(g.running) > 0 {
+				return g.now, fmt.Errorf("gpu: deadlock at cycle %d: kernel %q cannot place CTAs under policy %s",
+					g.now, g.running[0].k.Name, g.policyName())
+			}
+			g.now++
+			continue
+		}
+		if next <= g.now {
+			next = g.now + 1
+		}
+		g.now = next
+
+		if g.Timeline != nil && g.now >= nextSample {
+			g.sampleTimeline()
+			nextSample = g.now + g.Timeline.Interval
+		}
+		if g.policy != nil && g.now-lastTick >= g.epoch {
+			g.policy.Tick(g.now)
+			lastTick = g.now
+		}
+	}
+	g.foldMemCounters()
+	return g.now, nil
+}
+
+func (g *GPU) policyName() string {
+	if g.policy == nil {
+		return "none"
+	}
+	return g.policy.Name()
+}
+
+func (g *GPU) sampleTimeline() {
+	sample := stats.OccupancySample{Cycle: g.now, WarpsByStream: make(map[int]int)}
+	for _, core := range g.cores {
+		for task := 0; task <= g.maxTask; task++ {
+			sample.WarpsByStream[task] += core.ResidentWarps(task)
+		}
+	}
+	g.Timeline.Samples = append(g.Timeline.Samples, sample)
+}
+
+// foldMemCounters copies the memory system's per-stream counters into the
+// stream stats.
+func (g *GPU) foldMemCounters() {
+	for _, id := range g.memsys.Streams() {
+		st := g.statsByStream[id]
+		if st == nil {
+			continue
+		}
+		c := g.memsys.Counters(id)
+		st.L1Accesses = c.L1Accesses
+		st.L1Misses = c.L1Misses
+		st.L2Accesses = c.L2Accesses
+		st.L2Misses = c.L2Misses
+		st.DRAMReads = c.DRAMReadB
+		st.DRAMWrites = c.DRAMWriteB
+	}
+}
+
+// StreamStats returns per-stream statistics sorted by stream id.
+func (g *GPU) StreamStats() []*stats.Stream {
+	out := make([]*stats.Stream, 0, len(g.statsByStream))
+	for _, st := range g.streams {
+		out = append(out, st.stat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
+
+// TaskStats aggregates stream statistics by task.
+func (g *GPU) TaskStats() map[int]*stats.Stream {
+	agg := make(map[int]*stats.Stream)
+	for _, st := range g.streams {
+		a := agg[st.def.Task]
+		if a == nil {
+			a = &stats.Stream{Stream: st.def.Task, Label: fmt.Sprintf("task%d", st.def.Task)}
+			agg[st.def.Task] = a
+		}
+		a.Add(st.stat)
+	}
+	return agg
+}

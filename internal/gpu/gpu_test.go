@@ -1,0 +1,347 @@
+package gpu
+
+import (
+	"testing"
+
+	"crisp/internal/config"
+	"crisp/internal/isa"
+	"crisp/internal/sm"
+	"crisp/internal/stats"
+	"crisp/internal/trace"
+)
+
+// aluKernel builds a kernel of nCTAs × warps × chain-length dependent ops.
+func aluKernel(name string, stream, nCTAs, warps, chain int) *trace.Kernel {
+	b := trace.NewBuilder(name, trace.KindCompute, stream, warps*32, 32, 0)
+	for c := 0; c < nCTAs; c++ {
+		b.BeginCTA()
+		for w := 0; w < warps; w++ {
+			b.BeginWarp()
+			r := b.NewReg()
+			b.ALU(isa.OpMOV, r, trace.FullMask)
+			for i := 0; i < chain; i++ {
+				nr := b.NewReg()
+				b.ALU(isa.OpFADD, nr, trace.FullMask, r, r)
+				r = nr
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// memKernel builds a streaming-load kernel touching distinct lines.
+func memKernel(name string, stream, nCTAs int, base uint64) *trace.Kernel {
+	b := trace.NewBuilder(name, trace.KindCompute, stream, 64, 32, 0)
+	line := uint64(0)
+	for c := 0; c < nCTAs; c++ {
+		b.BeginCTA()
+		for w := 0; w < 2; w++ {
+			b.BeginWarp()
+			for i := 0; i < 10; i++ {
+				addrs := make([]uint64, 32)
+				for l := range addrs {
+					addrs[l] = base + line*128 + uint64(l)*4
+					line++
+				}
+				r := b.NewReg()
+				b.Mem(isa.OpLDG, r, trace.FullMask, addrs, trace.ClassCompute)
+				b.ALU(isa.OpFADD, b.NewReg(), trace.FullMask, r, r)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+func newGPU(t *testing.T) *GPU {
+	t.Helper()
+	g, err := New(config.JetsonOrin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunSingleKernel(t *testing.T) {
+	g := newGPU(t)
+	k := aluKernel("k", 0, 4, 2, 50)
+	if err := g.AddStream(StreamDef{ID: 0, Task: 0, Label: "s0", Kernels: []*trace.Kernel{k}}); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	st := g.StreamStats()
+	if len(st) != 1 {
+		t.Fatalf("streams = %d", len(st))
+	}
+	if st[0].WarpInsts != int64(k.InstCount()) {
+		t.Errorf("warp insts = %d, want %d", st[0].WarpInsts, k.InstCount())
+	}
+	if st[0].KernelsLaunched != 1 || st[0].CTAsLaunched != 4 {
+		t.Errorf("launch counters = %d/%d", st[0].KernelsLaunched, st[0].CTAsLaunched)
+	}
+}
+
+func TestStreamKernelsRunInOrder(t *testing.T) {
+	g := newGPU(t)
+	k1 := aluKernel("k1", 0, 2, 1, 30)
+	k2 := aluKernel("k2", 0, 2, 1, 30)
+	if err := g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{k1, k2}}); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialized: both kernels' chains cannot overlap, so the makespan
+	// must exceed a single kernel's ≈130 cycles.
+	solo := func() int64 {
+		g2 := newGPU(t)
+		g2.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("k", 0, 2, 1, 30)}})
+		c, _ := g2.Run()
+		return c
+	}()
+	if cycles < solo*3/2 {
+		t.Errorf("two in-order kernels (%d cycles) should take ≈2× one (%d)", cycles, solo)
+	}
+}
+
+func TestSeparateStreamsRunConcurrently(t *testing.T) {
+	// Two independent small streams under the default policy: the second
+	// fills SMs the first leaves idle, so the makespan is far below 2×.
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 4, 1, 200)}})
+	g.AddStream(StreamDef{ID: 1, Task: 0, Kernels: []*trace.Kernel{aluKernel("b", 1, 4, 1, 200)}})
+	both, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := newGPU(t)
+	g2.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 4, 1, 200)}})
+	solo, _ := g2.Run()
+	if both > solo*3/2 {
+		t.Errorf("concurrent streams took %d vs solo %d — no overlap", both, solo)
+	}
+}
+
+func TestKernelValidationAtAdd(t *testing.T) {
+	g := newGPU(t)
+	bad := &trace.Kernel{Name: "bad", ThreadsPerCTA: 32}
+	if err := g.AddStream(StreamDef{ID: 0, Kernels: []*trace.Kernel{bad}}); err == nil {
+		t.Error("accepted invalid kernel")
+	}
+	k := aluKernel("k", 7, 1, 1, 5)
+	if err := g.AddStream(StreamDef{ID: 0, Kernels: []*trace.Kernel{k}}); err == nil {
+		t.Error("accepted stream-id mismatch")
+	}
+}
+
+func TestTaskWindowLimitsActiveStreams(t *testing.T) {
+	// 4 single-CTA streams with window 1 must serialize.
+	mk := func(id int) StreamDef {
+		return StreamDef{ID: id, Task: 0, Kernels: []*trace.Kernel{aluKernel("k", id, 1, 1, 100)}}
+	}
+	g := newGPU(t)
+	g.TaskWindows[0] = 1
+	for i := 0; i < 4; i++ {
+		g.AddStream(mk(i))
+	}
+	windowed, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := newGPU(t)
+	for i := 0; i < 4; i++ {
+		g2.AddStream(mk(i))
+	}
+	open, _ := g2.Run()
+	if windowed < open*2 {
+		t.Errorf("window-1 makespan %d should be ≫ unbounded %d", windowed, open)
+	}
+}
+
+// denyPolicy forbids every placement — Run must error, not hang.
+type denyPolicy struct{}
+
+func (denyPolicy) Name() string                               { return "deny" }
+func (denyPolicy) AllowSM(int, int) bool                      { return false }
+func (denyPolicy) Limit(int, int) (sm.Resources, bool)        { return sm.Resources{}, false }
+func (denyPolicy) OnLaunch(int64, *trace.Kernel, int)         {}
+func (denyPolicy) Tick(int64)                                 {}
+
+func TestInfeasiblePolicyErrors(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("k", 0, 1, 1, 5)}})
+	g.SetPolicy(denyPolicy{})
+	if _, err := g.Run(); err == nil {
+		t.Fatal("deadlocked configuration did not error")
+	}
+}
+
+// halfPolicy restricts task 0 to the first half of SMs.
+type halfPolicy struct{ n int }
+
+func (p halfPolicy) Name() string { return "half" }
+func (p halfPolicy) AllowSM(smID, task int) bool {
+	if task == 0 {
+		return smID < p.n/2
+	}
+	return smID >= p.n/2
+}
+func (halfPolicy) Limit(int, int) (sm.Resources, bool) { return sm.Resources{}, false }
+func (halfPolicy) OnLaunch(int64, *trace.Kernel, int)  {}
+func (halfPolicy) Tick(int64)                          {}
+
+func TestPolicyRestrictsPlacement(t *testing.T) {
+	g := newGPU(t)
+	cfg := g.Config()
+	g.SetPolicy(halfPolicy{n: cfg.NumSMs})
+	// Enough CTAs to fill the whole GPU; with half the SMs the makespan
+	// roughly doubles versus no policy.
+	big := func(stream int) *trace.Kernel { return aluKernel("big", stream, cfg.NumSMs*4, 8, 100) }
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{big(0)}})
+	halfCycles, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := newGPU(t)
+	g2.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{big(0)}})
+	fullCycles, _ := g2.Run()
+	if halfCycles < fullCycles*3/2 {
+		t.Errorf("half-SM makespan %d vs full %d — restriction not applied", halfCycles, fullCycles)
+	}
+}
+
+func TestTimelineSampling(t *testing.T) {
+	g := newGPU(t)
+	g.Timeline = &stats.Timeline{Interval: 64}
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("k", 0, 8, 4, 200)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Timeline.Samples) < 2 {
+		t.Fatalf("timeline samples = %d", len(g.Timeline.Samples))
+	}
+	any := false
+	for _, s := range g.Timeline.Samples {
+		if s.WarpsByStream[0] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("timeline never saw resident warps")
+	}
+}
+
+func TestMemCountersFoldIntoStreams(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 3, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 3, 4, 1<<30)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.StreamStats()[0]
+	if st.L1Accesses == 0 || st.L2Accesses == 0 || st.DRAMReads == 0 {
+		t.Errorf("memory counters empty: %+v", *st)
+	}
+}
+
+func TestTaskStatsAggregation(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 1, 1, 10)}})
+	g.AddStream(StreamDef{ID: 1, Task: 0, Kernels: []*trace.Kernel{aluKernel("b", 1, 1, 1, 10)}})
+	g.AddStream(StreamDef{ID: 5, Task: 1, Kernels: []*trace.Kernel{aluKernel("c", 5, 1, 1, 10)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	agg := g.TaskStats()
+	if len(agg) != 2 {
+		t.Fatalf("tasks = %d", len(agg))
+	}
+	if agg[0].WarpInsts != 2*agg[1].WarpInsts {
+		t.Errorf("task0 %d vs task1 %d warp insts", agg[0].WarpInsts, agg[1].WarpInsts)
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	run := func() int64 {
+		g := newGPU(t)
+		g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 0, 8, 1<<28)}})
+		g.AddStream(StreamDef{ID: 1, Task: 1, Kernels: []*trace.Kernel{aluKernel("a", 1, 8, 4, 100)}})
+		c, err := g.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+// prioPolicy is an even intra-SM split that places task 1's CTAs first.
+type prioPolicy struct{ limit sm.Resources }
+
+func (p prioPolicy) Name() string                        { return "prio" }
+func (p prioPolicy) AllowSM(int, int) bool               { return true }
+func (p prioPolicy) Limit(_, task int) (sm.Resources, bool) {
+	return p.limit, true
+}
+func (prioPolicy) OnLaunch(int64, *trace.Kernel, int) {}
+func (prioPolicy) Tick(int64)                         {}
+func (prioPolicy) Priority(task int) int              { return task }
+
+func TestPrioritizerPlacesHighPriorityFirst(t *testing.T) {
+	// Two equally sized kernels contend for space; the prioritized one
+	// must finish no later than the other.
+	run := func(usePrio bool) (int64, int64) {
+		g := newGPU(t)
+		full := sm.Full(g.Config())
+		if usePrio {
+			g.SetPolicy(prioPolicy{limit: sm.Fraction(full, 1, 2)})
+		}
+		big := g.Config().NumSMs * 16
+		g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, big, 4, 150)}})
+		g.AddStream(StreamDef{ID: 1, Task: 1, Kernels: []*trace.Kernel{aluKernel("b", 1, big, 4, 150)}})
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := g.StreamStats()
+		return st[0].Cycles, st[1].Cycles
+	}
+	_, prioTask1 := run(true)
+	_, plainTask1 := run(false)
+	if prioTask1 > plainTask1 {
+		t.Errorf("prioritized task finished later (%d) than unprioritized (%d)", prioTask1, plainTask1)
+	}
+}
+
+func TestKernelStatsRecorded(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{
+		aluKernel("first", 0, 2, 1, 30),
+		aluKernel("second", 0, 2, 1, 30),
+	}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ks := g.KernelStats()
+	if len(ks) != 2 {
+		t.Fatalf("kernel stats = %d, want 2", len(ks))
+	}
+	if ks[0].Name != "first" || ks[1].Name != "second" {
+		t.Errorf("completion order wrong: %v, %v", ks[0].Name, ks[1].Name)
+	}
+	for _, k := range ks {
+		if k.Done < k.Launched || k.CTAs != 2 {
+			t.Errorf("stat inconsistent: %+v", k)
+		}
+	}
+	// In-order stream: second launches after first finishes.
+	if ks[1].Launched < ks[0].Done {
+		t.Errorf("second launched at %d before first done at %d", ks[1].Launched, ks[0].Done)
+	}
+}

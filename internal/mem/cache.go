@@ -1,0 +1,227 @@
+// Package mem models the GPU memory system: per-SM unified L1 data caches
+// (texture requests share the L1, as in contemporary GPUs), a banked shared
+// L2, a bandwidth-metered DRAM model, and the SM↔L2 crossbar. It also
+// provides the partitioning mechanisms the concurrency studies need:
+// per-stream L2 bank masks (MiG) and per-stream L2 set partitions (TAP),
+// plus cache-line composition tagging for the L2-footprint case studies.
+package mem
+
+import (
+	"fmt"
+
+	"crisp/internal/trace"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse int64
+	class   trace.MemClass
+	stream  int
+	// sectors is the valid-sector bitmask when the cache is sectored
+	// (bit i = sector i of the line present).
+	sectors uint32
+}
+
+// Cache is a set-associative, LRU, write-back/write-allocate cache.
+// The same structure implements the L1 (configured write-through by its
+// caller: stores are forwarded without allocation) and each L2 bank.
+type Cache struct {
+	sets     int
+	assoc    int
+	lineSize uint64
+	// sectorSize enables sectored operation when > 0: tags stay
+	// line-granular but data validity and fills are per sector, as in
+	// Ampere-class L1/L2 caches (32 B sectors).
+	sectorSize uint64
+	lines      []line // sets*assoc, row-major by set
+}
+
+// NewCache builds a cache with the given geometry. sizeBytes must be an
+// exact multiple of assoc*lineSize.
+func NewCache(sizeBytes, assoc, lineSize int) (*Cache, error) {
+	if sizeBytes <= 0 || assoc <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("mem: invalid cache geometry size=%d assoc=%d line=%d", sizeBytes, assoc, lineSize)
+	}
+	setBytes := assoc * lineSize
+	if sizeBytes%setBytes != 0 {
+		return nil, fmt.Errorf("mem: cache size %d not a multiple of set size %d", sizeBytes, setBytes)
+	}
+	sets := sizeBytes / setBytes
+	return &Cache{
+		sets:     sets,
+		assoc:    assoc,
+		lineSize: uint64(lineSize),
+		lines:    make([]line, sets*assoc),
+	}, nil
+}
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc reports the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// SetSectored configures sectored operation (0 disables). sectorSize must
+// divide the line size into at most 32 sectors.
+func (c *Cache) SetSectored(sectorSize int) error {
+	if sectorSize == 0 {
+		c.sectorSize = 0
+		return nil
+	}
+	if sectorSize < 0 || uint64(sectorSize) > c.lineSize ||
+		c.lineSize%uint64(sectorSize) != 0 || c.lineSize/uint64(sectorSize) > 32 {
+		return fmt.Errorf("mem: sector size %d incompatible with %d-byte lines", sectorSize, c.lineSize)
+	}
+	c.sectorSize = uint64(sectorSize)
+	return nil
+}
+
+// sectorBit returns the valid-mask bit for addr's sector (bit 0 when
+// unsectored — the whole line acts as one sector).
+func (c *Cache) sectorBit(addr uint64) uint32 {
+	if c.sectorSize == 0 {
+		return 1
+	}
+	return 1 << uint((addr%c.lineSize)/c.sectorSize)
+}
+
+// AccessResult describes the outcome of a cache access.
+type AccessResult struct {
+	Hit bool
+	// SectorFill reports that the line's tag was resident but the
+	// accessed sector was not: the fill transfers one sector, with no
+	// eviction.
+	SectorFill bool
+	// WritebackLine is the address of a dirty line evicted by this
+	// access (0 and Writeback=false when none).
+	Writeback     bool
+	WritebackLine uint64
+}
+
+// lineAddr converts a byte address to a line-granular address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr / c.lineSize }
+
+// setOf maps a line address to its home set using low-order bits.
+func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr % uint64(c.sets)) }
+
+// Access performs a load (write=false) or store (write=true) of the line
+// containing addr, allocating on miss, in the set chosen by setIdx
+// (callers with partitioned set mappings pass their own; pass -1 for the
+// default hash). The class/stream tags are recorded on the line for
+// composition accounting.
+func (c *Cache) Access(now int64, addr uint64, write bool, class trace.MemClass, stream int, setIdx int) AccessResult {
+	la := c.lineAddr(addr)
+	if setIdx < 0 {
+		setIdx = c.setOf(la)
+	}
+	base := setIdx * c.assoc
+	set := c.lines[base : base+c.assoc]
+
+	// Hit path (tag match; sector validity decides hit vs sector fill).
+	bit := c.sectorBit(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			set[i].lastUse = now
+			if write {
+				set[i].dirty = true
+			}
+			// Ownership follows the most recent toucher so that
+			// composition snapshots reflect live usage.
+			set[i].class = class
+			set[i].stream = stream
+			if set[i].sectors&bit == 0 {
+				set[i].sectors |= bit
+				return AccessResult{SectorFill: true}
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+
+	// Miss: find victim (invalid first, else LRU).
+	victim := 0
+	oldest := int64(1<<62 - 1)
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			oldest = -1
+			break
+		}
+		if set[i].lastUse < oldest {
+			oldest = set[i].lastUse
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if set[victim].valid && set[victim].dirty {
+		res.Writeback = true
+		res.WritebackLine = set[victim].tag * c.lineSize
+	}
+	set[victim] = line{tag: la, valid: true, dirty: write, lastUse: now, class: class, stream: stream, sectors: bit}
+	return res
+}
+
+// Probe reports whether addr's line (and, when sectored, its sector) is
+// resident, without disturbing LRU state.
+func (c *Cache) Probe(addr uint64, setIdx int) bool {
+	la := c.lineAddr(addr)
+	if setIdx < 0 {
+		setIdx = c.setOf(la)
+	}
+	bit := c.sectorBit(addr)
+	base := setIdx * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.lines[i].valid && c.lines[i].tag == la && c.lines[i].sectors&bit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll drops every line (used between frames / experiments).
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Composition counts valid lines by memory class (and, separately, by
+// stream). It implements the L2-footprint measurement of paper Fig. 11.
+type Composition struct {
+	Valid    int
+	Total    int
+	ByClass  map[trace.MemClass]int
+	ByStream map[int]int
+}
+
+// Composition scans the tag array and reports the current line composition.
+func (c *Cache) Composition() Composition {
+	comp := Composition{
+		Total:    len(c.lines),
+		ByClass:  make(map[trace.MemClass]int),
+		ByStream: make(map[int]int),
+	}
+	for i := range c.lines {
+		if !c.lines[i].valid {
+			continue
+		}
+		comp.Valid++
+		comp.ByClass[c.lines[i].class]++
+		comp.ByStream[c.lines[i].stream]++
+	}
+	return comp
+}
+
+// Merge folds o into comp (used to combine per-bank compositions).
+func (comp *Composition) Merge(o Composition) {
+	comp.Valid += o.Valid
+	comp.Total += o.Total
+	for k, v := range o.ByClass {
+		comp.ByClass[k] += v
+	}
+	for k, v := range o.ByStream {
+		comp.ByStream[k] += v
+	}
+}

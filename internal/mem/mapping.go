@@ -1,0 +1,95 @@
+package mem
+
+// L2Mapper decides which L2 bank and which set within that bank a line
+// address maps to for a given stream. Swapping the mapper is how the
+// simulator realizes L2 partitioning schemes:
+//
+//   - SharedMapper: all banks and sets shared (baseline, MPS).
+//   - BankMapper:   each task owns a subset of banks (MiG bank-level
+//     partitioning; owning fewer banks also constrains DRAM channels,
+//     limiting the task's memory bandwidth).
+//   - SetMapper:    banks shared, sets within each bank divided between
+//     tasks (TAP-style partitioning; full bank bandwidth retained).
+//
+// Partition policies think in tasks while the memory system sees streams,
+// so the partitioned mappers carry a TaskOf translation.
+type L2Mapper interface {
+	// Map returns the bank index and the set index within that bank for
+	// the line address.
+	Map(stream int, lineAddr uint64, banks, setsPerBank int) (bank, set int)
+}
+
+// SharedMapper hashes all streams across all banks and sets.
+type SharedMapper struct{}
+
+// Map implements L2Mapper.
+func (SharedMapper) Map(_ int, lineAddr uint64, banks, setsPerBank int) (int, int) {
+	bank := int(lineAddr % uint64(banks))
+	set := int((lineAddr / uint64(banks)) % uint64(setsPerBank))
+	return bank, set
+}
+
+// BankMapper assigns each task an explicit list of banks (MiG).
+// Tasks not present fall back to all banks.
+type BankMapper struct {
+	// TaskOf maps a stream id to its task; nil treats streams as tasks.
+	TaskOf func(stream int) int
+	// Banks lists the banks owned by each task.
+	Banks map[int][]int
+}
+
+// Map implements L2Mapper.
+func (m *BankMapper) Map(stream int, lineAddr uint64, banks, setsPerBank int) (int, int) {
+	task := stream
+	if m.TaskOf != nil {
+		task = m.TaskOf(stream)
+	}
+	allowed := m.Banks[task]
+	if len(allowed) == 0 {
+		return SharedMapper{}.Map(stream, lineAddr, banks, setsPerBank)
+	}
+	bank := allowed[int(lineAddr%uint64(len(allowed)))]
+	set := int((lineAddr / uint64(len(allowed))) % uint64(setsPerBank))
+	return bank, set
+}
+
+// SetRegion is a contiguous range of sets owned by one task within every
+// bank.
+type SetRegion struct {
+	Start int // first set index
+	Count int // number of sets
+}
+
+// SetMapper shares all banks but gives each task a region of sets within
+// each bank. The region table is updated dynamically by the TAP policy.
+type SetMapper struct {
+	// TaskOf maps a stream id to its task; nil treats streams as tasks.
+	TaskOf func(stream int) int
+	// Regions maps each task to its set region.
+	Regions map[int]SetRegion
+}
+
+// Map implements L2Mapper.
+func (m *SetMapper) Map(stream int, lineAddr uint64, banks, setsPerBank int) (int, int) {
+	bank := int(lineAddr % uint64(banks))
+	task := stream
+	if m.TaskOf != nil {
+		task = m.TaskOf(stream)
+	}
+	r, ok := m.Regions[task]
+	if !ok || r.Count <= 0 {
+		return bank, int((lineAddr / uint64(banks)) % uint64(setsPerBank))
+	}
+	set := r.Start + int((lineAddr/uint64(banks))%uint64(r.Count))
+	if set >= setsPerBank {
+		set = setsPerBank - 1
+	}
+	return bank, set
+}
+
+// Observer is notified of every L2 access so policies (e.g. TAP's utility
+// monitors) can sample the access stream without being wired into the
+// memory system.
+type Observer interface {
+	ObserveL2(stream int, lineAddr uint64, hit bool)
+}

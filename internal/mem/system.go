@@ -1,0 +1,300 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"crisp/internal/config"
+	"crisp/internal/trace"
+)
+
+// Counters accumulates per-stream memory-system statistics.
+type Counters struct {
+	L1Accesses int64
+	L1Misses   int64
+	L2Accesses int64
+	L2Misses   int64
+	DRAMReadB  int64
+	DRAMWriteB int64
+}
+
+// System is the whole memory hierarchy below the SMs' execution pipelines:
+// per-SM unified L1 data caches, the crossbar, the banked L2, and DRAM.
+// All latencies and service times are in core cycles.
+type System struct {
+	cfg *config.GPU
+
+	l1        []*Cache
+	l1Pending []map[uint64]int64 // per SM: in-flight line fills (MSHR merge)
+
+	l2         []*Cache
+	l2NextFree []int64            // per bank single-server queue
+	l2Pending  []map[uint64]int64 // per bank: in-flight line fills (L2 MSHR merge)
+	setsPer    int
+
+	dramNextFree []int64 // per channel
+	dramSvc      float64 // cycles to transfer one line on one channel
+
+	fillBytes int // bytes fetched per miss (sector or full line)
+
+	mapper   L2Mapper
+	observer Observer
+
+	counters map[int]*Counters
+}
+
+// NewSystem builds the memory system for cfg with the default shared
+// mapper.
+func NewSystem(cfg *config.GPU) (*System, error) {
+	s := &System{
+		cfg:          cfg,
+		l1:           make([]*Cache, cfg.NumSMs),
+		l1Pending:    make([]map[uint64]int64, cfg.NumSMs),
+		l2:           make([]*Cache, cfg.L2Banks),
+		l2NextFree:   make([]int64, cfg.L2Banks),
+		dramNextFree: make([]int64, cfg.MemChannels),
+		mapper:       SharedMapper{},
+		counters:     make(map[int]*Counters),
+	}
+	for i := range s.l1 {
+		c, err := NewCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize)
+		if err != nil {
+			return nil, fmt.Errorf("mem: L1: %w", err)
+		}
+		if err := c.SetSectored(cfg.SectorSize); err != nil {
+			return nil, err
+		}
+		s.l1[i] = c
+		s.l1Pending[i] = make(map[uint64]int64)
+	}
+	bankSize := cfg.L2Size / cfg.L2Banks
+	s.l2Pending = make([]map[uint64]int64, cfg.L2Banks)
+	for i := range s.l2 {
+		c, err := NewCache(bankSize, cfg.L2Assoc, cfg.LineSize)
+		if err != nil {
+			return nil, fmt.Errorf("mem: L2 bank: %w", err)
+		}
+		if err := c.SetSectored(cfg.SectorSize); err != nil {
+			return nil, err
+		}
+		s.l2[i] = c
+		s.l2Pending[i] = make(map[uint64]int64)
+	}
+	s.setsPer = s.l2[0].Sets()
+	s.fillBytes = cfg.LineSize
+	if cfg.SectorSize > 0 {
+		s.fillBytes = cfg.SectorSize
+	}
+	perChannelBPC := cfg.BytesPerCycle() / float64(cfg.MemChannels)
+	s.dramSvc = float64(s.fillBytes) / perChannelBPC
+	return s, nil
+}
+
+// fillGranule maps addr to the fill-tracking key: the sector when
+// sectored, the line otherwise.
+func (s *System) fillGranule(addr uint64) uint64 {
+	return addr / uint64(s.fillBytes)
+}
+
+// SetMapper installs an L2 address mapper (partitioning mechanism).
+func (s *System) SetMapper(m L2Mapper) { s.mapper = m }
+
+// SetObserver installs an L2 access observer (e.g. TAP's monitors).
+func (s *System) SetObserver(o Observer) { s.observer = o }
+
+// SetsPerBank reports the number of sets in each L2 bank.
+func (s *System) SetsPerBank() int { return s.setsPer }
+
+// Counters returns (creating if needed) the counter block for a stream.
+func (s *System) Counters(stream int) *Counters {
+	c := s.counters[stream]
+	if c == nil {
+		c = &Counters{}
+		s.counters[stream] = c
+	}
+	return c
+}
+
+// Streams lists the stream ids with recorded activity, sorted.
+func (s *System) Streams() []int {
+	ids := make([]int, 0, len(s.counters))
+	for id := range s.counters {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+const xbarLatency = 16 // SM→L2 crossbar traversal, core cycles
+
+// Load performs a line-granular load issued by SM sm on behalf of stream.
+// addr is any byte address within the line. It returns the cycle at which
+// the data is available in the SM.
+func (s *System) Load(now int64, sm, stream int, class trace.MemClass, addr uint64) int64 {
+	cnt := s.Counters(stream)
+	cnt.L1Accesses++
+	granule := s.fillGranule(addr)
+
+	// MSHR merge: if a fill for this granule is still in flight, the
+	// access rides the outstanding request (a hit-under-miss: it waits,
+	// but produces no new L2 traffic and no new miss).
+	if ready, ok := s.l1Pending[sm][granule]; ok {
+		if ready > now {
+			return ready
+		}
+		delete(s.l1Pending[sm], granule)
+	}
+
+	l1 := s.l1[sm]
+	if l1.Probe(addr, -1) {
+		l1.Access(now, addr, false, class, stream, -1)
+		return now + int64(s.cfg.L1Latency)
+	}
+	cnt.L1Misses++
+	// MSHR capacity: when full, the LDST unit stalls behind the earliest
+	// completing fill.
+	start := now
+	if len(s.l1Pending[sm]) >= s.cfg.L1MSHRs {
+		earliest := int64(1<<62 - 1)
+		for _, r := range s.l1Pending[sm] {
+			if r < earliest {
+				earliest = r
+			}
+		}
+		if earliest > start {
+			start = earliest
+		}
+	}
+
+	ready := s.l2Access(start+int64(s.cfg.L1Latency), stream, class, addr, false)
+	l1.Access(now, addr, false, class, stream, -1)
+	s.l1Pending[sm][granule] = ready
+	// Garbage-collect completed fills opportunistically.
+	if len(s.l1Pending[sm]) > 4*s.cfg.L1MSHRs {
+		for k, r := range s.l1Pending[sm] {
+			if r <= now {
+				delete(s.l1Pending[sm], k)
+			}
+		}
+	}
+	return ready
+}
+
+// Store performs a line-granular store. The L1 is write-through without
+// allocation (global stores), so the store is forwarded to L2. It returns
+// the cycle the store is accepted (the warp does not wait for completion).
+func (s *System) Store(now int64, sm, stream int, class trace.MemClass, addr uint64) int64 {
+	cnt := s.Counters(stream)
+	cnt.L1Accesses++
+	l1 := s.l1[sm]
+	if l1.Probe(addr, -1) {
+		// Keep L1 coherent with the write-through.
+		l1.Access(now, addr, true, class, stream, -1)
+	} else {
+		cnt.L1Misses++
+	}
+	s.l2Access(now+int64(s.cfg.L1Latency), stream, class, addr, true)
+	return now + int64(s.cfg.L1Latency)
+}
+
+// l2Access routes one request through the crossbar to its L2 bank and, on
+// miss, to DRAM. It returns the data-ready cycle (for loads).
+func (s *System) l2Access(now int64, stream int, class trace.MemClass, addr uint64, write bool) int64 {
+	cnt := s.Counters(stream)
+	cnt.L2Accesses++
+
+	lineA := addr / uint64(s.cfg.LineSize)
+	granule := s.fillGranule(addr)
+	bank, set := s.mapper.Map(stream, lineA, s.cfg.L2Banks, s.setsPer)
+
+	// Crossbar + bank queue: each bank services one request per cycle.
+	arrive := now + xbarLatency
+	start := s.l2NextFree[bank]
+	if arrive > start {
+		start = arrive
+	}
+	s.l2NextFree[bank] = start + 1
+
+	hit := s.l2[bank].Probe(addr, set)
+	if s.observer != nil {
+		s.observer.ObserveL2(stream, lineA, hit)
+	}
+	res := s.l2[bank].Access(start, addr, write, class, stream, set)
+	_ = res.Hit // residency decided by Probe before the access mutates LRU
+
+	if hit {
+		return start + int64(s.cfg.L2Latency)
+	}
+	cnt.L2Misses++
+	// L2 MSHR merge: a fill for this line already in flight (typically
+	// the same texture line missed by several SMs at once) is ridden
+	// rather than duplicated at DRAM.
+	if ready, ok := s.l2Pending[bank][granule]; ok {
+		if ready > start {
+			return ready
+		}
+		delete(s.l2Pending[bank], granule)
+	}
+	// Miss: fetch line from DRAM (write-allocate covers stores too).
+	ready := s.dramTransfer(start+int64(s.cfg.L2Latency), bank, cnt, false)
+	s.l2Pending[bank][granule] = ready
+	if len(s.l2Pending[bank]) > 4*s.cfg.L2MSHRs {
+		for k, r := range s.l2Pending[bank] {
+			if r <= start {
+				delete(s.l2Pending[bank], k)
+			}
+		}
+	}
+	if res.Writeback {
+		// Dirty eviction: schedule the writeback; it consumes bandwidth
+		// but nobody waits on it.
+		s.dramTransfer(start+int64(s.cfg.L2Latency), bank, cnt, true)
+	}
+	return ready
+}
+
+// dramTransfer meters one line transfer on the bank's DRAM channel and
+// returns its completion cycle. Banks map to channels contiguously, so
+// partitioning the banks (MiG) also partitions the DRAM channels — and
+// with them the memory bandwidth, which is the paper's explanation for
+// MiG's slowdown on memory-bound pairs.
+func (s *System) dramTransfer(now int64, bank int, cnt *Counters, write bool) int64 {
+	ch := bank * s.cfg.MemChannels / s.cfg.L2Banks
+	start := s.dramNextFree[ch]
+	if now > start {
+		start = now
+	}
+	done := start + int64(s.dramSvc+0.5)
+	s.dramNextFree[ch] = done
+	if write {
+		cnt.DRAMWriteB += int64(s.fillBytes)
+	} else {
+		cnt.DRAMReadB += int64(s.fillBytes)
+	}
+	return done + int64(s.cfg.DRAMLatency)
+}
+
+// L2Composition scans all banks and reports the combined line composition.
+func (s *System) L2Composition() Composition {
+	comp := Composition{ByClass: make(map[trace.MemClass]int), ByStream: make(map[int]int)}
+	for _, b := range s.l2 {
+		comp.Merge(b.Composition())
+	}
+	return comp
+}
+
+// InvalidateAll drops all cached state (between frames or experiments).
+func (s *System) InvalidateAll() {
+	for _, c := range s.l1 {
+		c.InvalidateAll()
+	}
+	for i := range s.l1Pending {
+		s.l1Pending[i] = make(map[uint64]int64)
+	}
+	for _, c := range s.l2 {
+		c.InvalidateAll()
+	}
+	for i := range s.l2Pending {
+		s.l2Pending[i] = make(map[uint64]int64)
+	}
+}

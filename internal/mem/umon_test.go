@@ -1,0 +1,98 @@
+package mem
+
+import "testing"
+
+func TestUMONCountsReuse(t *testing.T) {
+	u := NewUMON(4, 1)
+	// Touch one line repeatedly: first access misses, rest hit at MRU.
+	for i := 0; i < 10; i++ {
+		u.Observe(64)
+	}
+	if u.Accesses != 10 {
+		t.Errorf("accesses = %d", u.Accesses)
+	}
+	if u.Misses != 1 {
+		t.Errorf("misses = %d", u.Misses)
+	}
+	if u.WayHits[0] != 9 {
+		t.Errorf("MRU hits = %d, want 9", u.WayHits[0])
+	}
+	if u.Utility(1) != 9 || u.Utility(4) != 9 {
+		t.Errorf("utility = %d/%d", u.Utility(1), u.Utility(4))
+	}
+}
+
+// sameSet returns the i-th distinct line that maps to sampled set 0
+// (multiples of 64 share a set key for sampleMod=1).
+func sameSet(i int) uint64 { return uint64(i) * 64 }
+
+func TestUMONStackDepth(t *testing.T) {
+	u := NewUMON(4, 1)
+	// Cycle 3 lines in the same set over 5 rounds: round 1 misses all
+	// three, later rounds hit at stack depth 3 (index 2).
+	for r := 0; r < 5; r++ {
+		for l := 0; l < 3; l++ {
+			u.Observe(sameSet(l))
+		}
+	}
+	if u.Misses != 3 {
+		t.Errorf("misses = %d, want 3", u.Misses)
+	}
+	if u.WayHits[2] != 12 {
+		t.Errorf("depth-3 hits = %d, want 12 (hits: %v)", u.WayHits[2], u.WayHits)
+	}
+}
+
+func TestUMONDistinguishesWorkingSets(t *testing.T) {
+	small := NewUMON(8, 1)
+	big := NewUMON(8, 1)
+	// Small working set: 2 lines in one set, reused heavily.
+	for i := 0; i < 100; i++ {
+		small.Observe(sameSet(i % 2))
+	}
+	// Big working set: 16 lines cycled in one set — exceeds the 8-way
+	// stack, so no depth yields reuse hits.
+	for i := 0; i < 100; i++ {
+		big.Observe(sameSet(i % 16))
+	}
+	if small.Utility(8) <= big.Utility(8) {
+		t.Errorf("small-set utility %d should exceed thrashing utility %d",
+			small.Utility(8), big.Utility(8))
+	}
+}
+
+func TestUMONMarginalUtility(t *testing.T) {
+	u := NewUMON(4, 1)
+	// Alternate 2 same-set lines: hits land at depth 2 (index 1).
+	for i := 0; i < 40; i++ {
+		u.Observe(sameSet(i % 2))
+	}
+	if u.MarginalUtility(2) == 0 {
+		t.Error("expected marginal utility at 2 ways")
+	}
+	if u.MarginalUtility(0) != 0 || u.MarginalUtility(5) != 0 {
+		t.Error("out-of-range marginal utility should be 0")
+	}
+}
+
+func TestUMONReset(t *testing.T) {
+	u := NewUMON(4, 1)
+	u.Observe(0)
+	u.Observe(0)
+	u.Reset()
+	if u.Accesses != 0 || u.Misses != 0 || u.Utility(4) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestUMONSampling(t *testing.T) {
+	u := NewUMON(4, 4)
+	// With sampleMod=4, only one in four set keys is monitored; feeding
+	// many distinct lines must not blow up the stack map.
+	for i := 0; i < 100000; i++ {
+		u.Observe(uint64(i))
+	}
+	if u.Accesses != 100000 {
+		t.Errorf("accesses = %d", u.Accesses)
+	}
+}

@@ -1,0 +1,140 @@
+// Package partition implements the GPU sharing mechanisms of paper Fig. 4
+// plus the two prior-work policies evaluated in the concurrency case
+// studies:
+//
+//   - MPS:  coarse inter-SM partitioning; L2 and memory stay shared.
+//   - MiG:  inter-SM partitioning plus L2 bank and memory-channel
+//     partitioning — each task sees only its subset of banks.
+//   - FG:   fine-grained intra-SM partitioning (the async-compute analog):
+//     every SM runs both tasks under per-task resource envelopes.
+//   - WarpedSlicer: dynamic intra-SM partitioning — parallel SMs sample
+//     the IPC-vs-CTA-count curve of each kernel, then a water-filling
+//     pass picks the per-SM CTA split (Xu et al., ISCA'16).
+//   - TAP: TLP-aware utility-based L2 set partitioning on top of MPS
+//     (Lee & Kim, HPCA'12), with utility monitors per task.
+//
+// Tasks are small integers; by convention the concurrent platform uses
+// task 0 for graphics and task 1 for compute.
+package partition
+
+import (
+	"crisp/internal/gpu"
+	"crisp/internal/mem"
+	"crisp/internal/sm"
+	"crisp/internal/trace"
+)
+
+// TaskGraphics and TaskCompute are the conventional task ids.
+const (
+	TaskGraphics = 0
+	TaskCompute  = 1
+)
+
+// splitSMs assigns the first n0 SMs to task 0 and the rest to task 1.
+func splitSMs(numSMs, n0 int) func(smID int) int {
+	return func(smID int) int {
+		if smID < n0 {
+			return 0
+		}
+		return 1
+	}
+}
+
+// MPS is even inter-SM partitioning with shared L2 — the paper's baseline
+// in both concurrency studies ("MPS even").
+type MPS struct {
+	taskOfSM func(int) int
+}
+
+// NewMPS splits the SMs evenly between two tasks.
+func NewMPS(numSMs int) *MPS {
+	return &MPS{taskOfSM: splitSMs(numSMs, numSMs/2)}
+}
+
+// Name implements gpu.Policy.
+func (p *MPS) Name() string { return "MPS" }
+
+// AllowSM implements gpu.Policy.
+func (p *MPS) AllowSM(smID, task int) bool { return p.taskOfSM(smID) == task }
+
+// Limit implements gpu.Policy (no intra-SM limits).
+func (p *MPS) Limit(smID, task int) (sm.Resources, bool) { return sm.Resources{}, false }
+
+// OnLaunch implements gpu.Policy.
+func (p *MPS) OnLaunch(now int64, k *trace.Kernel, task int) {}
+
+// Tick implements gpu.Policy.
+func (p *MPS) Tick(now int64) {}
+
+// MiG partitions SMs and the L2: each task owns half the banks, which also
+// confines it to the corresponding DRAM channels (half the bandwidth) —
+// the bank-level partitioning the TAP study compares against.
+type MiG struct {
+	MPS
+}
+
+// NewMiG builds MiG for g: even SM split plus an L2 bank mapper keyed by
+// the stream→task translation.
+func NewMiG(g *gpu.GPU, taskOf func(stream int) int) *MiG {
+	cfg := g.Config()
+	p := &MiG{MPS{taskOfSM: splitSMs(cfg.NumSMs, cfg.NumSMs/2)}}
+	banks := map[int][]int{0: {}, 1: {}}
+	for b := 0; b < cfg.L2Banks; b++ {
+		t := 0
+		if b >= cfg.L2Banks/2 {
+			t = 1
+		}
+		banks[t] = append(banks[t], b)
+	}
+	g.Mem().SetMapper(&mem.BankMapper{TaskOf: taskOf, Banks: banks})
+	return p
+}
+
+// Name implements gpu.Policy.
+func (p *MiG) Name() string { return "MiG" }
+
+// FG is static fine-grained intra-SM partitioning: both tasks run on every
+// SM, each within a fixed fraction of the SM's resources. The even split
+// is the paper's "EVEN" configuration.
+type FG struct {
+	label  string
+	limits [2]sm.Resources
+}
+
+// NewFGEven gives each task half of every SM.
+func NewFGEven(g *gpu.GPU) *FG {
+	full := sm.Full(g.Config())
+	return &FG{
+		label:  "EVEN",
+		limits: [2]sm.Resources{sm.Fraction(full, 1, 2), sm.Fraction(full, 1, 2)},
+	}
+}
+
+// NewFGRatio gives task 0 num/den of every SM and task 1 the remainder.
+func NewFGRatio(g *gpu.GPU, num, den int) *FG {
+	full := sm.Full(g.Config())
+	return &FG{
+		label:  "FG",
+		limits: [2]sm.Resources{sm.Fraction(full, num, den), sm.Fraction(full, den-num, den)},
+	}
+}
+
+// Name implements gpu.Policy.
+func (p *FG) Name() string { return p.label }
+
+// AllowSM implements gpu.Policy: both tasks run everywhere.
+func (p *FG) AllowSM(smID, task int) bool { return task >= 0 && task < 2 }
+
+// Limit implements gpu.Policy.
+func (p *FG) Limit(smID, task int) (sm.Resources, bool) {
+	if task < 0 || task > 1 {
+		return sm.Resources{}, false
+	}
+	return p.limits[task], true
+}
+
+// OnLaunch implements gpu.Policy.
+func (p *FG) OnLaunch(now int64, k *trace.Kernel, task int) {}
+
+// Tick implements gpu.Policy.
+func (p *FG) Tick(now int64) {}

@@ -1,0 +1,62 @@
+package raster
+
+import (
+	"testing"
+
+	"crisp/internal/gmath"
+)
+
+func TestEarlyZDisabledShadesEverything(t *testing.T) {
+	r, _ := New(32, 32)
+	r.EarlyZ = false
+	// Two opaque fullscreen layers, near first: with early-Z off the
+	// second still shades everything (overdraw).
+	first := r.Rasterize(fullscreenQuad(0.2))
+	second := r.Rasterize(fullscreenQuad(0.8))
+	if countFrags(first) != 32*32 || countFrags(second) != 32*32 {
+		t.Errorf("early-Z off should shade both layers fully: %d/%d",
+			countFrags(first), countFrags(second))
+	}
+	if r.Stats().EarlyZKill != 0 {
+		t.Errorf("early-Z kills recorded while disabled: %d", r.Stats().EarlyZKill)
+	}
+}
+
+func TestEarlyZOverdrawFactor(t *testing.T) {
+	// Depth-sorted draws: overdraw factor with early-Z on is 1; off it
+	// equals the layer count.
+	layers := 3
+	run := func(early bool) int {
+		r, _ := New(32, 32)
+		r.EarlyZ = early
+		total := 0
+		for l := 0; l < layers; l++ {
+			z := 0.2 + 0.2*float32(l)
+			total += countFrags(r.Rasterize(fullscreenQuad(z)))
+		}
+		return total
+	}
+	on := run(true)
+	off := run(false)
+	if on != 32*32 {
+		t.Errorf("early-Z on shaded %d, want %d", on, 32*32)
+	}
+	if off != layers*32*32 {
+		t.Errorf("early-Z off shaded %d, want %d", off, layers*32*32)
+	}
+}
+
+func TestFragmentDepthsWithinUnitRange(t *testing.T) {
+	r, _ := New(32, 32)
+	tiles := r.Rasterize(fullscreenQuad(0.5))
+	for _, tf := range tiles {
+		for _, f := range tf {
+			if f.Depth < 0 || f.Depth > 1 {
+				t.Fatalf("depth %v out of [0,1]", f.Depth)
+			}
+			if gmath.Abs(f.Depth-0.5) > 1e-5 {
+				t.Fatalf("flat quad depth %v, want 0.5", f.Depth)
+			}
+		}
+	}
+}

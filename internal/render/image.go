@@ -1,0 +1,90 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"strings"
+
+	"crisp/internal/gmath"
+)
+
+// WritePPM writes the rendered framebuffer as a binary PPM image — the
+// model-rendered outputs of paper Figs. 5 and 8.
+func (r *Result) WritePPM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "P6\n%d %d\n255\n", r.W, r.H)
+	to8 := func(x float32) byte { return byte(gmath.Clamp(x, 0, 1)*254.9 + 0.5) }
+	for _, px := range r.Color {
+		w.WriteByte(to8(px.X))
+		w.WriteByte(to8(px.Y))
+		w.WriteByte(to8(px.Z))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePNG writes the framebuffer as a PNG image.
+func (r *Result) WritePNG(path string) error {
+	img := image.NewNRGBA(image.Rect(0, 0, r.W, r.H))
+	to8 := func(x float32) uint8 { return uint8(gmath.Clamp(x, 0, 1)*254.9 + 0.5) }
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			px := r.Color[y*r.W+x]
+			img.SetNRGBA(x, y, color.NRGBA{R: to8(px.X), G: to8(px.Y), B: to8(px.Z), A: 255})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteImage writes PNG or PPM depending on the path's extension.
+func (r *Result) WriteImage(path string) error {
+	if strings.HasSuffix(strings.ToLower(path), ".png") {
+		return r.WritePNG(path)
+	}
+	return r.WritePPM(path)
+}
+
+// MeanColor reports the framebuffer's average RGB (useful for image-level
+// assertions in tests: LoD on/off must produce similar but not identical
+// images).
+func (r *Result) MeanColor() gmath.Vec3 {
+	var acc gmath.Vec3
+	for _, px := range r.Color {
+		acc = acc.Add(px.XYZ())
+	}
+	n := float32(len(r.Color))
+	if n == 0 {
+		return gmath.Vec3{}
+	}
+	return acc.Scale(1 / n)
+}
+
+// CoveredPixels counts pixels any fragment shaded.
+func (r *Result) CoveredPixels() int {
+	n := 0
+	for _, px := range r.Color {
+		if px.W > 0 {
+			n++
+		}
+	}
+	return n
+}

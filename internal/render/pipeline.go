@@ -1,0 +1,377 @@
+package render
+
+import (
+	"fmt"
+	"sort"
+
+	"crisp/internal/geom"
+	"crisp/internal/gmath"
+	"crisp/internal/raster"
+	"crisp/internal/shader"
+	"crisp/internal/trace"
+)
+
+const (
+	varyingStride  = 48 // bytes of post-transform attributes per vertex
+	instanceStride = 64 // bytes of per-instance data (matrix row-major)
+	fbPixelBytes   = 4  // RGBA8 render target
+)
+
+type pipeline struct {
+	opts    Options
+	frame   *FrameDef
+	rast    *raster.Rasterizer
+	mem     arena
+	vbuf    map[*geom.Mesh]uint64
+	fbBase  uint64
+	color   []gmath.Vec4
+	streams []StreamTrace
+	nextStr int
+	metrics []DrawMetrics
+}
+
+// RenderFrame executes the full pipeline for f and returns the framebuffer
+// plus one trace stream per rendering batch.
+func RenderFrame(f *FrameDef, opts Options) (*Result, error) {
+	if opts.W <= 0 || opts.H <= 0 {
+		return nil, fmt.Errorf("render: bad resolution %dx%d", opts.W, opts.H)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = geom.DefaultBatchSize
+	}
+	rast, err := raster.New(opts.W, opts.H)
+	if err != nil {
+		return nil, err
+	}
+	rast.EarlyZ = !opts.DisableEarlyZ
+	p := &pipeline{
+		opts:    opts,
+		frame:   f,
+		rast:    rast,
+		mem:     arena{next: 1 << 20},
+		vbuf:    make(map[*geom.Mesh]uint64),
+		nextStr: opts.BaseStream,
+	}
+	p.fbBase = p.mem.alloc(uint64(opts.W*opts.H*fbPixelBytes), 128)
+	p.color = make([]gmath.Vec4, opts.W*opts.H)
+
+	// Bind all textures into the frame's address space.
+	for di := range f.Draws {
+		for _, t := range f.Draws[di].Mat.Textures() {
+			if t.Size() == 0 {
+				t.Bind(p.mem.alloc(1, 128))
+				p.mem.next += t.Size()
+			}
+		}
+	}
+
+	for di := range f.Draws {
+		if err := p.draw(&f.Draws[di]); err != nil {
+			return nil, fmt.Errorf("render: draw %q: %w", f.Draws[di].Name, err)
+		}
+	}
+	return &Result{
+		Frame:   f.Name,
+		W:       opts.W,
+		H:       opts.H,
+		Color:   p.color,
+		Streams: p.streams,
+		Metrics: p.metrics,
+		Raster:  p.rast.Stats(),
+	}, nil
+}
+
+func (p *pipeline) vbufBase(m *geom.Mesh) uint64 {
+	if b, ok := p.vbuf[m]; ok {
+		return b
+	}
+	b := p.mem.alloc(uint64(len(m.Verts)*geom.VertexStride), 128)
+	p.vbuf[m] = b
+	return b
+}
+
+// draw runs one drawcall: batching, then per batch VS → assembly/cull →
+// raster → FS, each batch forming one stream.
+func (p *pipeline) draw(dc *DrawCall) error {
+	if err := dc.Mesh.Validate(); err != nil {
+		return err
+	}
+	vb := p.vbufBase(dc.Mesh)
+	batches := geom.BatchIndices(dc.Mesh.Idx, p.opts.BatchSize)
+
+	instances := dc.Instances
+	if len(instances) == 0 {
+		instances = []Instance{{Model: dc.Model}}
+	}
+	instBase := p.mem.alloc(uint64(len(instances)*instanceStride), 128)
+
+	m := DrawMetrics{
+		Name:       dc.Name,
+		Batches:    len(batches) * len(instances),
+		Instances:  len(instances),
+		VerticesIn: len(dc.Mesh.Idx) * len(instances),
+	}
+
+	viewProj := p.frame.Cam.Proj.Mul(p.frame.Cam.View)
+	for ii := range instances {
+		inst := &instances[ii]
+		mvp := viewProj.Mul(inst.Model)
+		for bi := range batches {
+			b := &batches[bi]
+			streamID := p.nextStr
+			p.nextStr++
+			label := fmt.Sprintf("%s.i%02d.b%03d", dc.Name, ii, bi)
+
+			vsK, clipVerts, varyBase := p.vertexStage(dc, b, inst, ii, instBase, vb, mvp, streamID, label, &m)
+			kernels := []*trace.Kernel{vsK}
+
+			tris, _ := geom.AssembleCull(clipVerts, b.LocalIdx, p.opts.BackfaceCull)
+			m.Triangles += len(tris)
+			if len(tris) > 0 {
+				tileFrags := p.rast.Rasterize(tris)
+				if fsK := p.fragmentStage(dc, tileFrags, varyBase, streamID, label, &m); fsK != nil {
+					kernels = append(kernels, fsK)
+				}
+			}
+			p.streams = append(p.streams, StreamTrace{Stream: streamID, Label: label, Kernels: kernels})
+		}
+	}
+	st := p.rast.Stats()
+	m.Fragments = st.Fragments - p.sumFragments()
+	m.EarlyZKill = st.EarlyZKill - p.sumEarlyZ()
+	p.metrics = append(p.metrics, m)
+	return nil
+}
+
+func (p *pipeline) sumFragments() int {
+	n := 0
+	for i := range p.metrics {
+		n += p.metrics[i].Fragments
+	}
+	return n
+}
+
+func (p *pipeline) sumEarlyZ() int {
+	n := 0
+	for i := range p.metrics {
+		n += p.metrics[i].EarlyZKill
+	}
+	return n
+}
+
+// vertexStage shades one batch's unique vertices, emitting the VS kernel.
+func (p *pipeline) vertexStage(dc *DrawCall, b *geom.Batch, inst *Instance, instIdx int, instBase, vb uint64, mvp gmath.Mat4, streamID int, label string, m *DrawMetrics) (*trace.Kernel, []geom.ClipVert, uint64) {
+	bld := trace.NewBuilder(label+".vs", trace.KindVertex, streamID, p.opts.BatchSize, 32, 0)
+	bld.BeginCTA()
+	varyBase := p.mem.alloc(uint64(len(b.Unique)*varyingStride), 128)
+	clipVerts := make([]geom.ClipVert, len(b.Unique))
+
+	instanced := len(dc.Instances) > 0
+	for w0 := 0; w0 < len(b.Unique); w0 += shader.Lanes {
+		lanes := len(b.Unique) - w0
+		if lanes > shader.Lanes {
+			lanes = shader.Lanes
+		}
+		mask := uint32(0xFFFFFFFF)
+		if lanes < 32 {
+			mask = (uint32(1) << uint(lanes)) - 1
+		}
+		bld.BeginWarp()
+		ctx := shader.NewCtx(bld, mask)
+		ctx.LodEnabled = p.opts.LoD
+		ctx.Filter = p.opts.Filter
+
+		var in shader.VSIn
+		posA := make([]uint64, 0, lanes)
+		nrmA := make([]uint64, 0, lanes)
+		uvA := make([]uint64, 0, lanes)
+		for l := 0; l < lanes; l++ {
+			g := b.Unique[w0+l]
+			v := &dc.Mesh.Verts[g]
+			in.PosX[l], in.PosY[l], in.PosZ[l] = v.Pos.X, v.Pos.Y, v.Pos.Z
+			in.NrmX[l], in.NrmY[l], in.NrmZ[l] = v.Nrm.X, v.Nrm.Y, v.Nrm.Z
+			in.U[l], in.V[l] = v.UV.X, v.UV.Y
+			in.Layer[l] = inst.Layer
+			base := vb + uint64(g)*geom.VertexStride
+			posA = append(posA, base)
+			nrmA = append(nrmA, base+12)
+			uvA = append(uvA, base+24)
+		}
+		in.PosAddrs, in.NrmAddrs, in.UVAddrs = posA, nrmA, uvA
+
+		if instanced {
+			// Per-instance transform fetch: common vertex attributes are
+			// re-referenced across instances (temporal locality) while
+			// instance data streams (the Planets access mix).
+			ia := make([]uint64, lanes)
+			for l := range ia {
+				ia[l] = instBase + uint64(instIdx)*instanceStride
+			}
+			ctx.Load(ia, trace.ClassPipeline)
+		}
+
+		varyA := make([]uint64, lanes)
+		for l := 0; l < lanes; l++ {
+			varyA[l] = varyBase + uint64(w0+l)*varyingStride
+		}
+		out := shader.TransformVS(ctx, &in, inst.Model, mvp, varyA)
+
+		for l := 0; l < lanes; l++ {
+			clipVerts[w0+l] = geom.ClipVert{
+				Clip:   gmath.V4(out.ClipX[l], out.ClipY[l], out.ClipZ[l], out.ClipW[l]),
+				WNrm:   gmath.V3(out.WNrmX[l], out.WNrmY[l], out.WNrmZ[l]),
+				WPos:   gmath.V3(out.WPosX[l], out.WPosY[l], out.WPosZ[l]),
+				UV:     gmath.Vec2{X: out.U[l], Y: out.V[l]},
+				Layer:  out.Layer[l],
+				Global: uint32(w0 + l), // local index addresses the varying buffer
+			}
+		}
+	}
+	m.ShadedVertices += len(b.Unique)
+	warps := (len(b.Unique) + shader.Lanes - 1) / shader.Lanes
+	m.SimVertexThreads += warps * shader.Lanes
+	return bld.Finish(), clipVerts, varyBase
+}
+
+// fragmentStage shades the batch's binned fragments, emitting the FS
+// kernel: warps are packed in tile order (approximate quads), CTAs hold
+// 8 warps.
+func (p *pipeline) fragmentStage(dc *DrawCall, tileFrags [][]raster.Fragment, varyBase uint64, streamID int, label string, m *DrawMetrics) *trace.Kernel {
+	total := 0
+	for _, tf := range tileFrags {
+		total += len(tf)
+	}
+	if total == 0 {
+		return nil
+	}
+	bld := trace.NewBuilder(label+".fs", trace.KindFragment, streamID, 256, dc.Mat.Kind.regsPerThread(), 0)
+	const warpsPerCTA = 8
+	warpsInCTA := warpsPerCTA // force BeginCTA on first warp
+
+	countLines := func(addrs []uint64) int64 {
+		var buf [32]uint64
+		lines := buf[:0]
+	outer:
+		for _, a := range addrs {
+			la := a / trace.CacheLineSize
+			for _, l := range lines {
+				if l == la {
+					continue outer
+				}
+			}
+			lines = append(lines, la)
+		}
+		return int64(len(lines))
+	}
+
+	for _, tf := range tileFrags {
+		if p.opts.StrictQuads {
+			tf = quadOrder(tf)
+		}
+		for f0 := 0; f0 < len(tf); f0 += shader.Lanes {
+			lanes := len(tf) - f0
+			if lanes > shader.Lanes {
+				lanes = shader.Lanes
+			}
+			mask := uint32(0xFFFFFFFF)
+			if lanes < 32 {
+				mask = (uint32(1) << uint(lanes)) - 1
+			}
+			if warpsInCTA == warpsPerCTA {
+				bld.BeginCTA()
+				warpsInCTA = 0
+			}
+			bld.BeginWarp()
+			warpsInCTA++
+
+			ctx := shader.NewCtx(bld, mask)
+			ctx.LodEnabled = p.opts.LoD
+			ctx.Filter = p.opts.Filter
+
+			var in shader.FSIn
+			var exact [shader.Lanes]float32
+			varyA := make([]uint64, lanes)
+			outA := make([]uint64, lanes)
+			for l := 0; l < lanes; l++ {
+				fr := &tf[f0+l]
+				in.U[l], in.V[l] = fr.UV.X, fr.UV.Y
+				in.NrmX[l], in.NrmY[l], in.NrmZ[l] = fr.WNrm.X, fr.WNrm.Y, fr.WNrm.Z
+				in.WPosX[l], in.WPosY[l], in.WPosZ[l] = fr.WPos.X, fr.WPos.Y, fr.WPos.Z
+				in.Layer[l] = fr.Layer
+				if p.opts.StrictQuads {
+					// Quads are real: runtime ddx/ddy is available.
+					in.Footprint[l] = fr.FootprintExact
+				} else {
+					in.Footprint[l] = fr.Footprint
+				}
+				exact[l] = fr.FootprintExact
+				varyA[l] = varyBase + uint64(fr.Vert0Global)*varyingStride
+				outA[l] = p.fbBase + uint64(fr.Y*p.opts.W+fr.X)*fbPixelBytes
+			}
+			in.VaryingAddrs, in.OutAddrs = varyA, outA
+
+			if p.opts.CollectRefTex {
+				ctx.RefFootprint = &exact
+			}
+			ctx.OnTex = func(simAddrs, refAddrs []uint64) {
+				m.TexWarpInsts++
+				m.SimTexAccesses += countLines(simAddrs)
+				if refAddrs != nil {
+					m.RefTexAccesses += countLines(refAddrs)
+				}
+			}
+
+			out := p.shade(ctx, &in, dc.Mat)
+
+			for l := 0; l < lanes; l++ {
+				fr := &tf[f0+l]
+				p.color[fr.Y*p.opts.W+fr.X] = gmath.V4(
+					gmath.Clamp(out.R[l], 0, 1),
+					gmath.Clamp(out.G[l], 0, 1),
+					gmath.Clamp(out.B[l], 0, 1),
+					gmath.Clamp(out.A[l], 0, 1),
+				)
+			}
+		}
+	}
+	return bld.Finish()
+}
+
+// quadOrder reorders a tile's fragments so members of each 2×2 screen
+// quad are adjacent (quad-major, then row-major within the quad).
+func quadOrder(frags []raster.Fragment) []raster.Fragment {
+	out := make([]raster.Fragment, len(frags))
+	copy(out, frags)
+	sort.SliceStable(out, func(i, j int) bool {
+		qi := [2]int{out[i].Y / 2, out[i].X / 2}
+		qj := [2]int{out[j].Y / 2, out[j].X / 2}
+		if qi != qj {
+			if qi[0] != qj[0] {
+				return qi[0] < qj[0]
+			}
+			return qi[1] < qj[1]
+		}
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}
+
+// shade dispatches to the material's fragment program.
+func (p *pipeline) shade(ctx *shader.Ctx, in *shader.FSIn, mat *Material) shader.FSOut {
+	light := p.frame.Light
+	switch mat.Kind {
+	case MatPBR:
+		return shader.PBRFS(ctx, in, mat.PBR, light)
+	case MatToon:
+		return shader.ToonFS(ctx, in, mat.Albedo, light)
+	case MatMaterial:
+		return shader.MaterialFS(ctx, in, mat.Albedo, mat.Roughness, mat.Normal, light)
+	case MatPlanet:
+		return shader.PlanetFS(ctx, in, mat.Layered, light)
+	default:
+		return shader.BasicTexturedFS(ctx, in, mat.Albedo, light)
+	}
+}

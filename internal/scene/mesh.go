@@ -1,0 +1,153 @@
+// Package scene builds the paper's six rendering workloads as
+// deterministic procedural scenes: Sponza (basic and PBR variants),
+// Pistol (PBR, eight maps), Planets (instanced, texture array),
+// Platformer (toon), and Material testers. Geometry, textures, cameras,
+// and lights are self-contained stand-ins for the Godot / Khronos assets
+// with the same structural workload properties.
+package scene
+
+import (
+	"crisp/internal/geom"
+	"crisp/internal/gmath"
+)
+
+// Plane builds a subdivided XZ plane centered at the origin with the given
+// UV tiling (tiling > 1 makes distant texels minify, exercising mips).
+func Plane(width, depth float32, segs int, uvTile float32) *geom.Mesh {
+	if segs < 1 {
+		segs = 1
+	}
+	m := &geom.Mesh{}
+	for z := 0; z <= segs; z++ {
+		for x := 0; x <= segs; x++ {
+			fx := float32(x)/float32(segs) - 0.5
+			fz := float32(z)/float32(segs) - 0.5
+			m.Verts = append(m.Verts, geom.Vertex{
+				Pos: gmath.V3(fx*width, 0, fz*depth),
+				Nrm: gmath.V3(0, 1, 0),
+				UV:  gmath.Vec2{X: (fx + 0.5) * uvTile, Y: (fz + 0.5) * uvTile},
+			})
+		}
+	}
+	stride := uint32(segs + 1)
+	for z := 0; z < segs; z++ {
+		for x := 0; x < segs; x++ {
+			a := uint32(z)*stride + uint32(x)
+			b := a + 1
+			c := a + stride
+			d := c + 1
+			m.Idx = append(m.Idx, a, c, b, b, c, d)
+		}
+	}
+	return m
+}
+
+// Box builds an axis-aligned box with per-face normals and unit UVs.
+func Box(sx, sy, sz float32) *geom.Mesh {
+	hx, hy, hz := sx/2, sy/2, sz/2
+	type face struct {
+		n          gmath.Vec3
+		a, b, c, d gmath.Vec3
+	}
+	faces := []face{
+		{gmath.V3(0, 0, 1), gmath.V3(-hx, -hy, hz), gmath.V3(hx, -hy, hz), gmath.V3(hx, hy, hz), gmath.V3(-hx, hy, hz)},
+		{gmath.V3(0, 0, -1), gmath.V3(hx, -hy, -hz), gmath.V3(-hx, -hy, -hz), gmath.V3(-hx, hy, -hz), gmath.V3(hx, hy, -hz)},
+		{gmath.V3(1, 0, 0), gmath.V3(hx, -hy, hz), gmath.V3(hx, -hy, -hz), gmath.V3(hx, hy, -hz), gmath.V3(hx, hy, hz)},
+		{gmath.V3(-1, 0, 0), gmath.V3(-hx, -hy, -hz), gmath.V3(-hx, -hy, hz), gmath.V3(-hx, hy, hz), gmath.V3(-hx, hy, -hz)},
+		{gmath.V3(0, 1, 0), gmath.V3(-hx, hy, hz), gmath.V3(hx, hy, hz), gmath.V3(hx, hy, -hz), gmath.V3(-hx, hy, -hz)},
+		{gmath.V3(0, -1, 0), gmath.V3(-hx, -hy, -hz), gmath.V3(hx, -hy, -hz), gmath.V3(hx, -hy, hz), gmath.V3(-hx, -hy, hz)},
+	}
+	m := &geom.Mesh{}
+	for _, f := range faces {
+		base := uint32(len(m.Verts))
+		uvs := [4]gmath.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+		for i, p := range [4]gmath.Vec3{f.a, f.b, f.c, f.d} {
+			m.Verts = append(m.Verts, geom.Vertex{Pos: p, Nrm: f.n, UV: uvs[i]})
+		}
+		m.Idx = append(m.Idx, base, base+1, base+2, base, base+2, base+3)
+	}
+	return m
+}
+
+// UVSphere builds a latitude/longitude sphere of the given radius.
+func UVSphere(radius float32, slices, stacks int) *geom.Mesh {
+	if slices < 3 {
+		slices = 3
+	}
+	if stacks < 2 {
+		stacks = 2
+	}
+	m := &geom.Mesh{}
+	for st := 0; st <= stacks; st++ {
+		phi := float32(st) / float32(stacks) * 3.14159265
+		for sl := 0; sl <= slices; sl++ {
+			theta := float32(sl) / float32(slices) * 2 * 3.14159265
+			n := gmath.V3(
+				gmath.Sin(phi)*gmath.Cos(theta),
+				gmath.Cos(phi),
+				gmath.Sin(phi)*gmath.Sin(theta),
+			)
+			m.Verts = append(m.Verts, geom.Vertex{
+				Pos: n.Scale(radius),
+				Nrm: n,
+				UV:  gmath.Vec2{X: float32(sl) / float32(slices), Y: float32(st) / float32(stacks)},
+			})
+		}
+	}
+	stride := uint32(slices + 1)
+	for st := 0; st < stacks; st++ {
+		for sl := 0; sl < slices; sl++ {
+			a := uint32(st)*stride + uint32(sl)
+			b := a + 1
+			c := a + stride
+			d := c + 1
+			m.Idx = append(m.Idx, a, b, c, b, d, c)
+		}
+	}
+	return m
+}
+
+// Cylinder builds a vertical cylinder (no caps) — Sponza's columns.
+func Cylinder(radius, height float32, segs int) *geom.Mesh {
+	if segs < 3 {
+		segs = 3
+	}
+	m := &geom.Mesh{}
+	for y := 0; y <= 1; y++ {
+		for s := 0; s <= segs; s++ {
+			theta := float32(s) / float32(segs) * 2 * 3.14159265
+			n := gmath.V3(gmath.Cos(theta), 0, gmath.Sin(theta))
+			m.Verts = append(m.Verts, geom.Vertex{
+				Pos: gmath.V3(n.X*radius, float32(y)*height, n.Z*radius),
+				Nrm: n,
+				UV:  gmath.Vec2{X: float32(s) / float32(segs) * 2, Y: float32(y) * 2},
+			})
+		}
+	}
+	stride := uint32(segs + 1)
+	for s := 0; s < segs; s++ {
+		a := uint32(s)
+		b := a + 1
+		c := a + stride
+		d := c + 1
+		m.Idx = append(m.Idx, a, c, b, b, c, d)
+	}
+	return m
+}
+
+// Merge concatenates meshes after transforming each by its matrix.
+func Merge(parts []*geom.Mesh, xf []gmath.Mat4) *geom.Mesh {
+	m := &geom.Mesh{}
+	for i, p := range parts {
+		base := uint32(len(m.Verts))
+		for _, v := range p.Verts {
+			pos := xf[i].MulVec(gmath.V4(v.Pos.X, v.Pos.Y, v.Pos.Z, 1))
+			nrm := xf[i].MulDir(v.Nrm).Normalize()
+			m.Verts = append(m.Verts, geom.Vertex{Pos: pos.XYZ(), Nrm: nrm, UV: v.UV, Layer: v.Layer})
+		}
+		for _, ix := range p.Idx {
+			m.Idx = append(m.Idx, base+ix)
+		}
+	}
+	return m
+}

@@ -1,0 +1,368 @@
+// Package shader implements CRISP's unified shader model: one execution
+// context serves vertex shaders, fragment shaders, and compute kernels.
+//
+// A shader here is a Go function written against Ctx's operation set.
+// Every operation does two things at once: it computes the real per-lane
+// float values (the functional model — actual positions, texels, colors),
+// and it lowers itself to one or more SASS-like trace instructions with
+// register dependencies and per-lane memory addresses (the timing model's
+// input). This mirrors the paper's flow, where the functional simulator
+// executes shaders and records SASS-compatible traces for Accel-Sim.
+package shader
+
+import (
+	"math"
+
+	"crisp/internal/gmath"
+	"crisp/internal/isa"
+	"crisp/internal/texture"
+	"crisp/internal/trace"
+)
+
+// Lanes is the SIMT width of one warp.
+const Lanes = isa.WarpSize
+
+// Val is an SSA value: a virtual register holding one float per lane.
+type Val struct {
+	Reg isa.Reg
+	V   [Lanes]float32
+}
+
+// Ctx executes one warp of a shader, emitting its trace as it goes.
+type Ctx struct {
+	B    *trace.Builder
+	Mask uint32
+	// LodEnabled selects mipmapped sampling; when false every TEX
+	// references mip level 0 (the paper's "LoD off" configuration).
+	LodEnabled bool
+	// Filter is the texture filter applied by TexSample.
+	Filter texture.Filter
+
+	// RefFootprint, when set, is the exact per-quad LoD basis (the
+	// hardware reference); TexSample then reports, per TEX instruction,
+	// both the simulator's addresses and the reference addresses through
+	// OnTex, which the LoD validation study (paper Fig. 9) consumes.
+	RefFootprint *[Lanes]float32
+	// OnTex, when non-nil, receives each TEX instruction's per-lane
+	// addresses: the simulated ones and the exact-LoD reference ones.
+	OnTex func(simAddrs, refAddrs []uint64)
+}
+
+// NewCtx starts a warp-execution context over builder b with the given
+// active mask. LoD defaults to enabled with trilinear filtering.
+func NewCtx(b *trace.Builder, mask uint32) *Ctx {
+	return &Ctx{B: b, Mask: mask, LodEnabled: true, Filter: texture.FilterTrilinear}
+}
+
+// ActiveLanes reports the number of active lanes.
+func (c *Ctx) ActiveLanes() int {
+	n := 0
+	for i := 0; i < Lanes; i++ {
+		if c.Mask&(1<<uint(i)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Ctx) newVal() Val { return Val{Reg: c.B.NewReg()} }
+
+// Imm materializes an immediate constant into a register (MOV).
+func (c *Ctx) Imm(x float32) Val {
+	v := c.newVal()
+	for i := range v.V {
+		v.V[i] = x
+	}
+	c.B.ALU(isa.OpMOV, v.Reg, c.Mask)
+	return v
+}
+
+// Uniform loads a uniform scalar through the constant cache (LDC).
+func (c *Ctx) Uniform(x float32) Val {
+	v := c.newVal()
+	for i := range v.V {
+		v.V[i] = x
+	}
+	c.B.Mem(isa.OpLDC, v.Reg, c.Mask, nil, trace.ClassNone)
+	return v
+}
+
+// lane-wise binary op helper
+func (c *Ctx) bin(op isa.Opcode, a, b Val, f func(x, y float32) float32) Val {
+	r := c.newVal()
+	for i := range r.V {
+		r.V[i] = f(a.V[i], b.V[i])
+	}
+	c.B.ALU(op, r.Reg, c.Mask, a.Reg, b.Reg)
+	return r
+}
+
+func (c *Ctx) un(op isa.Opcode, a Val, f func(x float32) float32) Val {
+	r := c.newVal()
+	for i := range r.V {
+		r.V[i] = f(a.V[i])
+	}
+	c.B.ALU(op, r.Reg, c.Mask, a.Reg)
+	return r
+}
+
+// Add returns a+b (FADD).
+func (c *Ctx) Add(a, b Val) Val { return c.bin(isa.OpFADD, a, b, func(x, y float32) float32 { return x + y }) }
+
+// Sub returns a-b (FADD with negated operand).
+func (c *Ctx) Sub(a, b Val) Val { return c.bin(isa.OpFADD, a, b, func(x, y float32) float32 { return x - y }) }
+
+// Mul returns a*b (FMUL).
+func (c *Ctx) Mul(a, b Val) Val { return c.bin(isa.OpFMUL, a, b, func(x, y float32) float32 { return x * y }) }
+
+// FMA returns a*b+d (FFMA).
+func (c *Ctx) FMA(a, b, d Val) Val {
+	r := c.newVal()
+	for i := range r.V {
+		r.V[i] = a.V[i]*b.V[i] + d.V[i]
+	}
+	c.B.ALU(isa.OpFFMA, r.Reg, c.Mask, a.Reg, b.Reg, d.Reg)
+	return r
+}
+
+// Min returns min(a, b) (FMNMX).
+func (c *Ctx) Min(a, b Val) Val { return c.bin(isa.OpFMNMX, a, b, gmath.Min) }
+
+// Max returns max(a, b) (FMNMX).
+func (c *Ctx) Max(a, b Val) Val { return c.bin(isa.OpFMNMX, a, b, gmath.Max) }
+
+// Rcp returns 1/a (MUFU.RCP).
+func (c *Ctx) Rcp(a Val) Val {
+	return c.un(isa.OpMUFURCP, a, func(x float32) float32 {
+		if x == 0 {
+			return float32(math.Inf(1))
+		}
+		return 1 / x
+	})
+}
+
+// Rsqrt returns 1/sqrt(a) (MUFU.RSQ).
+func (c *Ctx) Rsqrt(a Val) Val {
+	return c.un(isa.OpMUFURSQ, a, func(x float32) float32 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 / gmath.Sqrt(x)
+	})
+}
+
+// Sqrt returns sqrt(a) as RSQ followed by RCP, like compiled code does.
+func (c *Ctx) Sqrt(a Val) Val { return c.Rcp(c.Rsqrt(a)) }
+
+// Sin returns sin(a) (MUFU.SIN).
+func (c *Ctx) Sin(a Val) Val { return c.un(isa.OpMUFUSIN, a, gmath.Sin) }
+
+// Cos returns cos(a) (MUFU.COS).
+func (c *Ctx) Cos(a Val) Val { return c.un(isa.OpMUFUCOS, a, gmath.Cos) }
+
+// Ex2 returns 2^a (MUFU.EX2).
+func (c *Ctx) Ex2(a Val) Val {
+	return c.un(isa.OpMUFUEX2, a, func(x float32) float32 { return gmath.Pow(2, x) })
+}
+
+// Lg2 returns log2(a) (MUFU.LG2).
+func (c *Ctx) Lg2(a Val) Val {
+	return c.un(isa.OpMUFULG2, a, func(x float32) float32 {
+		if x <= 0 {
+			return -126
+		}
+		return gmath.Log2(x)
+	})
+}
+
+// Pow returns a^b lowered to EX2(b*LG2(a)), the standard expansion.
+func (c *Ctx) Pow(a, b Val) Val { return c.Ex2(c.Mul(b, c.Lg2(a))) }
+
+// Clamp returns a limited to [lo, hi] using two FMNMX.
+func (c *Ctx) Clamp(a Val, lo, hi float32) Val {
+	return c.Min(c.Max(a, c.Imm(lo)), c.Imm(hi))
+}
+
+// Lerp returns a + (b-a)*t (two instructions: FADD, FFMA).
+func (c *Ctx) Lerp(a, b, t Val) Val { return c.FMA(t, c.Sub(b, a), a) }
+
+// Input binds pipeline-provided per-lane values (vertex attributes or
+// interpolated varyings) to a register, modeled as a global load of the
+// given class from the given per-lane addresses.
+func (c *Ctx) Input(values [Lanes]float32, addrs []uint64, class trace.MemClass) Val {
+	v := Val{Reg: c.B.NewReg(), V: values}
+	c.B.Mem(isa.OpLDG, v.Reg, c.Mask, addrs, class)
+	return v
+}
+
+// ride binds values to a register produced by the same wide fetch as lead:
+// a MOV dependent on the lead load, carrying no extra memory traffic
+// (vector attributes load with one LDG.128 on real hardware).
+func (c *Ctx) ride(values [Lanes]float32, lead Val) Val {
+	v := Val{Reg: c.B.NewReg(), V: values}
+	c.B.ALU(isa.OpMOV, v.Reg, c.Mask, lead.Reg)
+	return v
+}
+
+// InputVec2 loads a two-component attribute with one fetch.
+func (c *Ctx) InputVec2(x, y [Lanes]float32, addrs []uint64, class trace.MemClass) (Val, Val) {
+	vx := c.Input(x, addrs, class)
+	return vx, c.ride(y, vx)
+}
+
+// InputVec3 loads a three-component attribute with one fetch.
+func (c *Ctx) InputVec3(x, y, z [Lanes]float32, addrs []uint64, class trace.MemClass) Vec3V {
+	vx := c.Input(x, addrs, class)
+	return Vec3V{vx, c.ride(y, vx), c.ride(z, vx)}
+}
+
+// Load emits a global load from per-lane addrs; the returned value carries
+// the supplied functional values (zeros are fine for pure-timing kernels).
+func (c *Ctx) Load(addrs []uint64, class trace.MemClass) Val {
+	v := c.newVal()
+	c.B.Mem(isa.OpLDG, v.Reg, c.Mask, addrs, class)
+	return v
+}
+
+// Store emits a global store of v to per-lane addrs.
+func (c *Ctx) Store(v Val, addrs []uint64, class trace.MemClass) {
+	c.B.Mem(isa.OpSTG, isa.RegNone, c.Mask, addrs, class, v.Reg)
+}
+
+// SharedStore emits an STS of v with no lane offsets (conflict-free).
+func (c *Ctx) SharedStore(v Val) {
+	c.B.Shared(isa.OpSTS, isa.RegNone, c.Mask, v.Reg)
+}
+
+// SharedLoad emits an LDS returning a fresh value (conflict-free).
+func (c *Ctx) SharedLoad() Val {
+	v := c.newVal()
+	c.B.Shared(isa.OpLDS, v.Reg, c.Mask)
+	return v
+}
+
+// SharedStoreAt emits an STS with per-active-lane byte offsets within the
+// CTA's shared segment, so the timing model derives bank conflicts.
+func (c *Ctx) SharedStoreAt(v Val, offsets []uint64) {
+	c.B.SharedAddr(isa.OpSTS, isa.RegNone, c.Mask, offsets, v.Reg)
+}
+
+// SharedLoadAt emits an LDS with per-active-lane byte offsets.
+func (c *Ctx) SharedLoadAt(offsets []uint64) Val {
+	v := c.newVal()
+	c.B.SharedAddr(isa.OpLDS, v.Reg, c.Mask, offsets)
+	return v
+}
+
+// Barrier emits a CTA-wide barrier.
+func (c *Ctx) Barrier() { c.B.Barrier() }
+
+// Tensor emits a tensor-core HMMA operating on two sources.
+func (c *Ctx) Tensor(a, b Val) Val {
+	r := c.newVal()
+	c.B.ALU(isa.OpHMMA, r.Reg, c.Mask, a.Reg, b.Reg)
+	return r
+}
+
+// Vec4V is a 4-component vector of Vals.
+type Vec4V struct{ X, Y, Z, W Val }
+
+// TexSample samples tex at per-lane (u, v), layer, and UV-space footprint
+// (UV units per screen pixel, used for LoD selection). It emits one TEX
+// instruction carrying the sampled texel address per active lane and
+// returns the RGBA components, all dependent on the TEX result register.
+func (c *Ctx) TexSample(tex *texture.Texture, u, v Val, layer [Lanes]int, footprint [Lanes]float32) Vec4V {
+	reg := c.B.NewReg()
+	var out Vec4V
+	out.X = Val{Reg: reg}
+	out.Y = Val{Reg: reg}
+	out.Z = Val{Reg: reg}
+	out.W = Val{Reg: reg}
+
+	addrs := make([]uint64, 0, Lanes)
+	var refAddrs []uint64
+	if c.OnTex != nil && c.RefFootprint != nil {
+		refAddrs = make([]uint64, 0, Lanes)
+	}
+	maxDim := float32(tex.W)
+	if tex.H > tex.W {
+		maxDim = float32(tex.H)
+	}
+	lodOf := func(fp float32) float32 {
+		d := fp * maxDim
+		if d <= 1 {
+			return 0
+		}
+		return gmath.Clamp(gmath.Log2(d), 0, float32(tex.Levels()-1))
+	}
+	for i := 0; i < Lanes; i++ {
+		if c.Mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		lod := float32(0)
+		if c.LodEnabled {
+			lod = lodOf(footprint[i])
+		}
+		col, addr := tex.Sample(u.V[i], v.V[i], layer[i], lod, c.Filter)
+		out.X.V[i] = col.X
+		out.Y.V[i] = col.Y
+		out.Z.V[i] = col.Z
+		out.W.V[i] = col.W
+		addrs = append(addrs, addr)
+		if refAddrs != nil {
+			_, refAddr := tex.Sample(u.V[i], v.V[i], layer[i], lodOf(c.RefFootprint[i]), c.Filter)
+			refAddrs = append(refAddrs, refAddr)
+		}
+	}
+	c.B.Mem(isa.OpTEX, reg, c.Mask, addrs, trace.ClassTexture, u.Reg, v.Reg)
+	if c.OnTex != nil {
+		c.OnTex(addrs, refAddrs)
+	}
+	return out
+}
+
+// CmpGT returns per-lane 1.0 where a > b, else 0.0 (FSET).
+func (c *Ctx) CmpGT(a, b Val) Val {
+	return c.bin(isa.OpFSET, a, b, func(x, y float32) float32 {
+		if x > y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Select returns per-lane a where cond ≠ 0, else b — the predicated SEL
+// compiled shaders use for small divergence.
+func (c *Ctx) Select(cond, a, b Val) Val {
+	r := c.newVal()
+	for i := range r.V {
+		if cond.V[i] != 0 {
+			r.V[i] = a.V[i]
+		} else {
+			r.V[i] = b.V[i]
+		}
+	}
+	c.B.ALU(isa.OpSEL, r.Reg, c.Mask, cond.Reg, a.Reg, b.Reg)
+	return r
+}
+
+// Masked runs fn with the active mask narrowed to lanes where cond ≠ 0 —
+// one side of a divergent branch. Instructions emitted inside carry the
+// reduced mask (SIMT predication); memory operations inside must supply
+// addresses for exactly the reduced lane set. The previous mask is
+// restored afterwards. fn is skipped entirely when no lane qualifies.
+func (c *Ctx) Masked(cond Val, fn func()) {
+	sub := uint32(0)
+	for i := 0; i < Lanes; i++ {
+		if c.Mask&(1<<uint(i)) != 0 && cond.V[i] != 0 {
+			sub |= 1 << uint(i)
+		}
+	}
+	if sub == 0 {
+		return
+	}
+	prev := c.Mask
+	c.Mask = sub
+	fn()
+	c.Mask = prev
+}

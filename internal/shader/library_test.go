@@ -1,0 +1,232 @@
+package shader
+
+import (
+	"testing"
+
+	"crisp/internal/gmath"
+	"crisp/internal/isa"
+	"crisp/internal/texture"
+	"crisp/internal/trace"
+)
+
+// fsFixtures builds an FSIn with plausible varyings and bound textures.
+func fsFixtures() (*FSIn, Light) {
+	var in FSIn
+	addrs := make([]uint64, Lanes)
+	outA := make([]uint64, Lanes)
+	for i := 0; i < Lanes; i++ {
+		in.U[i] = float32(i) / Lanes
+		in.V[i] = 0.5
+		in.NrmX[i], in.NrmY[i], in.NrmZ[i] = 0, 0.8, 0.6
+		in.WPosX[i], in.WPosY[i], in.WPosZ[i] = float32(i)*0.1, 1, 0
+		in.Footprint[i] = 0.01
+		addrs[i] = uint64(0x100000 + i*48)
+		outA[i] = uint64(0x800000 + i*4)
+	}
+	in.VaryingAddrs = addrs
+	in.OutAddrs = outA
+	light := Light{
+		Dir:       gmath.V3(0, 1, 0),
+		Color:     gmath.V3(1, 0.9, 0.8),
+		Ambient:   gmath.V3(0.1, 0.1, 0.1),
+		CameraPos: gmath.V3(0, 1, 3),
+	}
+	return &in, light
+}
+
+func boundTex(name string, seed int64) *texture.Texture {
+	t := texture.Noise(name, texture.FormatRGBA8, 64, 64, 1, seed)
+	t.Bind(uint64(0x2000000 + seed*0x100000))
+	return t
+}
+
+func boundPBR() *PBRMaps {
+	m := &PBRMaps{
+		Albedo:     boundTex("a", 1),
+		Normal:     boundTex("n", 2),
+		Metallic:   boundTex("m", 3),
+		Roughness:  boundTex("r", 4),
+		AO:         boundTex("o", 5),
+		Irradiance: boundTex("i", 6),
+		Prefilter:  boundTex("p", 7),
+		BRDF:       boundTex("b", 8),
+	}
+	return m
+}
+
+// runFS executes an FS program in a fresh warp and returns output +
+// histogram.
+func runFS(t *testing.T, fn func(c *Ctx, in *FSIn) FSOut) (FSOut, map[isa.Opcode]int) {
+	t.Helper()
+	b := trace.NewBuilder("fs", trace.KindFragment, 0, 32, 64, 0)
+	b.BeginCTA()
+	b.BeginWarp()
+	c := NewCtx(b, trace.FullMask)
+	in, _ := fsFixtures()
+	out := fn(c, in)
+	k := b.Finish()
+	if err := k.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	return out, k.OpHistogram()
+}
+
+func checkFinite(t *testing.T, out FSOut) {
+	t.Helper()
+	for i := 0; i < Lanes; i++ {
+		for _, v := range [4]float32{out.R[i], out.G[i], out.B[i], out.A[i]} {
+			if v != v || v < -10 || v > 100 {
+				t.Fatalf("lane %d produced wild value %v", i, v)
+			}
+		}
+	}
+}
+
+func TestBasicTexturedFSProgram(t *testing.T) {
+	_, light := fsFixtures()
+	out, h := runFS(t, func(c *Ctx, in *FSIn) FSOut {
+		return BasicTexturedFS(c, in, boundTex("albedo", 11), light)
+	})
+	checkFinite(t, out)
+	if h[isa.OpTEX] != 1 {
+		t.Errorf("basic shader TEX count = %d, want 1", h[isa.OpTEX])
+	}
+	if h[isa.OpSTG] != 1 {
+		t.Errorf("color export STG = %d, want 1", h[isa.OpSTG])
+	}
+}
+
+func TestPBRFSProgram(t *testing.T) {
+	_, light := fsFixtures()
+	maps := boundPBR()
+	out, h := runFS(t, func(c *Ctx, in *FSIn) FSOut {
+		return PBRFS(c, in, maps, light)
+	})
+	checkFinite(t, out)
+	if h[isa.OpTEX] != 8 {
+		t.Errorf("PBR TEX count = %d, want 8 (eight maps)", h[isa.OpTEX])
+	}
+	if h[isa.OpMUFURSQ] == 0 || h[isa.OpMUFURCP] == 0 {
+		t.Error("PBR should use SFU ops (normalize, rcp)")
+	}
+	// Tone mapping keeps output in [0, 1].
+	for i := 0; i < Lanes; i++ {
+		if out.R[i] < 0 || out.R[i] > 1 {
+			t.Fatalf("tone-mapped output %v outside [0,1]", out.R[i])
+		}
+	}
+}
+
+func TestToonFSProgram(t *testing.T) {
+	_, light := fsFixtures()
+	out, h := runFS(t, func(c *Ctx, in *FSIn) FSOut {
+		return ToonFS(c, in, boundTex("albedo", 12), light)
+	})
+	checkFinite(t, out)
+	if h[isa.OpSEL] < 2 || h[isa.OpFSET] < 2 {
+		t.Errorf("toon banding should use predicated selects: %v", h)
+	}
+}
+
+func TestMaterialFSProgram(t *testing.T) {
+	_, light := fsFixtures()
+	out, h := runFS(t, func(c *Ctx, in *FSIn) FSOut {
+		return MaterialFS(c, in, boundTex("a", 13), boundTex("r", 14), boundTex("n", 15), light)
+	})
+	checkFinite(t, out)
+	if h[isa.OpTEX] != 3 {
+		t.Errorf("material shader TEX = %d, want 3", h[isa.OpTEX])
+	}
+	// Blinn-Phong pow lowers to LG2+EX2.
+	if h[isa.OpMUFULG2] == 0 || h[isa.OpMUFUEX2] == 0 {
+		t.Error("specular pow should use LG2/EX2")
+	}
+}
+
+func TestPlanetFSProgram(t *testing.T) {
+	_, light := fsFixtures()
+	layered := texture.Noise("layered", texture.FormatRGBA8, 64, 64, 4, 21)
+	layered.Bind(0x4000000)
+	out, h := runFS(t, func(c *Ctx, in *FSIn) FSOut {
+		for i := range in.Layer {
+			in.Layer[i] = i % 4
+		}
+		return PlanetFS(c, in, layered, light)
+	})
+	checkFinite(t, out)
+	if h[isa.OpTEX] != 1 {
+		t.Errorf("planet shader TEX = %d, want 1", h[isa.OpTEX])
+	}
+}
+
+func TestTransformVSProgram(t *testing.T) {
+	b := trace.NewBuilder("vs", trace.KindVertex, 0, 96, 32, 0)
+	b.BeginCTA()
+	b.BeginWarp()
+	c := NewCtx(b, trace.FullMask)
+
+	var in VSIn
+	pos := make([]uint64, Lanes)
+	nrm := make([]uint64, Lanes)
+	uv := make([]uint64, Lanes)
+	vary := make([]uint64, Lanes)
+	for i := 0; i < Lanes; i++ {
+		in.PosX[i] = float32(i)*0.1 - 1.5
+		in.PosY[i] = 0.5
+		in.PosZ[i] = 0
+		in.NrmZ[i] = 1
+		in.U[i] = float32(i) / Lanes
+		pos[i] = uint64(0x10000 + i*36)
+		nrm[i] = pos[i] + 12
+		uv[i] = pos[i] + 24
+		vary[i] = uint64(0x90000 + i*48)
+	}
+	in.PosAddrs, in.NrmAddrs, in.UVAddrs = pos, nrm, uv
+
+	model := gmath.Translate(gmath.V3(0, 0, -3))
+	view := gmath.LookAt(gmath.V3(0, 0, 2), gmath.V3(0, 0, -3), gmath.V3(0, 1, 0))
+	proj := gmath.Perspective(1, 16.0/9, 0.1, 100)
+	mvp := proj.Mul(view).Mul(model)
+
+	out := TransformVS(c, &in, model, mvp, vary)
+	k := b.Finish()
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := k.OpHistogram()
+	// Attribute fetches: position, normal, UV.
+	if h[isa.OpLDG] != 3 {
+		t.Errorf("VS LDG = %d, want 3 attribute fetches", h[isa.OpLDG])
+	}
+	// Varying exports: 3 16-byte stores.
+	if h[isa.OpSTG] != 3 {
+		t.Errorf("VS STG = %d, want 3 varying exports", h[isa.OpSTG])
+	}
+	// Matrix rows arrive via the constant cache.
+	if h[isa.OpLDC] < 16 {
+		t.Errorf("VS LDC = %d, want ≥16 (two matrix transforms)", h[isa.OpLDC])
+	}
+	// Functional check against gmath: lane 0's clip position.
+	want := mvp.MulVec(gmath.V4(in.PosX[0], in.PosY[0], in.PosZ[0], 1))
+	if gmath.Abs(out.ClipX[0]-want.X) > 1e-3 || gmath.Abs(out.ClipW[0]-want.W) > 1e-3 {
+		t.Errorf("clip lane 0 = (%v, w=%v), want (%v, w=%v)", out.ClipX[0], out.ClipW[0], want.X, want.W)
+	}
+	// World normal is normalized.
+	l := out.WNrmX[0]*out.WNrmX[0] + out.WNrmY[0]*out.WNrmY[0] + out.WNrmZ[0]*out.WNrmZ[0]
+	if gmath.Abs(l-1) > 1e-3 {
+		t.Errorf("world normal length² = %v", l)
+	}
+}
+
+func TestPBRMapsAll(t *testing.T) {
+	m := boundPBR()
+	all := m.All()
+	if len(all) != 8 {
+		t.Fatalf("All() = %d maps, want 8", len(all))
+	}
+	for i, tex := range all {
+		if tex == nil {
+			t.Errorf("map %d nil", i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package shader
+
+import "crisp/internal/gmath"
+
+// Vec3V is a 3-component vector of Vals with ctx-mediated arithmetic.
+type Vec3V struct{ X, Y, Z Val }
+
+// V3Imm broadcasts a constant vector.
+func (c *Ctx) V3Imm(v gmath.Vec3) Vec3V {
+	return Vec3V{c.Imm(v.X), c.Imm(v.Y), c.Imm(v.Z)}
+}
+
+// V3Add returns a+b.
+func (c *Ctx) V3Add(a, b Vec3V) Vec3V {
+	return Vec3V{c.Add(a.X, b.X), c.Add(a.Y, b.Y), c.Add(a.Z, b.Z)}
+}
+
+// V3Sub returns a-b.
+func (c *Ctx) V3Sub(a, b Vec3V) Vec3V {
+	return Vec3V{c.Sub(a.X, b.X), c.Sub(a.Y, b.Y), c.Sub(a.Z, b.Z)}
+}
+
+// V3Mul returns the component-wise product.
+func (c *Ctx) V3Mul(a, b Vec3V) Vec3V {
+	return Vec3V{c.Mul(a.X, b.X), c.Mul(a.Y, b.Y), c.Mul(a.Z, b.Z)}
+}
+
+// V3Scale returns a*s.
+func (c *Ctx) V3Scale(a Vec3V, s Val) Vec3V {
+	return Vec3V{c.Mul(a.X, s), c.Mul(a.Y, s), c.Mul(a.Z, s)}
+}
+
+// V3Dot returns a·b (one FMUL, two FFMA — the compiled form).
+func (c *Ctx) V3Dot(a, b Vec3V) Val {
+	r := c.Mul(a.X, b.X)
+	r = c.FMA(a.Y, b.Y, r)
+	return c.FMA(a.Z, b.Z, r)
+}
+
+// V3Normalize returns a/|a|.
+func (c *Ctx) V3Normalize(a Vec3V) Vec3V {
+	inv := c.Rsqrt(c.V3Dot(a, a))
+	return c.V3Scale(a, inv)
+}
+
+// V3Lerp interpolates a→b by t per component.
+func (c *Ctx) V3Lerp(a, b Vec3V, t Val) Vec3V {
+	return Vec3V{c.Lerp(a.X, b.X, t), c.Lerp(a.Y, b.Y, t), c.Lerp(a.Z, b.Z, t)}
+}
+
+// V3FMA returns a*s + d.
+func (c *Ctx) V3FMA(a Vec3V, s Val, d Vec3V) Vec3V {
+	return Vec3V{c.FMA(a.X, s, d.X), c.FMA(a.Y, s, d.Y), c.FMA(a.Z, s, d.Z)}
+}
+
+// MulMat4Vec4 transforms per-lane positions by a uniform 4×4 matrix:
+// the matrix rows arrive through the constant cache and the transform
+// lowers to 4 FMULs and 12 FFMAs, like compiled vertex shaders.
+func (c *Ctx) MulMat4Vec4(m gmath.Mat4, x, y, z, w Val) Vec4V {
+	row := func(r int) Val {
+		m0 := c.Uniform(m[r*4+0])
+		m1 := c.Uniform(m[r*4+1])
+		m2 := c.Uniform(m[r*4+2])
+		m3 := c.Uniform(m[r*4+3])
+		acc := c.Mul(m0, x)
+		acc = c.FMA(m1, y, acc)
+		acc = c.FMA(m2, z, acc)
+		return c.FMA(m3, w, acc)
+	}
+	return Vec4V{row(0), row(1), row(2), row(3)}
+}
+
+// MulMat3Dir transforms per-lane directions by the upper-left 3×3 of m.
+func (c *Ctx) MulMat3Dir(m gmath.Mat4, d Vec3V) Vec3V {
+	row := func(r int) Val {
+		m0 := c.Uniform(m[r*4+0])
+		m1 := c.Uniform(m[r*4+1])
+		m2 := c.Uniform(m[r*4+2])
+		acc := c.Mul(m0, d.X)
+		acc = c.FMA(m1, d.Y, acc)
+		return c.FMA(m2, d.Z, acc)
+	}
+	return Vec3V{row(0), row(1), row(2)}
+}

@@ -1,0 +1,108 @@
+package silicon
+
+import (
+	"testing"
+
+	"crisp/internal/config"
+	"crisp/internal/render"
+)
+
+// fakeResult builds a Result with synthetic metrics.
+func fakeResult(name string, frags, verts int, tex int64) *render.Result {
+	return &render.Result{
+		Frame: name,
+		W:     320, H: 180,
+		Metrics: []render.DrawMetrics{{
+			Name:           name + ".draw",
+			Fragments:      frags,
+			ShadedVertices: verts,
+			RefTexAccesses: tex,
+			SimTexAccesses: tex,
+		}},
+	}
+}
+
+func kinds(name string, k render.MaterialKind) map[string]render.MaterialKind {
+	return map[string]render.MaterialKind{name + ".draw": k}
+}
+
+func TestFrameTimePositiveAndDeterministic(t *testing.T) {
+	cfg := config.RTX3070()
+	res := fakeResult("X", 50000, 8000, 60000)
+	a := FrameTime(res, &cfg, kinds("X", render.MatBasic))
+	b := FrameTime(res, &cfg, kinds("X", render.MatBasic))
+	if a <= 0 {
+		t.Fatalf("frame time = %v", a)
+	}
+	if a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestFrameTimeScalesWithWork(t *testing.T) {
+	cfg := config.RTX3070()
+	small := FrameTime(fakeResult("X", 20000, 5000, 20000), &cfg, kinds("X", render.MatBasic))
+	big := FrameTime(fakeResult("X", 80000, 5000, 80000), &cfg, kinds("X", render.MatBasic))
+	if big <= small {
+		t.Errorf("4× fragments should cost more: %v vs %v", big, small)
+	}
+}
+
+func TestPBRCostsMoreThanBasic(t *testing.T) {
+	cfg := config.RTX3070()
+	res := fakeResult("X", 50000, 5000, 50000)
+	basic := FrameTime(res, &cfg, kinds("X", render.MatBasic))
+	pbr := FrameTime(res, &cfg, kinds("X", render.MatPBR))
+	if pbr <= basic {
+		t.Errorf("PBR %v should exceed basic %v", pbr, basic)
+	}
+}
+
+func TestSmallerGPUIsSlower(t *testing.T) {
+	orin := config.JetsonOrin()
+	rtx := config.RTX3070()
+	res := fakeResult("X", 80000, 20000, 100000)
+	tOrin := FrameTime(res, &orin, kinds("X", render.MatPBR))
+	tRTX := FrameTime(res, &rtx, kinds("X", render.MatPBR))
+	if tOrin <= tRTX {
+		t.Errorf("Orin %v should be slower than the 3070 %v", tOrin, tRTX)
+	}
+}
+
+func TestNoiseVariesByWorkload(t *testing.T) {
+	cfg := config.RTX3070()
+	a := FrameTime(fakeResult("A", 50000, 5000, 50000), &cfg, kinds("A", render.MatBasic))
+	b := FrameTime(fakeResult("B", 50000, 5000, 50000), &cfg, kinds("B", render.MatBasic))
+	if a == b {
+		t.Error("identical times across workload names — measurement noise missing")
+	}
+	// But within 25%: the driver/noise factors are bounded.
+	ratio := a / b
+	if ratio < 0.75 || ratio > 1.3 {
+		t.Errorf("noise too large: ratio %v", ratio)
+	}
+}
+
+func TestVertexAndTexAccessors(t *testing.T) {
+	res := fakeResult("X", 100, 42, 77)
+	v := VertexInvocations(res)
+	if v["X.draw"] != 42 {
+		t.Errorf("VertexInvocations = %v", v)
+	}
+	tex := TexAccesses(res)
+	if tex["X.draw"] != 77 {
+		t.Errorf("TexAccesses = %v", tex)
+	}
+}
+
+func TestFallbackToSimTexWhenNoRef(t *testing.T) {
+	cfg := config.RTX3070()
+	res := fakeResult("X", 50000, 5000, 0)
+	res.Metrics[0].SimTexAccesses = 90000
+	withSim := FrameTime(res, &cfg, kinds("X", render.MatBasic))
+	res2 := fakeResult("X", 50000, 5000, 90000)
+	withRef := FrameTime(res2, &cfg, kinds("X", render.MatBasic))
+	if withSim != withRef {
+		t.Errorf("fallback differs: %v vs %v", withSim, withRef)
+	}
+}

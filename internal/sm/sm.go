@@ -1,0 +1,542 @@
+// Package sm models one Streaming Multiprocessor at cycle level: warp
+// slots, greedy-then-oldest warp schedulers with scoreboarded register
+// dependences, per-scheduler execution pipelines (FP32, INT, SFU, Tensor,
+// LDST), a coalescing LDST path into the unified L1, CTA-wide barriers,
+// and CTA issue/commit with full resource accounting (threads, registers,
+// shared memory, CTA slots).
+//
+// The model is trace-driven: warps replay trace.Inst streams. Timing
+// advances with an event-accelerated cycle loop — a scheduler that cannot
+// issue reports the earliest cycle at which it could, so the GPU driver can
+// skip idle spans without losing cycle accuracy of issue ordering.
+package sm
+
+import (
+	"math"
+
+	"crisp/internal/config"
+	"crisp/internal/isa"
+	"crisp/internal/mem"
+	"crisp/internal/trace"
+)
+
+// Resources is a bundle of the per-SM resources a CTA occupies.
+type Resources struct {
+	Threads int
+	Regs    int
+	Shared  int
+	CTAs    int
+}
+
+// fits reports whether need fits within limit minus used.
+func fits(used, need, limit Resources) bool {
+	return used.Threads+need.Threads <= limit.Threads &&
+		used.Regs+need.Regs <= limit.Regs &&
+		used.Shared+need.Shared <= limit.Shared &&
+		used.CTAs+need.CTAs <= limit.CTAs
+}
+
+func (r *Resources) add(o Resources) {
+	r.Threads += o.Threads
+	r.Regs += o.Regs
+	r.Shared += o.Shared
+	r.CTAs += o.CTAs
+}
+
+func (r *Resources) sub(o Resources) {
+	r.Threads -= o.Threads
+	r.Regs -= o.Regs
+	r.Shared -= o.Shared
+	r.CTAs -= o.CTAs
+}
+
+// Need computes the resource footprint of one CTA of k.
+func Need(k *trace.Kernel) Resources {
+	return Resources{
+		Threads: k.ThreadsPerCTA,
+		Regs:    k.ThreadsPerCTA * k.RegsPerThread,
+		Shared:  k.SharedMem,
+		CTAs:    1,
+	}
+}
+
+// Full returns the whole-SM resource envelope for cfg.
+func Full(cfg *config.GPU) Resources {
+	return Resources{
+		Threads: cfg.MaxWarpsPerSM * isa.WarpSize,
+		Regs:    cfg.RegistersPerSM,
+		Shared:  cfg.SharedMemPerSM,
+		CTAs:    cfg.MaxCTAsPerSM,
+	}
+}
+
+// Fraction scales an envelope by num/den (used for intra-SM partitions).
+func Fraction(r Resources, num, den int) Resources {
+	if den <= 0 {
+		return Resources{}
+	}
+	return Resources{
+		Threads: r.Threads * num / den,
+		Regs:    r.Regs * num / den,
+		Shared:  r.Shared * num / den,
+		CTAs:    r.CTAs * num / den,
+	}
+}
+
+const never = int64(math.MaxInt64 / 4)
+
+// InstStats receives per-instruction accounting, keyed by the issuing SM
+// and the owning stream.
+type InstStats interface {
+	OnIssue(smID, stream, task int, op isa.Opcode, lanes int)
+}
+
+// ctaRT is the runtime state of one resident CTA.
+type ctaRT struct {
+	kernel     *trace.Kernel
+	ctaIdx     int
+	task       int
+	stream     int
+	res        Resources
+	warpsLeft  int
+	barArrived int
+	barWaiting []*warpRT
+	onComplete func(now int64)
+}
+
+// warpRT is the runtime state of one resident warp.
+type warpRT struct {
+	insts        []trace.Inst
+	pc           int
+	regReady     [256]int64
+	blockedUntil int64
+	done         bool
+	stream       int
+	task         int
+	cta          *ctaRT
+	arrival      int64
+}
+
+// SchedPolicy selects the warp-scheduling discipline.
+type SchedPolicy uint8
+
+const (
+	// SchedGTO is greedy-then-oldest (the Accel-Sim default): stick with
+	// the last issued warp until it stalls, then take the oldest ready.
+	SchedGTO SchedPolicy = iota
+	// SchedLRR is loose round-robin: rotate the starting warp each
+	// cycle, issuing from the first ready one.
+	SchedLRR
+)
+
+// scheduler is one of the SM's warp schedulers with its private pipelines.
+type scheduler struct {
+	core     *Core
+	warps    []*warpRT
+	last     *warpRT
+	rr       int // round-robin cursor (SchedLRR)
+	unitFree [isa.UnitCount]int64
+}
+
+// Core is one SM.
+type Core struct {
+	ID  int
+	cfg *config.GPU
+
+	memsys *mem.System
+	stats  InstStats
+
+	scheds []scheduler
+
+	usageByTask map[int]*Resources
+	usageTotal  Resources
+	// LimitFor returns the resource envelope available to a task on this
+	// SM. Policies install it; nil means the full SM for every task.
+	LimitFor func(task int) Resources
+
+	residentWarpsByTask map[int]int
+	arrivalSeq          int64
+
+	// TexFilterLatency is added to TEX data-return latency to model the
+	// texture unit's filtering pipeline.
+	TexFilterLatency int64
+	// Sched selects the warp-scheduling discipline (default GTO).
+	Sched SchedPolicy
+}
+
+// NewCore builds one SM attached to the shared memory system.
+func NewCore(id int, cfg *config.GPU, memsys *mem.System, stats InstStats) *Core {
+	c := &Core{
+		ID:                  id,
+		cfg:                 cfg,
+		memsys:              memsys,
+		stats:               stats,
+		scheds:              make([]scheduler, cfg.SchedulersPerSM),
+		usageByTask:         make(map[int]*Resources),
+		residentWarpsByTask: make(map[int]int),
+		TexFilterLatency:    24,
+	}
+	for i := range c.scheds {
+		c.scheds[i].core = c
+	}
+	return c
+}
+
+// ResidentWarps reports the warps currently resident for a task.
+func (c *Core) ResidentWarps(task int) int { return c.residentWarpsByTask[task] }
+
+// TotalResidentWarps reports all resident warps.
+func (c *Core) TotalResidentWarps() int {
+	n := 0
+	for _, v := range c.residentWarpsByTask {
+		n += v
+	}
+	return n
+}
+
+// Usage reports the resources currently used by a task.
+func (c *Core) Usage(task int) Resources {
+	if u := c.usageByTask[task]; u != nil {
+		return *u
+	}
+	return Resources{}
+}
+
+func (c *Core) limitFor(task int) Resources {
+	if c.LimitFor != nil {
+		return c.LimitFor(task)
+	}
+	return Full(c.cfg)
+}
+
+// CanAccept reports whether a CTA of k (for the given task) fits right now
+// under both the task's partition limit and the SM's physical capacity.
+func (c *Core) CanAccept(k *trace.Kernel, task int) bool {
+	need := Need(k)
+	if c.TotalResidentWarps()+k.WarpsPerCTA() > c.cfg.MaxWarpsPerSM {
+		return false
+	}
+	taskUsage := Resources{}
+	if u := c.usageByTask[task]; u != nil {
+		taskUsage = *u
+	}
+	return fits(taskUsage, need, c.limitFor(task)) && fits(c.usageTotal, need, Full(c.cfg))
+}
+
+// IssueCTA places CTA ctaIdx of kernel k on this SM. onComplete runs when
+// the CTA's last warp exits. The caller must have checked CanAccept.
+func (c *Core) IssueCTA(now int64, k *trace.Kernel, ctaIdx, task int, onComplete func(now int64)) {
+	need := Need(k)
+	cta := &ctaRT{
+		kernel:     k,
+		ctaIdx:     ctaIdx,
+		task:       task,
+		stream:     k.Stream,
+		res:        need,
+		warpsLeft:  len(k.CTAs[ctaIdx].Warps),
+		onComplete: onComplete,
+	}
+	u := c.usageByTask[task]
+	if u == nil {
+		u = &Resources{}
+		c.usageByTask[task] = u
+	}
+	u.add(need)
+	c.usageTotal.add(need)
+
+	for wi := range k.CTAs[ctaIdx].Warps {
+		w := &warpRT{
+			insts:   k.CTAs[ctaIdx].Warps[wi].Insts,
+			stream:  k.Stream,
+			task:    task,
+			cta:     cta,
+			arrival: c.arrivalSeq,
+		}
+		c.arrivalSeq++
+		s := &c.scheds[wi%len(c.scheds)]
+		s.warps = append(s.warps, w)
+		c.residentWarpsByTask[task]++
+	}
+}
+
+// Step runs every scheduler for cycle now and returns the earliest future
+// cycle at which this SM could do useful work (never if it is empty).
+func (c *Core) Step(now int64) int64 {
+	next := never
+	for i := range c.scheds {
+		if n := c.scheds[i].step(now); n < next {
+			next = n
+		}
+	}
+	return next
+}
+
+// Busy reports whether any warps are resident.
+func (c *Core) Busy() bool {
+	for i := range c.scheds {
+		if len(c.scheds[i].warps) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// step attempts one issue for cycle now; it returns the next cycle this
+// scheduler wants to run (now+1 after an issue, the stall-resolution cycle
+// otherwise, never when it has no warps).
+func (s *scheduler) step(now int64) int64 {
+	if len(s.warps) == 0 {
+		return never
+	}
+	if s.core.Sched == SchedLRR {
+		return s.stepLRR(now)
+	}
+	// Greedy: stick with the last issued warp while it can issue.
+	if s.last != nil && !s.last.done {
+		if ok, _ := s.tryIssue(s.last, now); ok {
+			return now + 1
+		}
+	}
+	// Then oldest-first among the rest; the warps slice preserves
+	// arrival order, so a single in-order pass realizes GTO.
+	best := never
+	for _, w := range s.warps {
+		if w.done || w == s.last {
+			continue
+		}
+		ok, earliest := s.tryIssue(w, now)
+		if ok {
+			s.last = w
+			return now + 1
+		}
+		if earliest < best {
+			best = earliest
+		}
+	}
+	if s.last != nil && !s.last.done {
+		if _, e := s.earliestFor(s.last, now); e < best {
+			best = e
+		}
+	}
+	if best <= now {
+		best = now + 1
+	}
+	return best
+}
+
+// stepLRR rotates the starting warp each invocation and issues from the
+// first ready warp after the cursor.
+func (s *scheduler) stepLRR(now int64) int64 {
+	n := len(s.warps)
+	best := never
+	for i := 0; i < n; i++ {
+		w := s.warps[(s.rr+1+i)%n]
+		if w.done {
+			continue
+		}
+		ok, earliest := s.tryIssue(w, now)
+		if ok {
+			// Advance the cursor to the issued warp.
+			for j, x := range s.warps {
+				if x == w {
+					s.rr = j
+					break
+				}
+			}
+			return now + 1
+		}
+		if earliest < best {
+			best = earliest
+		}
+	}
+	if best <= now {
+		best = now + 1
+	}
+	return best
+}
+
+// earliestFor computes when w could issue its current instruction.
+func (s *scheduler) earliestFor(w *warpRT, now int64) (canNow bool, earliest int64) {
+	in := &w.insts[w.pc]
+	e := w.blockedUntil
+	if r := w.regReady[in.Dst]; in.Dst != isa.RegNone && r > e {
+		e = r
+	}
+	for _, src := range [3]isa.Reg{in.SrcA, in.SrcB, in.SrcC} {
+		if src == isa.RegNone {
+			continue
+		}
+		if r := w.regReady[src]; r > e {
+			e = r
+		}
+	}
+	unit := isa.UnitOf(in.Op)
+	if unit != isa.UnitCTRL && unit != isa.UnitNone {
+		if f := s.unitFree[unit]; f > e {
+			e = f
+		}
+	}
+	return e <= now, e
+}
+
+// tryIssue issues w's current instruction at cycle now if possible.
+// On failure it returns the earliest cycle issue could succeed.
+func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64) {
+	ok, earliest := s.earliestFor(w, now)
+	if !ok {
+		return false, earliest
+	}
+	in := &w.insts[w.pc]
+	core := s.core
+
+	unit := isa.UnitOf(in.Op)
+	switch in.Op {
+	case isa.OpEXIT:
+		w.done = true
+		s.retire(w, now)
+	case isa.OpBAR:
+		cta := w.cta
+		cta.barArrived++
+		if cta.barArrived == cta.warpsLeft {
+			// Last arrival releases everyone.
+			for _, bw := range cta.barWaiting {
+				bw.blockedUntil = now + 1
+			}
+			cta.barWaiting = cta.barWaiting[:0]
+			cta.barArrived = 0
+			w.blockedUntil = now + 1
+		} else {
+			cta.barWaiting = append(cta.barWaiting, w)
+			w.blockedUntil = never
+		}
+	case isa.OpBRA:
+		// Traces are post-branch: BRA only costs its pipeline slot.
+	case isa.OpLDG, isa.OpTEX:
+		lines := coalesce(in.Addrs, uint64(core.cfg.LineSize))
+		s.unitFree[isa.UnitLDST] = now + int64(len(lines))
+		ready := now + int64(isa.Latency(in.Op))
+		for _, la := range lines {
+			r := core.memsys.Load(now, core.ID, w.stream, in.Class, la*uint64(core.cfg.LineSize))
+			if r > ready {
+				ready = r
+			}
+		}
+		if in.Op == isa.OpTEX {
+			ready += core.TexFilterLatency
+		}
+		if in.Dst != isa.RegNone {
+			w.regReady[in.Dst] = ready
+		}
+	case isa.OpSTG:
+		lines := coalesce(in.Addrs, uint64(core.cfg.LineSize))
+		s.unitFree[isa.UnitLDST] = now + int64(len(lines))
+		for _, la := range lines {
+			core.memsys.Store(now, core.ID, w.stream, in.Class, la*uint64(core.cfg.LineSize))
+		}
+	case isa.OpLDS:
+		conflicts := sharedConflictDegree(in)
+		s.unitFree[isa.UnitLDST] = now + int64(conflicts)
+		if in.Dst != isa.RegNone {
+			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op)) + int64(conflicts-1)*2
+		}
+	case isa.OpSTS:
+		s.unitFree[isa.UnitLDST] = now + int64(sharedConflictDegree(in))
+	case isa.OpLDC:
+		// Constant cache: modeled as a fixed-latency hit.
+		s.unitFree[isa.UnitLDST] = now + int64(isa.InitiationInterval(in.Op))
+		if in.Dst != isa.RegNone {
+			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op))
+		}
+	default:
+		s.unitFree[unit] = now + int64(isa.InitiationInterval(in.Op))
+		if in.Dst != isa.RegNone {
+			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op))
+		}
+	}
+
+	if core.stats != nil {
+		core.stats.OnIssue(core.ID, w.stream, w.task, in.Op, in.ActiveLanes())
+	}
+	w.pc++
+	return true, now
+}
+
+// retire removes a finished warp and commits its CTA when it was the last.
+func (s *scheduler) retire(w *warpRT, now int64) {
+	for i, x := range s.warps {
+		if x == w {
+			s.warps = append(s.warps[:i], s.warps[i+1:]...)
+			break
+		}
+	}
+	if s.last == w {
+		s.last = nil
+	}
+	core := s.core
+	core.residentWarpsByTask[w.task]--
+	cta := w.cta
+	cta.warpsLeft--
+	if cta.warpsLeft == 0 {
+		if u := core.usageByTask[cta.task]; u != nil {
+			u.sub(cta.res)
+		}
+		core.usageTotal.sub(cta.res)
+		if cta.onComplete != nil {
+			cta.onComplete(now)
+		}
+	}
+}
+
+// sharedConflictDegree computes the bank-conflict serialization of a
+// shared-memory access: 32 banks of 4-byte words; lanes touching distinct
+// words in the same bank serialize, lanes touching the same word
+// broadcast. Accesses without offsets are modeled conflict-free.
+func sharedConflictDegree(in *trace.Inst) int {
+	if len(in.Addrs) == 0 {
+		return 1
+	}
+	const banks = 32
+	var words [banks][]uint64
+	degree := 1
+	for _, off := range in.Addrs {
+		word := off / 4
+		b := word % banks
+		dup := false
+		for _, wd := range words[b] {
+			if wd == word {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		words[b] = append(words[b], word)
+		if len(words[b]) > degree {
+			degree = len(words[b])
+		}
+	}
+	return degree
+}
+
+// coalesce reduces per-lane byte addresses to unique line addresses.
+// It preserves first-touch order; memory traces have ≤32 lanes, so a
+// linear scan beats a map.
+func coalesce(addrs []uint64, lineSize uint64) []uint64 {
+	var buf [32]uint64
+	lines := buf[:0]
+	for _, a := range addrs {
+		la := a / lineSize
+		found := false
+		for _, l := range lines {
+			if l == la {
+				found = true
+				break
+			}
+		}
+		if !found {
+			lines = append(lines, la)
+		}
+	}
+	return lines
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonEdgeCases(t *testing.T) {
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Error("single point should give 0")
+	}
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero variance should give 0")
+	}
+	if Pearson([]float64{1, 2}, []float64{1}) != 0 {
+		t.Error("length mismatch should give 0")
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(xs [8]float64, ys [8]float64) bool {
+		for _, v := range append(xs[:], ys[:]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r := Pearson(xs[:], ys[:])
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	ref := []float64{100, 200}
+	pred := []float64{110, 180}
+	// (0.10 + 0.10)/2 = 0.10
+	if m := MAPE(ref, pred); math.Abs(m-0.10) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.10", m)
+	}
+	// Zero reference entries are skipped.
+	if m := MAPE([]float64{0, 100}, []float64{5, 150}); math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("MAPE with zero ref = %v, want 0.5", m)
+	}
+	if !math.IsNaN(MAPE(nil, nil)) {
+		t.Error("empty MAPE should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean with non-positive input should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{3, 4, 4, 5, 4, 3} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Mode() != 4 {
+		t.Errorf("Mode = %d, want 4", h.Mode())
+	}
+	if m := h.Mean(); math.Abs(m-23.0/6) > 1e-12 {
+		t.Errorf("Mean = %v", m)
+	}
+	if q := h.Quantile(0.5); q != 4 {
+		t.Errorf("median = %d, want 4", q)
+	}
+	if q := h.Quantile(1.0); q != 5 {
+		t.Errorf("max = %d, want 5", q)
+	}
+	if h.Count(4) != 3 {
+		t.Errorf("Count(4) = %d", h.Count(4))
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("String should render bars")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(i % 13)
+	}
+	prev := -1
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("quantile not monotone at %v: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestStreamRates(t *testing.T) {
+	s := Stream{Cycles: 100, WarpInsts: 250, L1Accesses: 100, L1Misses: 30, L2Accesses: 30, L2Misses: 15}
+	if s.IPC() != 2.5 {
+		t.Errorf("IPC = %v", s.IPC())
+	}
+	if s.L1HitRate() != 0.7 {
+		t.Errorf("L1 = %v", s.L1HitRate())
+	}
+	if s.L2HitRate() != 0.5 {
+		t.Errorf("L2 = %v", s.L2HitRate())
+	}
+	empty := Stream{}
+	if empty.IPC() != 0 || empty.L1HitRate() != 0 {
+		t.Error("zero stream rates should be 0")
+	}
+}
+
+func TestStreamAdd(t *testing.T) {
+	a := Stream{Cycles: 10, WarpInsts: 5, L1Accesses: 2}
+	b := Stream{Cycles: 20, WarpInsts: 7, L1Accesses: 3}
+	a.Add(&b)
+	if a.WarpInsts != 12 || a.L1Accesses != 5 {
+		t.Error("Add did not accumulate")
+	}
+	if a.Cycles != 20 {
+		t.Errorf("Add should keep max cycles, got %d", a.Cycles)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.AddRow("x", "1.5")
+	tb.AddRow("longer-name", "2")
+	s := tb.String()
+	if !strings.Contains(s, "longer-name") || !strings.Contains(s, "name") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %s", F(1.23456))
+	}
+	if Pct(0.948) != "94.8%" {
+		t.Errorf("Pct = %s", Pct(0.948))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("plain", `has,comma`)
+	tb.AddRow(`has"quote`, "x")
+	csv := tb.CSV()
+	want := "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

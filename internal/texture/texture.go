@@ -1,0 +1,408 @@
+// Package texture models GPU textures with full mip chains: formats,
+// procedural content generation, normalized-coordinate addressing,
+// nearest/bilinear/trilinear filtering, layered (array) textures, and —
+// crucially for the simulator — the texel byte addresses each sample
+// touches, which the shader front end records into TEX traces.
+//
+// Mipmapping is the subject of the paper's first case study: each level is
+// down-sampled by half, the chain has log2(dim)+1 levels, and sampling at
+// a higher level makes neighboring fragments collide onto the same texel,
+// cutting L1 texture traffic by multiples (paper Figs. 7-9).
+package texture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crisp/internal/gmath"
+)
+
+// Format is a texel storage format; it determines bytes per texel and thus
+// the address stride, which shapes cache-line utilization.
+type Format uint8
+
+const (
+	// FormatRGBA8 is 8-bit-per-channel color (4 B/texel).
+	FormatRGBA8 Format = iota
+	// FormatRG8 is a two-channel format (2 B/texel), e.g. normal XY.
+	FormatRG8
+	// FormatR8 is single channel (1 B/texel), e.g. AO or roughness.
+	FormatR8
+	// FormatRGBA16F is half-float HDR color (8 B/texel), e.g. irradiance.
+	FormatRGBA16F
+	// FormatBC1 approximates a block-compressed footprint (0.5 B/texel,
+	// modeled as 1 B per 2 texels along x).
+	FormatBC1
+)
+
+// Bytes reports the storage size of one texel (BC1 reports 1; its halved
+// footprint is handled in address computation).
+func (f Format) Bytes() int {
+	switch f {
+	case FormatRGBA8:
+		return 4
+	case FormatRG8:
+		return 2
+	case FormatR8:
+		return 1
+	case FormatRGBA16F:
+		return 8
+	case FormatBC1:
+		return 1
+	}
+	return 4
+}
+
+func (f Format) String() string {
+	switch f {
+	case FormatRGBA8:
+		return "RGBA8"
+	case FormatRG8:
+		return "RG8"
+	case FormatR8:
+		return "R8"
+	case FormatRGBA16F:
+		return "RGBA16F"
+	case FormatBC1:
+		return "BC1"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// Filter selects the sampling filter.
+type Filter uint8
+
+const (
+	// FilterNearest picks the closest texel.
+	FilterNearest Filter = iota
+	// FilterBilinear blends the 2×2 neighborhood.
+	FilterBilinear
+	// FilterTrilinear blends bilinear taps from two mip levels.
+	FilterTrilinear
+)
+
+// level is one mip level's pixel storage (RGBA float for simplicity;
+// the Format only affects addressing).
+type level struct {
+	w, h int
+	pix  []gmath.Vec4 // layer-major: layer*w*h + y*w + x
+}
+
+// Texture is a (possibly layered) 2D texture with a full mip chain.
+type Texture struct {
+	Name   string
+	Fmt    Format
+	W, H   int
+	Layers int
+	levels []level
+	// base is the virtual byte address of each level's storage.
+	base []uint64
+	size uint64
+}
+
+// New builds a texture from layer-major RGBA pixels and generates the full
+// mip chain. W and H must be powers of two.
+func New(name string, fmtc Format, w, h, layers int, pix []gmath.Vec4) (*Texture, error) {
+	if w <= 0 || h <= 0 || layers <= 0 {
+		return nil, fmt.Errorf("texture %q: bad dimensions %dx%dx%d", name, w, h, layers)
+	}
+	if w&(w-1) != 0 || h&(h-1) != 0 {
+		return nil, fmt.Errorf("texture %q: dimensions %dx%d not powers of two", name, w, h)
+	}
+	if len(pix) != w*h*layers {
+		return nil, fmt.Errorf("texture %q: %d pixels for %dx%dx%d", name, len(pix), w, h, layers)
+	}
+	t := &Texture{Name: name, Fmt: fmtc, W: w, H: h, Layers: layers}
+	t.levels = append(t.levels, level{w: w, h: h, pix: pix})
+	for lw, lh := w, h; lw > 1 || lh > 1; {
+		nw, nh := max(1, lw/2), max(1, lh/2)
+		t.levels = append(t.levels, downsample(t.levels[len(t.levels)-1], nw, nh, layers))
+		lw, lh = nw, nh
+	}
+	return t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// downsample box-filters src into an nw×nh level.
+func downsample(src level, nw, nh, layers int) level {
+	dst := level{w: nw, h: nh, pix: make([]gmath.Vec4, nw*nh*layers)}
+	sx := src.w / nw
+	sy := src.h / nh
+	if sx < 1 {
+		sx = 1
+	}
+	if sy < 1 {
+		sy = 1
+	}
+	inv := 1 / float32(sx*sy)
+	for l := 0; l < layers; l++ {
+		for y := 0; y < nh; y++ {
+			for x := 0; x < nw; x++ {
+				var acc gmath.Vec4
+				for dy := 0; dy < sy; dy++ {
+					for dx := 0; dx < sx; dx++ {
+						acc = acc.Add(src.pix[l*src.w*src.h+(y*sy+dy)*src.w+(x*sx+dx)])
+					}
+				}
+				dst.pix[l*nw*nh+y*nw+x] = acc.Scale(inv)
+			}
+		}
+	}
+	return dst
+}
+
+// Levels reports the number of mip levels (log2(max dim)+1).
+func (t *Texture) Levels() int { return len(t.levels) }
+
+// LevelDim reports the dimensions of a mip level.
+func (t *Texture) LevelDim(lv int) (w, h int) {
+	lv = gmath.ClampInt(lv, 0, len(t.levels)-1)
+	return t.levels[lv].w, t.levels[lv].h
+}
+
+// Bind assigns virtual addresses to every level starting at base and
+// returns the total byte size occupied.
+func (t *Texture) Bind(base uint64) uint64 {
+	t.base = make([]uint64, len(t.levels))
+	addr := base
+	for i, lv := range t.levels {
+		t.base[i] = addr
+		sz := uint64(lv.w*lv.h*t.Layers) * uint64(t.Fmt.Bytes())
+		if t.Fmt == FormatBC1 {
+			sz = (sz + 1) / 2
+		}
+		// Align each level to a cache line.
+		addr += (sz + 127) &^ 127
+	}
+	t.size = addr - base
+	return t.size
+}
+
+// Size reports the bound byte size (0 before Bind).
+func (t *Texture) Size() uint64 { return t.size }
+
+// TexelAddr computes the virtual byte address of texel (x, y) of the given
+// layer and level. The texture must be bound.
+func (t *Texture) TexelAddr(lv, layer, x, y int) uint64 {
+	if t.base == nil {
+		panic(fmt.Sprintf("texture %q: TexelAddr before Bind", t.Name))
+	}
+	lv = gmath.ClampInt(lv, 0, len(t.levels)-1)
+	l := &t.levels[lv]
+	x = gmath.ClampInt(x, 0, l.w-1)
+	y = gmath.ClampInt(y, 0, l.h-1)
+	layer = gmath.ClampInt(layer, 0, t.Layers-1)
+	idx := uint64(layer*l.w*l.h + y*l.w + x)
+	if t.Fmt == FormatBC1 {
+		return t.base[lv] + idx/2
+	}
+	return t.base[lv] + idx*uint64(t.Fmt.Bytes())
+}
+
+// texel fetches one texel with clamp-to-edge addressing.
+func (t *Texture) texel(lv, layer, x, y int) gmath.Vec4 {
+	l := &t.levels[lv]
+	x = gmath.ClampInt(x, 0, l.w-1)
+	y = gmath.ClampInt(y, 0, l.h-1)
+	layer = gmath.ClampInt(layer, 0, t.Layers-1)
+	return l.pix[layer*l.w*l.h+y*l.w+x]
+}
+
+// Sample filters the texture at normalized (u, v) in the given layer at
+// mip level lod (fractional for trilinear), returning the color and the
+// byte address of the dominant texel — the address the TEX trace carries.
+func (t *Texture) Sample(u, v float32, layer int, lod float32, filter Filter) (gmath.Vec4, uint64) {
+	maxLv := float32(len(t.levels) - 1)
+	lod = gmath.Clamp(lod, 0, maxLv)
+	switch filter {
+	case FilterNearest:
+		lv := int(lod + 0.5)
+		c, a := t.sampleNearest(u, v, layer, lv)
+		return c, a
+	case FilterBilinear:
+		lv := int(lod + 0.5)
+		c, a := t.sampleBilinear(u, v, layer, lv)
+		return c, a
+	default: // trilinear
+		lv0 := int(lod)
+		frac := lod - float32(lv0)
+		c0, a0 := t.sampleBilinear(u, v, layer, lv0)
+		if frac == 0 || lv0 == len(t.levels)-1 {
+			return c0, a0
+		}
+		c1, _ := t.sampleBilinear(u, v, layer, lv0+1)
+		return gmath.Vec4{
+			X: gmath.Lerp(c0.X, c1.X, frac),
+			Y: gmath.Lerp(c0.Y, c1.Y, frac),
+			Z: gmath.Lerp(c0.Z, c1.Z, frac),
+			W: gmath.Lerp(c0.W, c1.W, frac),
+		}, a0
+	}
+}
+
+func (t *Texture) wrap(u float32) float32 {
+	u = u - gmath.Floor(u)
+	if u < 0 {
+		u += 1
+	}
+	return u
+}
+
+func (t *Texture) sampleNearest(u, v float32, layer, lv int) (gmath.Vec4, uint64) {
+	lv = gmath.ClampInt(lv, 0, len(t.levels)-1)
+	l := &t.levels[lv]
+	x := int(t.wrap(u) * float32(l.w))
+	y := int(t.wrap(v) * float32(l.h))
+	x = gmath.ClampInt(x, 0, l.w-1)
+	y = gmath.ClampInt(y, 0, l.h-1)
+	return t.texel(lv, layer, x, y), t.TexelAddr(lv, layer, x, y)
+}
+
+func (t *Texture) sampleBilinear(u, v float32, layer, lv int) (gmath.Vec4, uint64) {
+	lv = gmath.ClampInt(lv, 0, len(t.levels)-1)
+	l := &t.levels[lv]
+	fx := t.wrap(u)*float32(l.w) - 0.5
+	fy := t.wrap(v)*float32(l.h) - 0.5
+	x0 := int(gmath.Floor(fx))
+	y0 := int(gmath.Floor(fy))
+	tx := fx - float32(x0)
+	ty := fy - float32(y0)
+	c00 := t.texel(lv, layer, x0, y0)
+	c10 := t.texel(lv, layer, x0+1, y0)
+	c01 := t.texel(lv, layer, x0, y0+1)
+	c11 := t.texel(lv, layer, x0+1, y0+1)
+	top := c00.Scale(1 - tx).Add(c10.Scale(tx))
+	bot := c01.Scale(1 - tx).Add(c11.Scale(tx))
+	c := top.Scale(1 - ty).Add(bot.Scale(ty))
+	// Dominant tap: the nearest of the four.
+	nx, ny := x0, y0
+	if tx > 0.5 {
+		nx = x0 + 1
+	}
+	if ty > 0.5 {
+		ny = y0 + 1
+	}
+	return c, t.TexelAddr(lv, layer, nx, ny)
+}
+
+// LodFor computes the mip level for the given texel-space footprint:
+// log2(max(|ddx|, |ddy|)) where the derivatives are the texel-space UV
+// deltas between adjacent pixels — the standard GPU LoD formula.
+func (t *Texture) LodFor(ddxU, ddxV, ddyU, ddyV float32) float32 {
+	dx := gmath.Sqrt(ddxU*ddxU*float32(t.W*t.W) + ddxV*ddxV*float32(t.H*t.H))
+	dy := gmath.Sqrt(ddyU*ddyU*float32(t.W*t.W) + ddyV*ddyV*float32(t.H*t.H))
+	d := gmath.Max(dx, dy)
+	if d <= 1 {
+		return 0
+	}
+	return gmath.Clamp(gmath.Log2(d), 0, float32(len(t.levels)-1))
+}
+
+// --- Procedural content -------------------------------------------------
+
+// Checker builds a checkerboard texture (albedo-style content).
+func Checker(name string, fmtc Format, w, h int, a, b gmath.Vec4, cells int) *Texture {
+	pix := make([]gmath.Vec4, w*h)
+	if cells < 1 {
+		cells = 8
+	}
+	cw, ch := w/cells, h/cells
+	if cw < 1 {
+		cw = 1
+	}
+	if ch < 1 {
+		ch = 1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if ((x/cw)+(y/ch))%2 == 0 {
+				pix[y*w+x] = a
+			} else {
+				pix[y*w+x] = b
+			}
+		}
+	}
+	t, err := New(name, fmtc, w, h, 1, pix)
+	if err != nil {
+		panic(err) // power-of-two inputs only; programmer error
+	}
+	return t
+}
+
+// Noise builds a value-noise texture, deterministic in seed. Layered
+// variants (layers > 1) differ per layer — the Planets texture array.
+func Noise(name string, fmtc Format, w, h, layers int, seed int64) *Texture {
+	rng := rand.New(rand.NewSource(seed))
+	pix := make([]gmath.Vec4, w*h*layers)
+	for l := 0; l < layers; l++ {
+		// Coarse lattice filled with random values, then bilinearly
+		// upsampled for smooth variation.
+		const lat = 9
+		lattice := make([]float32, lat*lat*3)
+		for i := range lattice {
+			lattice[i] = rng.Float32()
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx := float32(x) / float32(w) * (lat - 1)
+				fy := float32(y) / float32(h) * (lat - 1)
+				x0, y0 := int(fx), int(fy)
+				tx, ty := fx-float32(x0), fy-float32(y0)
+				x1, y1 := gmath.ClampInt(x0+1, 0, lat-1), gmath.ClampInt(y0+1, 0, lat-1)
+				var c [3]float32
+				for ch := 0; ch < 3; ch++ {
+					v00 := lattice[(y0*lat+x0)*3+ch]
+					v10 := lattice[(y0*lat+x1)*3+ch]
+					v01 := lattice[(y1*lat+x0)*3+ch]
+					v11 := lattice[(y1*lat+x1)*3+ch]
+					c[ch] = gmath.Lerp(gmath.Lerp(v00, v10, tx), gmath.Lerp(v01, v11, tx), ty)
+				}
+				pix[l*w*h+y*w+x] = gmath.V4(c[0], c[1], c[2], 1)
+			}
+		}
+	}
+	t, err := New(name, fmtc, w, h, layers, pix)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NoiseFine builds a per-texel random texture (no spatial smoothing) —
+// the texel-granular content of detail normal maps and prefiltered
+// environment maps, whose samples scatter across the texture when driven
+// by per-pixel reflection vectors.
+func NoiseFine(name string, fmtc Format, w, h, layers int, seed int64) *Texture {
+	rng := rand.New(rand.NewSource(seed))
+	pix := make([]gmath.Vec4, w*h*layers)
+	for i := range pix {
+		pix[i] = gmath.V4(rng.Float32(), rng.Float32(), rng.Float32(), 1)
+	}
+	t, err := New(name, fmtc, w, h, layers, pix)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Gradient builds a horizontal gradient texture between two colors.
+func Gradient(name string, fmtc Format, w, h int, a, b gmath.Vec4) *Texture {
+	pix := make([]gmath.Vec4, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t := float32(x) / float32(w-1)
+			pix[y*w+x] = a.Scale(1 - t).Add(b.Scale(t))
+		}
+	}
+	t, err := New(name, fmtc, w, h, 1, pix)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

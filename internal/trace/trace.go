@@ -1,0 +1,256 @@
+// Package trace defines the execution-trace data model that connects
+// CRISP's functional front ends to its cycle-level timing simulator.
+//
+// The layout follows Accel-Sim's SASS traces: a Kernel is a grid of CTAs
+// (thread blocks); a CTA is a set of warps; a warp is the ordered list of
+// instructions it executed, each carrying its active mask, register
+// operands, and — for memory operations — the per-lane addresses it
+// referenced. The timing model replays these traces; it never re-executes
+// the program, so concurrent-execution studies can combine traces that
+// were collected independently (a rendering trace and a compute trace),
+// exactly as the paper prescribes.
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+
+	"crisp/internal/isa"
+)
+
+// MemClass labels the kind of data a memory instruction touches. The L2
+// model uses it to attribute cache lines to texture, pipeline (inter-stage
+// attributes), framebuffer, or compute data for the L2-composition studies
+// (paper Figs. 11 and 15).
+type MemClass uint8
+
+const (
+	// ClassNone marks non-memory instructions.
+	ClassNone MemClass = iota
+	// ClassTexture is texel data fetched by TEX instructions.
+	ClassTexture
+	// ClassPipeline is inter-stage rendering data: vertex attributes,
+	// post-transform varyings written through L2 between pipeline stages.
+	ClassPipeline
+	// ClassFramebuffer is color/depth render-target traffic.
+	ClassFramebuffer
+	// ClassCompute is ordinary global-memory data of compute kernels.
+	ClassCompute
+)
+
+// MemClassCount is the number of MemClass values.
+const MemClassCount = 5
+
+var memClassNames = [...]string{
+	ClassNone:        "none",
+	ClassTexture:     "texture",
+	ClassPipeline:    "pipeline",
+	ClassFramebuffer: "framebuffer",
+	ClassCompute:     "compute",
+}
+
+func (c MemClass) String() string {
+	if int(c) < len(memClassNames) {
+		return memClassNames[c]
+	}
+	return fmt.Sprintf("MemClass(%d)", uint8(c))
+}
+
+// Inst is one executed warp instruction.
+type Inst struct {
+	Op   isa.Opcode
+	Dst  isa.Reg
+	SrcA isa.Reg
+	SrcB isa.Reg
+	SrcC isa.Reg
+	// Mask is the active-lane mask; bit i set means lane i executed.
+	Mask uint32
+	// Addrs holds one byte address per active lane, in ascending lane
+	// order, for memory instructions. Empty for non-memory instructions.
+	Addrs []uint64
+	// Class attributes memory traffic for cache-composition accounting.
+	Class MemClass
+}
+
+// ActiveLanes reports the number of executing lanes.
+func (in *Inst) ActiveLanes() int { return bits.OnesCount32(in.Mask) }
+
+// FullMask is the mask with all 32 lanes active.
+const FullMask uint32 = 0xFFFFFFFF
+
+// Warp is the trace of one warp: the instructions it executed, in order.
+type Warp struct {
+	ID    int // warp index within its CTA
+	Insts []Inst
+}
+
+// CTA is one thread block's trace.
+type CTA struct {
+	ID    int // linear CTA index within the kernel
+	Warps []Warp
+}
+
+// KernelKind distinguishes rendering-pipeline kernels from compute kernels.
+type KernelKind uint8
+
+const (
+	// KindCompute marks a general-purpose (CUDA-analog) kernel.
+	KindCompute KernelKind = iota
+	// KindVertex marks a vertex-shading kernel (one per vertex batch).
+	KindVertex
+	// KindFragment marks a fragment-shading kernel.
+	KindFragment
+)
+
+var kindNames = [...]string{KindCompute: "compute", KindVertex: "vertex", KindFragment: "fragment"}
+
+func (k KernelKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("KernelKind(%d)", uint8(k))
+}
+
+// IsGraphics reports whether the kernel belongs to the rendering pipeline.
+func (k KernelKind) IsGraphics() bool { return k == KindVertex || k == KindFragment }
+
+// Kernel is one launched grid with its static resource requirements, which
+// the CTA scheduler uses for occupancy and partitioning decisions.
+type Kernel struct {
+	Name string
+	Kind KernelKind
+	// Stream identifies the in-order command stream the kernel belongs
+	// to. Each rendering batch is its own stream; compute kernels carry
+	// the stream their program used.
+	Stream int
+
+	ThreadsPerCTA int
+	RegsPerThread int
+	SharedMem     int // bytes per CTA
+
+	CTAs []CTA
+}
+
+// WarpsPerCTA reports how many warps one CTA launches.
+func (k *Kernel) WarpsPerCTA() int {
+	return (k.ThreadsPerCTA + isa.WarpSize - 1) / isa.WarpSize
+}
+
+// InstCount reports the total number of warp instructions in the trace.
+func (k *Kernel) InstCount() int {
+	n := 0
+	for i := range k.CTAs {
+		for j := range k.CTAs[i].Warps {
+			n += len(k.CTAs[i].Warps[j].Insts)
+		}
+	}
+	return n
+}
+
+// ThreadInstCount reports the total thread-level instruction count
+// (warp instructions weighted by active lanes).
+func (k *Kernel) ThreadInstCount() int64 {
+	var n int64
+	for i := range k.CTAs {
+		for j := range k.CTAs[i].Warps {
+			for l := range k.CTAs[i].Warps[j].Insts {
+				n += int64(k.CTAs[i].Warps[j].Insts[l].ActiveLanes())
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants of the trace: every CTA has at
+// least one warp, warps end with EXIT, memory instructions carry exactly
+// one address per active lane, and non-memory instructions carry none.
+func (k *Kernel) Validate() error {
+	if k.ThreadsPerCTA <= 0 {
+		return fmt.Errorf("kernel %q: ThreadsPerCTA = %d", k.Name, k.ThreadsPerCTA)
+	}
+	if len(k.CTAs) == 0 {
+		return fmt.Errorf("kernel %q: no CTAs", k.Name)
+	}
+	for i := range k.CTAs {
+		cta := &k.CTAs[i]
+		if len(cta.Warps) == 0 {
+			return fmt.Errorf("kernel %q CTA %d: no warps", k.Name, cta.ID)
+		}
+		if len(cta.Warps) > k.WarpsPerCTA() {
+			return fmt.Errorf("kernel %q CTA %d: %d warps exceeds CTA size", k.Name, cta.ID, len(cta.Warps))
+		}
+		for j := range cta.Warps {
+			w := &cta.Warps[j]
+			if len(w.Insts) == 0 {
+				return fmt.Errorf("kernel %q CTA %d warp %d: empty", k.Name, cta.ID, w.ID)
+			}
+			last := w.Insts[len(w.Insts)-1]
+			if last.Op != isa.OpEXIT {
+				return fmt.Errorf("kernel %q CTA %d warp %d: trace does not end with EXIT", k.Name, cta.ID, w.ID)
+			}
+			for l := range w.Insts {
+				in := &w.Insts[l]
+				if in.Mask == 0 {
+					return fmt.Errorf("kernel %q CTA %d warp %d inst %d (%v): empty active mask", k.Name, cta.ID, w.ID, l, in.Op)
+				}
+				switch {
+				case isa.IsMemory(in.Op) && isa.SpaceOf(in.Op) != isa.SpaceShared && isa.SpaceOf(in.Op) != isa.SpaceConst:
+					if len(in.Addrs) != in.ActiveLanes() {
+						return fmt.Errorf("kernel %q CTA %d warp %d inst %d (%v): %d addrs for %d active lanes",
+							k.Name, cta.ID, w.ID, l, in.Op, len(in.Addrs), in.ActiveLanes())
+					}
+				case isa.SpaceOf(in.Op) == isa.SpaceShared:
+					// Shared accesses carry either no offsets (modeled
+					// conflict-free) or one per active lane.
+					if len(in.Addrs) != 0 && len(in.Addrs) != in.ActiveLanes() {
+						return fmt.Errorf("kernel %q CTA %d warp %d inst %d (%v): %d shared offsets for %d active lanes",
+							k.Name, cta.ID, w.ID, l, in.Op, len(in.Addrs), in.ActiveLanes())
+					}
+				case len(in.Addrs) != 0 && !isa.IsMemory(in.Op):
+					return fmt.Errorf("kernel %q CTA %d warp %d inst %d (%v): non-memory op carries addresses", k.Name, cta.ID, w.ID, l, in.Op)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// OpHistogram counts warp instructions by opcode.
+func (k *Kernel) OpHistogram() map[isa.Opcode]int {
+	h := make(map[isa.Opcode]int)
+	for i := range k.CTAs {
+		for j := range k.CTAs[i].Warps {
+			for l := range k.CTAs[i].Warps[j].Insts {
+				h[k.CTAs[i].Warps[j].Insts[l].Op]++
+			}
+		}
+	}
+	return h
+}
+
+// CacheLineSize is the cache line granularity used for static trace
+// analysis (128 B, matching the simulated caches and paper Fig. 10).
+const CacheLineSize = 128
+
+// TexLinesPerCTA reports, for each CTA, the number of distinct 128-byte
+// cache lines referenced by its TEX instructions — the static analysis
+// behind paper Fig. 10.
+func (k *Kernel) TexLinesPerCTA() []int {
+	out := make([]int, 0, len(k.CTAs))
+	for i := range k.CTAs {
+		lines := make(map[uint64]struct{})
+		for j := range k.CTAs[i].Warps {
+			for l := range k.CTAs[i].Warps[j].Insts {
+				in := &k.CTAs[i].Warps[j].Insts[l]
+				if in.Op != isa.OpTEX {
+					continue
+				}
+				for _, a := range in.Addrs {
+					lines[a/CacheLineSize] = struct{}{}
+				}
+			}
+		}
+		out = append(out, len(lines))
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"crisp/internal/isa"
+)
+
+// tinyKernel builds a minimal valid kernel: 1 CTA, 1 warp, ALU + load +
+// EXIT.
+func tinyKernel(name string, stream int) *Kernel {
+	b := NewBuilder(name, KindCompute, stream, 64, 16, 0)
+	b.BeginCTA()
+	b.BeginWarp()
+	r0 := b.NewReg()
+	b.ALU(isa.OpMOV, r0, FullMask)
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = uint64(0x1000 + i*4)
+	}
+	r1 := b.NewReg()
+	b.Mem(isa.OpLDG, r1, FullMask, addrs, ClassCompute, r0)
+	b.ALU(isa.OpFADD, b.NewReg(), FullMask, r1, r0)
+	return b.Finish()
+}
+
+func TestBuilderAppendsExit(t *testing.T) {
+	k := tinyKernel("k", 0)
+	w := k.CTAs[0].Warps[0]
+	if w.Insts[len(w.Insts)-1].Op != isa.OpEXIT {
+		t.Fatal("builder did not terminate warp with EXIT")
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingAddrs(t *testing.T) {
+	k := tinyKernel("k", 0)
+	k.CTAs[0].Warps[0].Insts[1].Addrs = k.CTAs[0].Warps[0].Insts[1].Addrs[:5]
+	if err := k.Validate(); err == nil {
+		t.Fatal("Validate accepted address/lane mismatch")
+	}
+}
+
+func TestValidateCatchesEmptyMask(t *testing.T) {
+	k := tinyKernel("k", 0)
+	k.CTAs[0].Warps[0].Insts[0].Mask = 0
+	if err := k.Validate(); err == nil {
+		t.Fatal("Validate accepted empty mask")
+	}
+}
+
+func TestValidateCatchesMissingExit(t *testing.T) {
+	k := tinyKernel("k", 0)
+	w := &k.CTAs[0].Warps[0]
+	w.Insts = w.Insts[:len(w.Insts)-1]
+	if err := k.Validate(); err == nil {
+		t.Fatal("Validate accepted trace without EXIT")
+	}
+}
+
+func TestValidateCatchesNoCTAs(t *testing.T) {
+	k := &Kernel{Name: "empty", ThreadsPerCTA: 32}
+	if err := k.Validate(); err == nil {
+		t.Fatal("Validate accepted kernel without CTAs")
+	}
+}
+
+func TestInstCounts(t *testing.T) {
+	k := tinyKernel("k", 0)
+	if got := k.InstCount(); got != 4 {
+		t.Errorf("InstCount = %d, want 4", got)
+	}
+	if got := k.ThreadInstCount(); got != 4*32 {
+		t.Errorf("ThreadInstCount = %d, want 128", got)
+	}
+}
+
+func TestWarpsPerCTA(t *testing.T) {
+	k := &Kernel{ThreadsPerCTA: 96}
+	if k.WarpsPerCTA() != 3 {
+		t.Errorf("WarpsPerCTA(96) = %d", k.WarpsPerCTA())
+	}
+	k.ThreadsPerCTA = 100
+	if k.WarpsPerCTA() != 4 {
+		t.Errorf("WarpsPerCTA(100) = %d", k.WarpsPerCTA())
+	}
+}
+
+func TestOpHistogram(t *testing.T) {
+	k := tinyKernel("k", 0)
+	h := k.OpHistogram()
+	if h[isa.OpMOV] != 1 || h[isa.OpLDG] != 1 || h[isa.OpFADD] != 1 || h[isa.OpEXIT] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestActiveLanes(t *testing.T) {
+	in := Inst{Mask: 0x0000000F}
+	if in.ActiveLanes() != 4 {
+		t.Errorf("ActiveLanes = %d", in.ActiveLanes())
+	}
+	in.Mask = FullMask
+	if in.ActiveLanes() != 32 {
+		t.Errorf("ActiveLanes = %d", in.ActiveLanes())
+	}
+}
+
+func TestTexLinesPerCTA(t *testing.T) {
+	b := NewBuilder("tex", KindFragment, 0, 64, 16, 0)
+	b.BeginCTA()
+	b.BeginWarp()
+	// 32 lanes hitting 2 distinct 128B lines.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = uint64((i % 2) * 128)
+	}
+	b.Mem(isa.OpTEX, b.NewReg(), FullMask, addrs, ClassTexture)
+	// Same lines again (no new lines), plus one new line.
+	addrs2 := make([]uint64, 32)
+	for i := range addrs2 {
+		addrs2[i] = uint64((i % 2) * (128 + 256))
+	}
+	b.Mem(isa.OpTEX, b.NewReg(), FullMask, addrs2, ClassTexture)
+	k := b.Finish()
+	lines := k.TexLinesPerCTA()
+	if len(lines) != 1 {
+		t.Fatalf("lines len = %d", len(lines))
+	}
+	// Lines touched: 0, 128 from first; 0 and 384 from second → {0,1,3}.
+	if lines[0] != 3 {
+		t.Errorf("TexLinesPerCTA = %d, want 3", lines[0])
+	}
+}
+
+func TestBuilderPanicsOnMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BeginWarp before BeginCTA did not panic")
+		}
+	}()
+	b := NewBuilder("bad", KindCompute, 0, 32, 16, 0)
+	b.BeginWarp()
+}
+
+func TestBuilderALURejectsMemOps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ALU(LDG) did not panic")
+		}
+	}()
+	b := NewBuilder("bad", KindCompute, 0, 32, 16, 0)
+	b.BeginCTA()
+	b.BeginWarp()
+	b.ALU(isa.OpLDG, b.NewReg(), FullMask)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ks := []*Kernel{tinyKernel("a", 1), tinyKernel("b", 2)}
+	var buf bytes.Buffer
+	if err := Save(&buf, ks); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d kernels", len(got))
+	}
+	for i := range got {
+		if got[i].Name != ks[i].Name || got[i].Stream != ks[i].Stream {
+			t.Errorf("kernel %d identity mismatch", i)
+		}
+		if got[i].InstCount() != ks[i].InstCount() {
+			t.Errorf("kernel %d inst count mismatch", i)
+		}
+		if err := got[i].Validate(); err != nil {
+			t.Errorf("kernel %d invalid after round trip: %v", i, err)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := t.TempDir() + "/trace.bin"
+	ks := []*Kernel{tinyKernel("f", 7)}
+	if err := SaveFile(path, ks); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if len(got) != 1 || got[0].Name != "f" {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestMemClassString(t *testing.T) {
+	for c := MemClass(0); c < MemClassCount; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}
+
+func TestKernelKind(t *testing.T) {
+	if !KindVertex.IsGraphics() || !KindFragment.IsGraphics() || KindCompute.IsGraphics() {
+		t.Error("IsGraphics misclassifies")
+	}
+	for _, k := range []KernelKind{KindCompute, KindVertex, KindFragment} {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	ks := []*Kernel{tinyKernel("v", 1)}
+	var buf bytes.Buffer
+	if err := Save(&buf, ks); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version field: re-encode with a different fingerprint
+	// by patching a copy of the stream through a fresh save at a fake
+	// version is impractical; instead, decode-tamper-reencode via gzip.
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first gob value is the version int; flip a byte inside it.
+	raw[3] ^= 0x40
+	var tampered bytes.Buffer
+	zw := gzip.NewWriter(&tampered)
+	zw.Write(raw)
+	zw.Close()
+	if _, err := Load(&tampered); err == nil {
+		t.Fatal("version-tampered trace accepted")
+	}
+}

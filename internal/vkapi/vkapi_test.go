@@ -1,0 +1,157 @@
+package vkapi
+
+import (
+	"testing"
+
+	"crisp/internal/gmath"
+	"crisp/internal/render"
+	"crisp/internal/scene"
+	"crisp/internal/shader"
+	"crisp/internal/texture"
+)
+
+func testQueue() *Queue {
+	pos := gmath.V3(0, 1, 6)
+	return &Queue{
+		Cam: render.Camera{
+			View: gmath.LookAt(pos, gmath.V3(0, 0, 0), gmath.V3(0, 1, 0)),
+			Proj: gmath.Perspective(1, 16.0/9, 0.1, 100),
+			Pos:  pos,
+		},
+		Light: shader.Light{Dir: gmath.V3(0, 1, 0), Color: gmath.V3(1, 1, 1), Ambient: gmath.V3(0.2, 0.2, 0.2), CameraPos: pos},
+		Opts:  optsSmall(),
+	}
+}
+
+func optsSmall() render.Options {
+	o := render.DefaultOptions()
+	o.W, o.H = 96, 54
+	return o
+}
+
+func basicMaterial() *render.Material {
+	return &render.Material{
+		Kind:   render.MatBasic,
+		Albedo: texture.Checker("t", texture.FormatRGBA8, 64, 64, gmath.V4(1, 1, 1, 1), gmath.V4(0.2, 0.2, 0.2, 1), 4),
+	}
+}
+
+func TestRecordSubmit(t *testing.T) {
+	var cb CommandBuffer
+	cb.Begin()
+	cb.BindMaterial(basicMaterial())
+	cb.BindVertexBuffer(scene.Box(2, 2, 2))
+	cb.SetModelMatrix(gmath.RotateY(0.4))
+	cb.Draw("box")
+	cb.End()
+
+	res, err := testQueue().Submit("frame", &cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredPixels() == 0 {
+		t.Error("submitted frame painted nothing")
+	}
+	if len(res.Streams) == 0 {
+		t.Error("no traces recorded")
+	}
+}
+
+func TestSubmitWhileRecordingFails(t *testing.T) {
+	var cb CommandBuffer
+	cb.Begin()
+	cb.BindMaterial(basicMaterial())
+	cb.BindVertexBuffer(scene.Box(1, 1, 1))
+	cb.Draw("box")
+	if _, err := testQueue().Submit("frame", &cb); err == nil {
+		t.Error("submit during recording accepted")
+	}
+}
+
+func TestDrawWithoutBindsFails(t *testing.T) {
+	var cb CommandBuffer
+	cb.Begin()
+	cb.Draw("nothing")
+	cb.End()
+	if _, err := testQueue().Submit("frame", &cb); err == nil {
+		t.Error("draw without binds accepted")
+	}
+}
+
+func TestEmptySubmitFails(t *testing.T) {
+	var cb CommandBuffer
+	cb.Begin()
+	cb.End()
+	if _, err := testQueue().Submit("frame", &cb); err == nil {
+		t.Error("empty command buffer accepted")
+	}
+}
+
+func TestInstancedDraw(t *testing.T) {
+	var cb CommandBuffer
+	cb.Begin()
+	lay := texture.Noise("l", texture.FormatRGBA8, 32, 32, 2, 5)
+	cb.BindMaterial(&render.Material{Kind: render.MatPlanet, Layered: lay})
+	cb.BindVertexBuffer(scene.UVSphere(0.8, 10, 8))
+	cb.DrawInstanced("spheres", []render.Instance{
+		{Model: gmath.Translate(gmath.V3(-1, 0, 0)), Layer: 0},
+		{Model: gmath.Translate(gmath.V3(1, 0, 0)), Layer: 1},
+	})
+	cb.End()
+	res, err := testQueue().Submit("frame", &cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics[0].Instances != 2 {
+		t.Errorf("instances = %d", res.Metrics[0].Instances)
+	}
+	var cb2 CommandBuffer
+	cb2.Begin()
+	cb2.BindMaterial(&render.Material{Kind: render.MatPlanet, Layered: lay})
+	cb2.BindVertexBuffer(scene.UVSphere(0.8, 10, 8))
+	cb2.DrawInstanced("none", nil)
+	cb2.End()
+	if _, err := testQueue().Submit("frame", &cb2); err == nil {
+		t.Error("instanced draw with no instances accepted")
+	}
+}
+
+func TestRebindBetweenDraws(t *testing.T) {
+	var cb CommandBuffer
+	cb.Begin()
+	cb.BindMaterial(basicMaterial())
+	cb.BindVertexBuffer(scene.Box(2, 2, 2))
+	cb.Draw("a")
+	cb.SetModelMatrix(gmath.Translate(gmath.V3(1.5, 0, 0)))
+	cb.BindVertexBuffer(scene.UVSphere(1, 10, 8))
+	cb.Draw("b")
+	cb.End()
+	res, err := testQueue().Submit("frame", &cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != 2 {
+		t.Errorf("draws = %d, want 2", len(res.Metrics))
+	}
+}
+
+func TestBeginResetsCommands(t *testing.T) {
+	var cb CommandBuffer
+	cb.Begin()
+	cb.BindMaterial(basicMaterial())
+	cb.BindVertexBuffer(scene.Box(1, 1, 1))
+	cb.Draw("first")
+	cb.End()
+	cb.Begin()
+	cb.BindMaterial(basicMaterial())
+	cb.BindVertexBuffer(scene.Box(1, 1, 1))
+	cb.Draw("second")
+	cb.End()
+	res, err := testQueue().Submit("frame", &cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != 1 || res.Metrics[0].Name != "second" {
+		t.Errorf("Begin did not reset: %v draws", len(res.Metrics))
+	}
+}
