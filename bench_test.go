@@ -12,10 +12,12 @@ package crisp
 
 import (
 	"testing"
+	"time"
 
 	"crisp/internal/core"
 	"crisp/internal/experiments"
 	"crisp/internal/geom"
+	"crisp/internal/obs"
 	"crisp/internal/render"
 	"crisp/internal/scene"
 )
@@ -406,4 +408,62 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	b.StopTimer()
 	kips := float64(insts) * float64(b.N) / b.Elapsed().Seconds() / 1000
 	b.ReportMetric(kips, "warp_KIPS")
+}
+
+// BenchmarkTracingOverhead quantifies the observability layer's cost on
+// the same concurrent pair three ways:
+//
+//   - "off": tracer nil, no metrics — the default path. Every emission
+//     site in the simulator reduces to one never-taken branch, so this is
+//     the configuration whose overhead versus a hook-free simulator must
+//     stay under 2%.
+//   - "hooks": a NullTracer that discards events. The off-vs-hooks delta
+//     (reported as hooks_overhead_%) measures the full cost of the
+//     emission sites — branch, event construction, interface call. It is
+//     a strict upper bound on the nil path's overhead, because the nil
+//     path runs the same branches and skips everything else.
+//   - "full": an in-memory Recorder plus interval metrics — the cost a
+//     profiling run actually pays (full_overhead_%).
+func BenchmarkTracingOverhead(b *testing.B) {
+	gfx, err := experiments.Frame("SPL", benchScale.W2K, benchScale.H2K, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := experiments.BuildComputeForBench("VIO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(tr obs.Tracer, metrics int64) int64 {
+		job := core.Job{GPU: JetsonOrin(), Graphics: gfx, Compute: comp,
+			Policy: core.PolicyEven, Tracer: tr, MetricsInterval: metrics}
+		res, err := job.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	run(nil, 0) // warm all memoized state before timing
+
+	var off, hooks, full time.Duration
+	rec := obs.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		run(nil, 0)
+		t1 := time.Now()
+		run(obs.NullTracer{}, 0)
+		t2 := time.Now()
+		rec.Reset()
+		run(rec, 2048)
+		t3 := time.Now()
+		off += t1.Sub(t0)
+		hooks += t2.Sub(t1)
+		full += t3.Sub(t2)
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(off.Seconds()*1000/n, "off_ms/run")
+	b.ReportMetric(100*(hooks.Seconds()-off.Seconds())/off.Seconds(), "hooks_overhead_%")
+	b.ReportMetric(100*(full.Seconds()-off.Seconds())/off.Seconds(), "full_overhead_%")
+	b.ReportMetric(float64(len(rec.Events())), "events/run")
 }

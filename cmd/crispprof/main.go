@@ -1,0 +1,185 @@
+// Command crispprof is the observability front end: it runs one
+// concurrent simulation with full cycle-domain tracing enabled and
+// produces (a) a Chrome trace-event JSON file loadable in Perfetto or
+// chrome://tracing, with per-stream tracks for kernels, CTAs, batch
+// boundaries, repartition decisions, and memory-contention markers,
+// (b) a CSV interval time series of per-task IPC, occupancy, cache hit
+// rates, and DRAM bandwidth, and (c) a per-task stall-attribution
+// summary on stdout.
+//
+// Examples:
+//
+//	crispprof -scene PT -compute VIO -policy WarpedSlicer -trace out.json
+//	crispprof -compute NN -gpu RTX3070 -trace nn.json -metrics nn.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"crisp"
+	"crisp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	sceneName := flag.String("scene", "", "rendering workload: SPL, SPH, PT, IT, PL, MT (empty = none)")
+	computeName := flag.String("compute", "", "compute workload: VIO, HOLO, NN, UPSCALE, ATW (empty = none)")
+	policy := flag.String("policy", "EVEN", "partition policy: serial, MPS, MiG, EVEN, WarpedSlicer, TAP, Priority")
+	gpuName := flag.String("gpu", "JetsonOrin", "GPU config: JetsonOrin or RTX3070")
+	gpuFile := flag.String("config", "", "JSON GPU configuration file (overrides -gpu)")
+	w := flag.Int("w", 0, "render width (default 2K-class 320)")
+	h := flag.Int("h", 0, "render height (default 2K-class 180)")
+	traceOut := flag.String("trace", "", "Chrome trace-event JSON output path")
+	metricsOut := flag.String("metrics", "", "interval metrics CSV output path (default: derived from -trace)")
+	metricsN := flag.Int64("interval", 2048, "interval metrics sampling period in cycles")
+	flag.Parse()
+
+	if *sceneName == "" && *computeName == "" {
+		fmt.Fprintln(os.Stderr, "need -scene and/or -compute")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *traceOut == "" && *metricsOut == "" {
+		fmt.Fprintln(os.Stderr, "need -trace and/or -metrics (nothing to profile into)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Profiling runs always produce the time series; when only -trace was
+	// given, place the CSV next to the JSON.
+	if *metricsOut == "" {
+		*metricsOut = strings.TrimSuffix(*traceOut, ".json") + ".csv"
+	}
+
+	var cfg crisp.GPUConfig
+	var err error
+	if *gpuFile != "" {
+		cfg, err = crisp.GPUFromFile(*gpuFile)
+	} else {
+		cfg, err = crisp.GPUByName(*gpuName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := crisp.DefaultRenderOptions()
+	if *w > 0 {
+		opts.W = *w
+	}
+	if *h > 0 {
+		opts.H = *h
+	}
+
+	rec := crisp.NewTraceRecorder()
+	res, err := crisp.RunPair(cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts,
+		crisp.WithTracer(rec), crisp.WithMetrics(*metricsN))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== %s on %s under %s: %d cycles (%.4f ms) ==\n",
+		pairName(*sceneName, *computeName), cfg.Name, *policy, res.Cycles, res.FrameTimeMS)
+
+	printStallSummary(res)
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, rec, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace   : %s (%d events)\n", *traceOut, len(rec.Events()))
+	}
+	if err := writeMetrics(*metricsOut, res); err != nil {
+		log.Fatal(err)
+	}
+	samples := 0
+	if res.Metrics != nil {
+		samples = len(res.Metrics.Samples)
+	}
+	fmt.Printf("metrics : %s (%d samples)\n", *metricsOut, samples)
+}
+
+// printStallSummary renders the per-task stall-attribution table: for
+// every task, each cause's share of the task's scheduler slots.
+func printStallSummary(res *crisp.Result) {
+	header := []string{"task", "label", "issue slots", "issued"}
+	for _, c := range crisp.StallCauses() {
+		header = append(header, c.String())
+	}
+	t := stats.Table{Header: header}
+	tasks := make([]int, 0, len(res.PerTask))
+	for task := range res.PerTask {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	for _, task := range tasks {
+		st := res.PerTask[task]
+		slots := st.WarpInsts + st.StallTotal()
+		row := []string{fmt.Sprint(task), st.Label, fmt.Sprint(slots)}
+		if slots == 0 {
+			row = append(row, "-")
+			for range crisp.StallCauses() {
+				row = append(row, "-")
+			}
+		} else {
+			row = append(row, stats.Pct(float64(st.WarpInsts)/float64(slots)))
+			for _, c := range crisp.StallCauses() {
+				row = append(row, stats.Pct(st.StallFraction(c)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t.String())
+	if res.SchedSlots > 0 {
+		fmt.Printf("scheduler slots: %d total, %d empty (%.1f%%)\n\n",
+			res.SchedSlots, res.EmptySlots, 100*float64(res.EmptySlots)/float64(res.SchedSlots))
+	}
+}
+
+// writeTrace dumps the recorded events plus the interval series as a
+// Chrome trace-event JSON file, labeling tracks from per-stream stats.
+func writeTrace(path string, rec *crisp.TraceRecorder, res *crisp.Result) error {
+	labels := make(map[int]string, len(res.PerStream))
+	for _, s := range res.PerStream {
+		labels[s.Stream] = s.Label
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := crisp.WriteChromeTrace(f, rec.Events(), res.Metrics,
+		func(stream int) string { return labels[stream] }); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the interval series as CSV.
+func writeMetrics(path string, res *crisp.Result) error {
+	if res.Metrics == nil {
+		return fmt.Errorf("no interval metrics were collected")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Metrics.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func pairName(sceneName, computeName string) string {
+	pair := sceneName
+	if computeName != "" {
+		if pair != "" {
+			pair += "+"
+		}
+		pair += computeName
+	}
+	return pair
+}

@@ -32,6 +32,9 @@ func main() {
 	lod := flag.Bool("lod", true, "enable mipmap LoD")
 	perStream := flag.Bool("streams", false, "print per-stream statistics")
 	perKernel := flag.Bool("kernels", false, "print per-kernel launch timing")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+	metricsOut := flag.String("metrics", "", "write an interval metrics CSV time series")
+	metricsN := flag.Int64("metrics-interval", 2048, "interval metrics sampling period in cycles")
 	flag.Parse()
 
 	if *sceneName == "" && *computeName == "" {
@@ -59,9 +62,32 @@ func main() {
 	}
 	opts.LoD = *lod
 
-	res, err := crisp.RunPair(cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts)
+	var runOpts []crisp.RunOption
+	var rec *crisp.TraceRecorder
+	if *traceOut != "" {
+		rec = crisp.NewTraceRecorder()
+		runOpts = append(runOpts, crisp.WithTracer(rec))
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		runOpts = append(runOpts, crisp.WithMetrics(*metricsN))
+	}
+
+	res, err := crisp.RunPair(cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts, runOpts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, rec, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace       : %s (%d events)\n", *traceOut, len(rec.Events()))
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics     : %s\n", *metricsOut)
 	}
 
 	fmt.Printf("%s", header(*sceneName, *computeName, cfg.Name, *policy))
@@ -103,6 +129,41 @@ func main() {
 		}
 		fmt.Println(st.String())
 	}
+}
+
+// writeTrace dumps the recorded events plus the interval series as a
+// Chrome trace-event JSON file, labeling tracks from per-stream stats.
+func writeTrace(path string, rec *crisp.TraceRecorder, res *crisp.Result) error {
+	labels := make(map[int]string, len(res.PerStream))
+	for _, s := range res.PerStream {
+		labels[s.Stream] = s.Label
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := crisp.WriteChromeTrace(f, rec.Events(), res.Metrics,
+		func(stream int) string { return labels[stream] }); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the interval series as CSV.
+func writeMetrics(path string, res *crisp.Result) error {
+	if res.Metrics == nil {
+		return fmt.Errorf("no interval metrics were collected")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Metrics.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func header(sceneName, computeName, gpu, policy string) string {

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"crisp"
@@ -25,6 +26,8 @@ func main() {
 	policy := flag.String("policy", "EVEN", "partition policy")
 	gpuName := flag.String("gpu", "JetsonOrin", "GPU config")
 	width := flag.Int("width", 72, "chart width in columns")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+	metricsOut := flag.String("metrics", "", "write an interval metrics CSV time series")
 	flag.Parse()
 
 	cfg, err := crisp.GPUByName(*gpuName)
@@ -46,9 +49,30 @@ func main() {
 		Policy:           crisp.PolicyKind(*policy),
 		TimelineInterval: 512,
 	}
+	var rec *crisp.TraceRecorder
+	if *traceOut != "" {
+		rec = crisp.NewTraceRecorder()
+		job.Tracer = rec
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		job.MetricsInterval = 2048
+	}
 	res, err := job.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *traceOut != "" {
+		if err := dumpTrace(*traceOut, rec, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *traceOut, len(rec.Events()))
+	}
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 
 	fmt.Printf("%s + %s on %s under %s: %d cycles\n\n",
@@ -59,6 +83,40 @@ func main() {
 
 	fmt.Println("\nL2 composition:")
 	plotComposition(res, *width)
+}
+
+// dumpTrace writes the recorded events as Chrome trace-event JSON.
+func dumpTrace(path string, rec *crisp.TraceRecorder, res *crisp.Result) error {
+	labels := make(map[int]string, len(res.PerStream))
+	for _, s := range res.PerStream {
+		labels[s.Stream] = s.Label
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := crisp.WriteChromeTrace(f, rec.Events(), res.Metrics,
+		func(stream int) string { return labels[stream] }); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// dumpMetrics writes the interval series as CSV.
+func dumpMetrics(path string, res *crisp.Result) error {
+	if res.Metrics == nil {
+		return fmt.Errorf("no interval metrics were collected")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Metrics.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // plotTimeline draws the two per-task occupancy series as row-per-sample

@@ -27,9 +27,12 @@
 package crisp
 
 import (
+	"io"
+
 	"crisp/internal/compute"
 	"crisp/internal/config"
 	"crisp/internal/core"
+	"crisp/internal/obs"
 	"crisp/internal/render"
 	"crisp/internal/scene"
 )
@@ -106,8 +109,61 @@ func BuildCompute(name string) (*ComputeWorkload, error) {
 	return compute.ByName(name, core.ComputeStreamBase)
 }
 
+// Tracer receives cycle-stamped structured events from the timing model.
+type Tracer = obs.Tracer
+
+// TraceEvent is one cycle-stamped simulation event.
+type TraceEvent = obs.Event
+
+// TraceRecorder is a Tracer that appends every event to memory.
+type TraceRecorder = obs.Recorder
+
+// NewTraceRecorder returns an empty in-memory trace sink.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// IntervalSeries is a per-task interval metrics time series (IPC,
+// occupancy, cache hit rates, DRAM bandwidth).
+type IntervalSeries = obs.IntervalSeries
+
+// StallCause classifies why a warp scheduler slot failed to issue.
+type StallCause = obs.StallCause
+
+// The stall causes, re-exported for result inspection.
+const (
+	StallScoreboard = obs.StallScoreboard
+	StallMemPending = obs.StallMemPending
+	StallPipeBusy   = obs.StallPipeBusy
+	StallBarrier    = obs.StallBarrier
+	StallEmptySlot  = obs.StallEmptySlot
+)
+
+// StallCauses lists the attributable stall causes.
+func StallCauses() []StallCause { return obs.StallCauses() }
+
+// RunOption tweaks a RunPair simulation (observability knobs).
+type RunOption = core.RunOption
+
+// WithTracer routes the run's structured trace events to t.
+func WithTracer(t Tracer) RunOption { return core.WithTracer(t) }
+
+// WithMetrics samples the interval metrics time series every interval
+// cycles into Result.Metrics.
+func WithMetrics(interval int64) RunOption { return core.WithMetrics(interval) }
+
+// WithTimeline samples the per-task occupancy timeline every interval
+// cycles into Result.Timeline.
+func WithTimeline(interval int64) RunOption { return core.WithTimeline(interval) }
+
+// WriteChromeTrace renders recorded events (and an optional interval
+// series) as a Chrome trace-event JSON file loadable in Perfetto or
+// chrome://tracing. streamLabel may be nil.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, series *IntervalSeries, streamLabel func(stream int) string) error {
+	return obs.WriteChromeTrace(w, events, series, streamLabel)
+}
+
 // RunPair renders sceneName (may be empty), builds computeName (may be
-// empty), and simulates them concurrently under policy on cfg.
-func RunPair(cfg GPUConfig, sceneName, computeName string, policy PolicyKind, opts RenderOptions) (*Result, error) {
-	return core.RunPair(cfg, sceneName, computeName, policy, opts)
+// empty), and simulates them concurrently under policy on cfg. Optional
+// RunOptions attach observability sinks.
+func RunPair(cfg GPUConfig, sceneName, computeName string, policy PolicyKind, opts RenderOptions, runOpts ...RunOption) (*Result, error) {
+	return core.RunPair(cfg, sceneName, computeName, policy, opts, runOpts...)
 }

@@ -11,6 +11,7 @@ import (
 	"crisp/internal/compute"
 	"crisp/internal/config"
 	"crisp/internal/gpu"
+	"crisp/internal/obs"
 	"crisp/internal/partition"
 	"crisp/internal/render"
 	"crisp/internal/scene"
@@ -90,6 +91,15 @@ type Job struct {
 	// LRRScheduler switches the warp schedulers from greedy-then-oldest
 	// to loose round-robin (the scheduling ablation).
 	LRRScheduler bool
+	// Tracer, when non-nil, receives cycle-stamped structured events
+	// (kernel/CTA lifecycle, batch boundaries, repartition decisions,
+	// memory contention markers). Nil disables tracing at the cost of one
+	// branch per emission site.
+	Tracer obs.Tracer
+	// MetricsInterval, when > 0, samples per-task interval metrics (IPC,
+	// occupancy, hit rates, DRAM bandwidth) every so many cycles into
+	// Result.Metrics.
+	MetricsInterval int64
 }
 
 // Result is a completed simulation.
@@ -106,6 +116,13 @@ type Result struct {
 	L2ByTask map[int]int
 	L2Lines  int
 	Timeline *stats.Timeline
+	// Metrics is the interval time series when Job.MetricsInterval > 0.
+	Metrics *obs.IntervalSeries
+	// SchedSlots and EmptySlots are whole-GPU scheduler slot counts: every
+	// slot is either an issue (per-stream WarpInsts), an attributed stall
+	// (per-stream Stalls), or an empty slot.
+	SchedSlots int64
+	EmptySlots int64
 	// Kernels lists every completed kernel launch in completion order.
 	Kernels []gpu.KernelStat
 	// WS exposes warped-slicer state when that policy ran.
@@ -197,6 +214,12 @@ func (j *Job) Run() (*Result, error) {
 	if j.LRRScheduler {
 		g.SetWarpScheduler(sm.SchedLRR)
 	}
+	if j.Tracer != nil {
+		g.SetTracer(j.Tracer)
+	}
+	if j.MetricsInterval > 0 {
+		g.Metrics = &obs.IntervalSeries{Interval: j.MetricsInterval}
+	}
 
 	cycles, err := g.Run()
 	if err != nil {
@@ -207,6 +230,9 @@ func (j *Job) Run() (*Result, error) {
 	res.PerStream = g.StreamStats()
 	res.PerTask = g.TaskStats()
 	res.Timeline = g.Timeline
+	res.Metrics = g.Metrics
+	res.SchedSlots = g.SchedSlots()
+	res.EmptySlots = g.EmptySlots()
 	res.Kernels = g.KernelStats()
 
 	comp := g.Mem().L2Composition()
@@ -304,10 +330,28 @@ func RenderScene(name string, opts render.Options) (*render.Result, error) {
 	return render.RenderFrame(f, opts)
 }
 
+// RunOption tweaks a Job built by RunPair (observability knobs that do
+// not change simulated behavior).
+type RunOption func(*Job)
+
+// WithTracer routes the run's structured trace events to t.
+func WithTracer(t obs.Tracer) RunOption { return func(j *Job) { j.Tracer = t } }
+
+// WithMetrics samples the interval metrics time series every interval
+// cycles into Result.Metrics.
+func WithMetrics(interval int64) RunOption { return func(j *Job) { j.MetricsInterval = interval } }
+
+// WithTimeline samples the per-task occupancy timeline every interval
+// cycles into Result.Timeline.
+func WithTimeline(interval int64) RunOption { return func(j *Job) { j.TimelineInterval = interval } }
+
 // RunPair is the one-call convenience: render sceneName (may be ""),
 // build computeName (may be ""), and run them under policy on cfg.
-func RunPair(cfg config.GPU, sceneName, computeName string, policy PolicyKind, opts render.Options) (*Result, error) {
+func RunPair(cfg config.GPU, sceneName, computeName string, policy PolicyKind, opts render.Options, runOpts ...RunOption) (*Result, error) {
 	job := Job{GPU: cfg, Policy: policy}
+	for _, o := range runOpts {
+		o(&job)
+	}
 	if sceneName != "" {
 		res, err := RenderScene(sceneName, opts)
 		if err != nil {

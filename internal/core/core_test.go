@@ -1,10 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"crisp/internal/compute"
 	"crisp/internal/config"
+	"crisp/internal/obs"
 	"crisp/internal/partition"
 	"crisp/internal/render"
 	"crisp/internal/trace"
@@ -196,5 +200,84 @@ func TestGraphicsWindowDefaults(t *testing.T) {
 func TestRenderSceneUnknown(t *testing.T) {
 	if _, err := RenderScene("nope", tinyOpts()); err == nil {
 		t.Error("unknown scene accepted")
+	}
+}
+
+// TestRunPairObservability is the end-to-end observability check: run a
+// concurrent pair with tracing and metrics attached, confirm the result
+// carries both, that the slot conservation law holds at the Result level,
+// and that the event stream exports to valid Chrome trace JSON.
+func TestRunPairObservability(t *testing.T) {
+	rec := obs.NewRecorder()
+	res, err := RunPair(config.JetsonOrin(), "SPL", "VIO", PolicyEven, tinyOpts(),
+		WithTracer(rec), WithMetrics(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Metrics == nil || len(res.Metrics.Samples) == 0 {
+		t.Fatal("no interval metrics collected")
+	}
+	if res.SchedSlots == 0 {
+		t.Fatal("no scheduler slots reported")
+	}
+	accounted := res.EmptySlots
+	for _, st := range res.PerStream {
+		accounted += st.WarpInsts + st.StallTotal()
+	}
+	if accounted != res.SchedSlots {
+		t.Errorf("slot conservation violated: %d accounted vs %d slots", accounted, res.SchedSlots)
+	}
+
+	kinds := map[obs.EventKind]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.EvKernelLaunch] == 0 || kinds[obs.EvKernelLaunch] != kinds[obs.EvKernelDone] {
+		t.Errorf("kernel launch/done mismatch: %v", kinds)
+	}
+	if kinds[obs.EvCTAIssue] == 0 || kinds[obs.EvCTAIssue] != kinds[obs.EvCTACommit] {
+		t.Errorf("CTA issue/commit mismatch: %v", kinds)
+	}
+	if kinds[obs.EvBatchStart] == 0 {
+		t.Errorf("no batch boundaries for a graphics run: %v", kinds)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rec.Events(), res.Metrics, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("exported trace is not valid JSON")
+	}
+
+	var csv bytes.Buffer
+	if err := res.Metrics.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines < 2 {
+		t.Errorf("metrics CSV has %d lines", lines)
+	}
+}
+
+// TestWarpedSlicerEmitsRepartitions checks the policy-decision events.
+func TestWarpedSlicerEmitsRepartitions(t *testing.T) {
+	rec := obs.NewRecorder()
+	res, err := RunPair(config.JetsonOrin(), "SPL", "VIO", PolicyWarpedSlicer, tinyOpts(),
+		WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WS == nil || res.WS.Resamples() == 0 {
+		t.Fatal("warped slicer did not sample")
+	}
+	n := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.EvRepartition {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Error("no repartition events emitted")
 	}
 }

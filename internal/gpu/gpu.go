@@ -18,6 +18,7 @@ import (
 	"crisp/internal/config"
 	"crisp/internal/isa"
 	"crisp/internal/mem"
+	"crisp/internal/obs"
 	"crisp/internal/sm"
 	"crisp/internal/stats"
 	"crisp/internal/trace"
@@ -116,13 +117,35 @@ type GPU struct {
 	TaskWindows map[int]int
 
 	// Timeline, when non-nil, receives occupancy samples every
-	// Timeline.Interval cycles (paper Fig. 13).
+	// Timeline.Interval cycles (paper Fig. 13). A non-positive Interval
+	// is treated as the default cadence without modifying the caller's
+	// struct.
 	Timeline *stats.Timeline
+
+	// Metrics, when non-nil, receives per-task interval metrics (IPC,
+	// occupancy, cache hit rates, DRAM bandwidth) every Metrics.Interval
+	// cycles.
+	Metrics *obs.IntervalSeries
+
+	tracer     obs.Tracer
+	taskLabels map[int]string
+	mPrev      []taskSnap
+	mPrevCycle int64
 
 	now         int64
 	epoch       int64 // policy tick interval
 	maxTask     int
 	kernelStats []KernelStat
+}
+
+// taskSnap is a cumulative per-task counter snapshot used to derive
+// interval deltas for the metrics series.
+type taskSnap struct {
+	warpInsts  int64
+	l1A, l1M   int64
+	l2A, l2M   int64
+	dramBytes  int64
+	hasStreams bool
 }
 
 // New builds a GPU for cfg. The configuration is validated.
@@ -139,6 +162,7 @@ func New(cfg config.GPU) (*GPU, error) {
 		memsys:        memsys,
 		statsByStream: make(map[int]*stats.Stream),
 		TaskWindows:   make(map[int]int),
+		taskLabels:    make(map[int]string),
 		lastStream:    -1,
 		epoch:         2048,
 	}
@@ -163,6 +187,38 @@ func (g *GPU) Cores() []*sm.Core { return g.cores }
 
 // Now reports the current simulation cycle.
 func (g *GPU) Now() int64 { return g.now }
+
+// SetTracer installs a trace-event sink on the GPU and its memory
+// system. A nil tracer (the default) disables tracing; every emission
+// site then costs a single branch.
+func (g *GPU) SetTracer(t obs.Tracer) {
+	g.tracer = t
+	g.memsys.SetTracer(t)
+}
+
+// Tracer reports the installed tracer (nil when tracing is disabled);
+// policies use it to emit repartition events.
+func (g *GPU) Tracer() obs.Tracer { return g.tracer }
+
+// SchedSlots reports the total warp-scheduler issue slots examined
+// across all SMs.
+func (g *GPU) SchedSlots() int64 {
+	var n int64
+	for _, c := range g.cores {
+		n += c.SchedSlots()
+	}
+	return n
+}
+
+// EmptySlots reports the issue slots in which a scheduler had no
+// resident warps.
+func (g *GPU) EmptySlots() int64 {
+	var n int64
+	for _, c := range g.cores {
+		n += c.EmptySlots()
+	}
+	return n
+}
 
 // InstsOnSM reports warp instructions issued on an SM for a task since the
 // last ResetSMCounters (warped-slicer's sampling input).
@@ -224,6 +280,20 @@ func (g *GPU) AddStream(def StreamDef) error {
 	if def.Task > g.maxTask {
 		g.maxTask = def.Task
 	}
+	// Label the task for the metrics series: a single-stream task keeps
+	// its stream's label; multi-stream tasks (graphics batches) fall back
+	// to a generic task name.
+	if old, ok := g.taskLabels[def.Task]; !ok {
+		g.taskLabels[def.Task] = def.Label
+	} else if old != def.Label {
+		if def.Task == 0 {
+			// Task 0 is the rendering task; its many batch streams all
+			// carry distinct labels.
+			g.taskLabels[def.Task] = "graphics"
+		} else {
+			g.taskLabels[def.Task] = fmt.Sprintf("task%d", def.Task)
+		}
+	}
 	return nil
 }
 
@@ -245,6 +315,20 @@ func (g *GPU) OnIssue(smID, stream, task int, op isa.Opcode, lanes int) {
 	if task < len(g.instsBySMTask[smID]) {
 		g.instsBySMTask[smID][task]++
 	}
+}
+
+// OnStall implements sm.InstStats: one scheduler issue slot in which the
+// stream's earliest-ready warp could not issue.
+func (g *GPU) OnStall(smID, stream, task int, cause obs.StallCause) {
+	st := g.lastStat
+	if stream != g.lastStream || st == nil {
+		st = g.statsByStream[stream]
+		g.lastStream, g.lastStat = stream, st
+	}
+	if st == nil {
+		return
+	}
+	st.Stalls[cause]++
 }
 
 // activateStreams opens stream slots respecting per-task windows.
@@ -288,6 +372,14 @@ func (g *GPU) launchReady() {
 		k := st.def.Kernels[st.idx]
 		l := &launch{k: k, task: st.def.Task, stream: st, started: g.now}
 		g.running = append(g.running, l)
+		if t := g.tracer; t != nil {
+			if !st.started && k.Kind.IsGraphics() {
+				t.Emit(obs.Event{Cycle: g.now, Kind: obs.EvBatchStart, Stream: st.def.ID,
+					Task: st.def.Task, SM: -1, CTA: -1, Name: st.def.Label})
+			}
+			t.Emit(obs.Event{Cycle: g.now, Kind: obs.EvKernelLaunch, Stream: st.def.ID,
+				Task: st.def.Task, SM: -1, CTA: -1, Name: k.Name, Arg: int64(len(k.CTAs))})
+		}
 		if !st.started {
 			st.started = true
 			st.start = g.now
@@ -330,12 +422,21 @@ func (g *GPU) issueCTAs() {
 				if !core.CanAccept(l.k, l.task) {
 					continue
 				}
+				ctaIdx, smID := l.nextCTA, core.ID
+				if t := g.tracer; t != nil {
+					t.Emit(obs.Event{Cycle: g.now, Kind: obs.EvCTAIssue, Stream: l.k.Stream,
+						Task: l.task, SM: smID, CTA: ctaIdx, Name: l.k.Name})
+				}
 				core.IssueCTA(g.now, l.k, l.nextCTA, l.task, func(doneAt int64) {
 					l.doneCTAs++
 					if doneAt > l.lastDone {
 						l.lastDone = doneAt
 					}
 					st.stat.Cycles = doneAt - st.start
+					if t := g.tracer; t != nil {
+						t.Emit(obs.Event{Cycle: doneAt, Kind: obs.EvCTACommit, Stream: l.k.Stream,
+							Task: l.task, SM: smID, CTA: ctaIdx, Name: l.k.Name})
+					}
 				})
 				l.nextCTA++
 				st.stat.CTAsLaunched++
@@ -362,6 +463,14 @@ func (g *GPU) reapFinished() {
 			if l.stream.idx >= len(l.stream.def.Kernels) {
 				l.stream.active = false
 			}
+			if t := g.tracer; t != nil {
+				t.Emit(obs.Event{Cycle: l.lastDone, Kind: obs.EvKernelDone, Stream: l.k.Stream,
+					Task: l.task, SM: -1, CTA: -1, Name: l.k.Name, Arg: int64(len(l.k.CTAs))})
+				if l.stream.idx >= len(l.stream.def.Kernels) && l.k.Kind.IsGraphics() {
+					t.Emit(obs.Event{Cycle: l.lastDone, Kind: obs.EvBatchDone, Stream: l.k.Stream,
+						Task: l.task, SM: -1, CTA: -1, Name: l.stream.def.Label})
+				}
+			}
 			continue
 		}
 		kept = append(kept, l)
@@ -376,9 +485,24 @@ func (g *GPU) KernelStats() []KernelStat { return g.kernelStats }
 // in cycles.
 func (g *GPU) Run() (int64, error) {
 	const never = int64(1<<62 - 1)
-	var nextSample int64
-	if g.Timeline != nil && g.Timeline.Interval <= 0 {
-		g.Timeline.Interval = 1024
+	// Default the sampling cadences locally: the Timeline/Metrics structs
+	// are caller-owned and must not be written back.
+	var nextSample, timelineInterval int64
+	if g.Timeline != nil {
+		timelineInterval = g.Timeline.Interval
+		if timelineInterval <= 0 {
+			timelineInterval = 1024
+		}
+	}
+	var nextMetrics, metricsInterval int64
+	if g.Metrics != nil {
+		metricsInterval = g.Metrics.Interval
+		if metricsInterval <= 0 {
+			metricsInterval = 2048
+		}
+		// Rates are deltas, so the first sample is only meaningful one
+		// full interval in.
+		nextMetrics = metricsInterval
 	}
 	lastTick := int64(0)
 	for {
@@ -428,12 +552,20 @@ func (g *GPU) Run() (int64, error) {
 
 		if g.Timeline != nil && g.now >= nextSample {
 			g.sampleTimeline()
-			nextSample = g.now + g.Timeline.Interval
+			nextSample = g.now + timelineInterval
+		}
+		if g.Metrics != nil && g.now >= nextMetrics {
+			g.sampleMetrics()
+			nextMetrics = g.now + metricsInterval
 		}
 		if g.policy != nil && g.now-lastTick >= g.epoch {
 			g.policy.Tick(g.now)
 			lastTick = g.now
 		}
+	}
+	if g.Metrics != nil && g.now > g.mPrevCycle {
+		// Close the series with the tail interval.
+		g.sampleMetrics()
 	}
 	g.foldMemCounters()
 	return g.now, nil
@@ -454,6 +586,62 @@ func (g *GPU) sampleTimeline() {
 		}
 	}
 	g.Timeline.Samples = append(g.Timeline.Samples, sample)
+}
+
+// sampleMetrics appends one interval metrics sample: per-task rates
+// derived from cumulative counter deltas since the previous sample.
+func (g *GPU) sampleMetrics() {
+	nt := g.maxTask + 1
+	if g.mPrev == nil {
+		g.mPrev = make([]taskSnap, nt)
+	}
+	cur := make([]taskSnap, nt)
+	for _, st := range g.streams {
+		c := &cur[st.def.Task]
+		c.hasStreams = true
+		c.warpInsts += st.stat.WarpInsts
+		if mc := g.memsys.PeekCounters(st.def.ID); mc != nil {
+			c.l1A += mc.L1Accesses
+			c.l1M += mc.L1Misses
+			c.l2A += mc.L2Accesses
+			c.l2M += mc.L2Misses
+			c.dramBytes += mc.DRAMReadB + mc.DRAMWriteB
+		}
+	}
+	dt := g.now - g.mPrevCycle
+	if dt <= 0 {
+		dt = 1
+	}
+	hit := func(acc, miss int64) float64 {
+		if acc == 0 {
+			return 0
+		}
+		return 1 - float64(miss)/float64(acc)
+	}
+	sample := obs.Sample{Cycle: g.now}
+	for task := 0; task < nt; task++ {
+		if !cur[task].hasStreams {
+			continue
+		}
+		warps := 0
+		for _, core := range g.cores {
+			warps += core.ResidentWarps(task)
+		}
+		d := cur[task]
+		p := g.mPrev[task]
+		sample.Points = append(sample.Points, obs.SeriesPoint{
+			Stream:            task,
+			Label:             g.taskLabels[task],
+			IPC:               float64(d.warpInsts-p.warpInsts) / float64(dt),
+			Warps:             warps,
+			L1Hit:             hit(d.l1A-p.l1A, d.l1M-p.l1M),
+			L2Hit:             hit(d.l2A-p.l2A, d.l2M-p.l2M),
+			DRAMBytesPerCycle: float64(d.dramBytes-p.dramBytes) / float64(dt),
+		})
+	}
+	g.Metrics.Samples = append(g.Metrics.Samples, sample)
+	copy(g.mPrev, cur)
+	g.mPrevCycle = g.now
 }
 
 // foldMemCounters copies the memory system's per-stream counters into the

@@ -5,6 +5,7 @@ import (
 
 	"crisp/internal/config"
 	"crisp/internal/isa"
+	"crisp/internal/obs"
 	"crisp/internal/sm"
 	"crisp/internal/stats"
 	"crisp/internal/trace"
@@ -343,5 +344,193 @@ func TestKernelStatsRecorded(t *testing.T) {
 	// In-order stream: second launches after first finishes.
 	if ks[1].Launched < ks[0].Done {
 		t.Errorf("second launched at %d before first done at %d", ks[1].Launched, ks[0].Done)
+	}
+}
+
+// TestStallConservation checks the issue-slot partition law: every
+// scheduler slot is exactly one of an issue (per-stream WarpInsts), an
+// attributed stall (per-stream Stalls), or an empty slot.
+func TestStallConservation(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 8, 4, 100)}})
+	g.AddStream(StreamDef{ID: 7, Task: 1, Kernels: []*trace.Kernel{memKernel("m", 7, 6, 1 << 28)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var accounted int64
+	for _, st := range g.StreamStats() {
+		accounted += st.WarpInsts + st.StallTotal()
+	}
+	accounted += g.EmptySlots()
+	if g.SchedSlots() == 0 {
+		t.Fatal("no scheduler slots counted")
+	}
+	if accounted != g.SchedSlots() {
+		t.Errorf("slot conservation violated: %d accounted (issues+stalls+empty) vs %d slots",
+			accounted, g.SchedSlots())
+	}
+}
+
+// TestStallCausesAttributed checks that dependence-heavy and memory-heavy
+// kernels produce stalls of the expected classes.
+func TestStallCausesAttributed(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 2, 1, 400)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.StreamStats()[0]
+	if st.Stalls[obs.StallScoreboard] == 0 {
+		t.Errorf("single-warp dependence chain produced no scoreboard stalls: %v", st.Stalls)
+	}
+
+	g2 := newGPU(t)
+	g2.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 0, 2, 1 << 28)}})
+	if _, err := g2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := g2.StreamStats()[0]
+	if st2.Stalls[obs.StallMemPending] == 0 {
+		t.Errorf("streaming-load kernel produced no mem-pending stalls: %v", st2.Stalls)
+	}
+}
+
+// TestTracerKernelAndCTAEvents checks the event stream for one kernel:
+// paired launch/done and issue/commit markers with sane cycles.
+func TestTracerKernelAndCTAEvents(t *testing.T) {
+	g := newGPU(t)
+	rec := obs.NewRecorder()
+	g.SetTracer(rec)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("k", 0, 4, 2, 50)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.EventKind]int{}
+	var launch, done obs.Event
+	for _, ev := range rec.Events() {
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case obs.EvKernelLaunch:
+			launch = ev
+		case obs.EvKernelDone:
+			done = ev
+		}
+	}
+	if counts[obs.EvKernelLaunch] != 1 || counts[obs.EvKernelDone] != 1 {
+		t.Fatalf("kernel events = %v", counts)
+	}
+	if counts[obs.EvCTAIssue] != 4 || counts[obs.EvCTACommit] != 4 {
+		t.Errorf("CTA events = %v, want 4 issues and 4 commits", counts)
+	}
+	if launch.Name != "k" || launch.Arg != 4 {
+		t.Errorf("launch event = %+v", launch)
+	}
+	if done.Cycle <= launch.Cycle {
+		t.Errorf("kernel done at %d not after launch at %d", done.Cycle, launch.Cycle)
+	}
+}
+
+// TestNilTracerEmitsNothing is the fast-path sanity check: an untraced
+// run must not allocate or emit anywhere (it would nil-panic if any site
+// skipped its guard).
+func TestNilTracerEmitsNothing(t *testing.T) {
+	g := newGPU(t)
+	if g.Tracer() != nil {
+		t.Fatal("tracer should default to nil")
+	}
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 0, 4, 1 << 28)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimelineIntervalNotMutated checks that Run defaults the sampling
+// cadence locally instead of writing to the caller-owned structs.
+func TestTimelineIntervalNotMutated(t *testing.T) {
+	g := newGPU(t)
+	g.Timeline = &stats.Timeline{} // Interval deliberately zero
+	g.Metrics = &obs.IntervalSeries{}
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("k", 0, 8, 4, 200)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Timeline.Interval != 0 {
+		t.Errorf("Run mutated caller-owned Timeline.Interval to %d", g.Timeline.Interval)
+	}
+	if g.Metrics.Interval != 0 {
+		t.Errorf("Run mutated caller-owned Metrics.Interval to %d", g.Metrics.Interval)
+	}
+	if len(g.Timeline.Samples) == 0 {
+		t.Error("default timeline cadence produced no samples")
+	}
+}
+
+// TestTimelineCadence checks the sampling spacing: consecutive samples
+// are at least Interval cycles apart (the event-accelerated loop may
+// overshoot, never undershoot).
+func TestTimelineCadence(t *testing.T) {
+	g := newGPU(t)
+	g.Timeline = &stats.Timeline{Interval: 64}
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("k", 0, 8, 4, 300)}})
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Timeline.Samples
+	if len(s) < 3 {
+		t.Fatalf("samples = %d, want several", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if d := s[i].Cycle - s[i-1].Cycle; d < 64 {
+			t.Errorf("samples %d cycles apart, want >= 64", d)
+		}
+	}
+}
+
+// TestIntervalMetricsSampling checks the metrics series: per-task points
+// with interval-local (not cumulative) rates and a closing tail sample.
+func TestIntervalMetricsSampling(t *testing.T) {
+	g := newGPU(t)
+	g.Metrics = &obs.IntervalSeries{Interval: 256}
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 8, 4, 200)}})
+	g.AddStream(StreamDef{ID: 9, Task: 1, Kernels: []*trace.Kernel{memKernel("m", 9, 6, 1 << 28)}})
+	cycles, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := g.Metrics.Samples
+	if len(samples) < 2 {
+		t.Fatalf("metrics samples = %d, want several over %d cycles", len(samples), cycles)
+	}
+	if first := samples[0].Cycle; first < 256 {
+		t.Errorf("first sample at cycle %d, want >= one interval (256)", first)
+	}
+	if tail := samples[len(samples)-1].Cycle; tail != cycles {
+		t.Errorf("tail sample at %d, want run end %d", tail, cycles)
+	}
+	// Interval IPC must be a rate, not a cumulative count: bounded by the
+	// whole GPU's theoretical issue width.
+	maxIPC := 0.0
+	sawBoth := false
+	for _, smp := range samples {
+		tasks := map[int]bool{}
+		for _, p := range smp.Points {
+			tasks[p.Stream] = true
+			if p.IPC > maxIPC {
+				maxIPC = p.IPC
+			}
+			if p.IPC < 0 {
+				t.Errorf("negative IPC %f at cycle %d", p.IPC, smp.Cycle)
+			}
+		}
+		if tasks[0] && tasks[1] {
+			sawBoth = true
+		}
+	}
+	cfg := g.Config()
+	if bound := float64(cfg.NumSMs * cfg.SchedulersPerSM); maxIPC > bound {
+		t.Errorf("interval IPC %f exceeds machine issue width %f (cumulative, not delta?)", maxIPC, bound)
+	}
+	if !sawBoth {
+		t.Error("no sample carried points for both tasks")
 	}
 }

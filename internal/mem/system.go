@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"crisp/internal/config"
+	"crisp/internal/obs"
 	"crisp/internal/trace"
 )
 
@@ -40,8 +41,23 @@ type System struct {
 	mapper   L2Mapper
 	observer Observer
 
+	tracer obs.Tracer
+	// lastL2Cont / lastDramCont rate-limit contention markers to one per
+	// queue per contentionEvery cycles so congested phases do not flood
+	// the trace.
+	lastL2Cont   []int64
+	lastDramCont []int64
+
 	counters map[int]*Counters
 }
+
+// Contention-marker thresholds: a request queueing at least contentionMin
+// cycles behind an L2 bank or DRAM channel emits an EvMemContention event
+// (at most one per queue per contentionEvery cycles).
+const (
+	contentionMin   = 32
+	contentionEvery = 256
+)
 
 // NewSystem builds the memory system for cfg with the default shared
 // mapper.
@@ -53,6 +69,8 @@ func NewSystem(cfg *config.GPU) (*System, error) {
 		l2:           make([]*Cache, cfg.L2Banks),
 		l2NextFree:   make([]int64, cfg.L2Banks),
 		dramNextFree: make([]int64, cfg.MemChannels),
+		lastL2Cont:   make([]int64, cfg.L2Banks),
+		lastDramCont: make([]int64, cfg.MemChannels),
 		mapper:       SharedMapper{},
 		counters:     make(map[int]*Counters),
 	}
@@ -102,6 +120,10 @@ func (s *System) SetMapper(m L2Mapper) { s.mapper = m }
 // SetObserver installs an L2 access observer (e.g. TAP's monitors).
 func (s *System) SetObserver(o Observer) { s.observer = o }
 
+// SetTracer installs a trace-event sink for contention markers; nil (the
+// default) disables them at the cost of one branch per access.
+func (s *System) SetTracer(t obs.Tracer) { s.tracer = t }
+
 // SetsPerBank reports the number of sets in each L2 bank.
 func (s *System) SetsPerBank() int { return s.setsPer }
 
@@ -114,6 +136,10 @@ func (s *System) Counters(stream int) *Counters {
 	}
 	return c
 }
+
+// PeekCounters returns the counter block for a stream without creating
+// one; nil means the stream has produced no memory traffic.
+func (s *System) PeekCounters(stream int) *Counters { return s.counters[stream] }
 
 // Streams lists the stream ids with recorded activity, sorted.
 func (s *System) Streams() []int {
@@ -214,6 +240,13 @@ func (s *System) l2Access(now int64, stream int, class trace.MemClass, addr uint
 		start = arrive
 	}
 	s.l2NextFree[bank] = start + 1
+	if t := s.tracer; t != nil {
+		if wait := start - arrive; wait >= contentionMin && now-s.lastL2Cont[bank] >= contentionEvery {
+			s.lastL2Cont[bank] = now
+			t.Emit(obs.Event{Cycle: now, Kind: obs.EvMemContention, Stream: stream,
+				Task: -1, SM: bank, CTA: -1, Name: "L2 bank queue", Arg: wait})
+		}
+	}
 
 	hit := s.l2[bank].Probe(addr, set)
 	if s.observer != nil {
@@ -236,7 +269,7 @@ func (s *System) l2Access(now int64, stream int, class trace.MemClass, addr uint
 		delete(s.l2Pending[bank], granule)
 	}
 	// Miss: fetch line from DRAM (write-allocate covers stores too).
-	ready := s.dramTransfer(start+int64(s.cfg.L2Latency), bank, cnt, false)
+	ready := s.dramTransfer(start+int64(s.cfg.L2Latency), bank, stream, cnt, false)
 	s.l2Pending[bank][granule] = ready
 	if len(s.l2Pending[bank]) > 4*s.cfg.L2MSHRs {
 		for k, r := range s.l2Pending[bank] {
@@ -248,7 +281,7 @@ func (s *System) l2Access(now int64, stream int, class trace.MemClass, addr uint
 	if res.Writeback {
 		// Dirty eviction: schedule the writeback; it consumes bandwidth
 		// but nobody waits on it.
-		s.dramTransfer(start+int64(s.cfg.L2Latency), bank, cnt, true)
+		s.dramTransfer(start+int64(s.cfg.L2Latency), bank, stream, cnt, true)
 	}
 	return ready
 }
@@ -258,11 +291,18 @@ func (s *System) l2Access(now int64, stream int, class trace.MemClass, addr uint
 // partitioning the banks (MiG) also partitions the DRAM channels — and
 // with them the memory bandwidth, which is the paper's explanation for
 // MiG's slowdown on memory-bound pairs.
-func (s *System) dramTransfer(now int64, bank int, cnt *Counters, write bool) int64 {
+func (s *System) dramTransfer(now int64, bank, stream int, cnt *Counters, write bool) int64 {
 	ch := bank * s.cfg.MemChannels / s.cfg.L2Banks
 	start := s.dramNextFree[ch]
 	if now > start {
 		start = now
+	}
+	if t := s.tracer; t != nil {
+		if wait := start - now; wait >= contentionMin && now-s.lastDramCont[ch] >= contentionEvery {
+			s.lastDramCont[ch] = now
+			t.Emit(obs.Event{Cycle: now, Kind: obs.EvMemContention, Stream: stream,
+				Task: -1, SM: ch, CTA: -1, Name: "DRAM channel queue", Arg: wait})
+		}
 	}
 	done := start + int64(s.dramSvc+0.5)
 	s.dramNextFree[ch] = done

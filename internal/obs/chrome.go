@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Synthetic pids for tracks that do not belong to a simulated stream.
+// Stream ids stay below 1<<21 (graphics batches count from 0, compute
+// streams from 1<<20), so these can never collide.
+const (
+	pidPolicy  = 1 << 30 // partition-policy decision track
+	pidMemory  = 1<<30 + 1
+	pidMetrics = 1<<30 + 2
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the JSON dialect both chrome://tracing and Perfetto load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace converts recorded events (and an optional interval
+// series) into Chrome trace-event JSON loadable by Perfetto or
+// chrome://tracing. One trace "process" is emitted per stream (named via
+// streamLabel when non-nil), with kernel spans on thread 0 and CTA spans
+// on one thread per SM; policy repartitions, memory contention markers,
+// and interval metric counters get their own processes. Timestamps are
+// simulation cycles rendered as microseconds (1 cycle = 1 µs), and the
+// output is sorted so ts is non-decreasing within every (pid, tid)
+// track.
+func WriteChromeTrace(w io.Writer, events []Event, series *IntervalSeries, streamLabel func(stream int) string) error {
+	var out []chromeEvent
+
+	type ctaKey struct{ stream, cta int }
+	pendingKernel := make(map[int]Event)
+	pendingCTA := make(map[ctaKey]Event)
+	usedTid := make(map[[2]int]bool)
+	var lastCycle int64
+
+	use := func(pid, tid int) {
+		usedTid[[2]int{pid, tid}] = true
+	}
+	for _, ev := range events {
+		if ev.Cycle > lastCycle {
+			lastCycle = ev.Cycle
+		}
+		switch ev.Kind {
+		case EvKernelLaunch:
+			pendingKernel[ev.Stream] = ev
+		case EvKernelDone:
+			b, ok := pendingKernel[ev.Stream]
+			if !ok {
+				continue
+			}
+			delete(pendingKernel, ev.Stream)
+			use(ev.Stream, 0)
+			out = append(out, chromeEvent{
+				Name: b.Name, Ph: "X", Ts: b.Cycle, Dur: maxi64(ev.Cycle-b.Cycle, 1),
+				Pid: ev.Stream, Tid: 0,
+				Args: map[string]any{"ctas": b.Arg, "task": b.Task},
+			})
+		case EvCTAIssue:
+			pendingCTA[ctaKey{ev.Stream, ev.CTA}] = ev
+		case EvCTACommit:
+			b, ok := pendingCTA[ctaKey{ev.Stream, ev.CTA}]
+			if !ok {
+				continue
+			}
+			delete(pendingCTA, ctaKey{ev.Stream, ev.CTA})
+			use(ev.Stream, 1+b.SM)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s cta%d", b.Name, b.CTA), Ph: "X",
+				Ts: b.Cycle, Dur: maxi64(ev.Cycle-b.Cycle, 1),
+				Pid: ev.Stream, Tid: 1 + b.SM,
+				Args: map[string]any{"cta": b.CTA, "sm": b.SM},
+			})
+		case EvBatchStart, EvBatchDone:
+			use(ev.Stream, 0)
+			verb := "start"
+			if ev.Kind == EvBatchDone {
+				verb = "done"
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("batch %s %s", ev.Name, verb), Ph: "i",
+				Ts: ev.Cycle, Pid: ev.Stream, Tid: 0, S: "p",
+			})
+		case EvRepartition:
+			use(pidPolicy, 0)
+			out = append(out, chromeEvent{
+				Name: ev.Name, Ph: "i", Ts: ev.Cycle, Pid: pidPolicy, Tid: 0, S: "g",
+				Args: map[string]any{"arg": ev.Arg, "task": ev.Task},
+			})
+		case EvMemContention:
+			use(pidMemory, ev.SM)
+			out = append(out, chromeEvent{
+				Name: ev.Name, Ph: "i", Ts: ev.Cycle, Pid: pidMemory, Tid: ev.SM, S: "t",
+				Args: map[string]any{"wait_cycles": ev.Arg, "stream": ev.Stream},
+			})
+		}
+	}
+	// Close dangling spans (interrupted runs) at the last seen cycle.
+	for stream, b := range pendingKernel {
+		use(stream, 0)
+		out = append(out, chromeEvent{
+			Name: b.Name, Ph: "X", Ts: b.Cycle, Dur: maxi64(lastCycle-b.Cycle, 1),
+			Pid: stream, Tid: 0, Args: map[string]any{"ctas": b.Arg, "unfinished": true},
+		})
+	}
+	for key, b := range pendingCTA {
+		use(key.stream, 1+b.SM)
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("%s cta%d", b.Name, b.CTA), Ph: "X",
+			Ts: b.Cycle, Dur: maxi64(lastCycle-b.Cycle, 1),
+			Pid: key.stream, Tid: 1 + b.SM,
+			Args: map[string]any{"cta": b.CTA, "sm": b.SM, "unfinished": true},
+		})
+	}
+
+	if series != nil {
+		for _, smp := range series.Samples {
+			for _, p := range smp.Points {
+				for _, c := range []struct {
+					metric string
+					value  float64
+				}{
+					{"IPC", p.IPC},
+					{"occupancy", float64(p.Warps)},
+					{"L1 hit", p.L1Hit},
+					{"L2 hit", p.L2Hit},
+					{"DRAM B/cycle", p.DRAMBytesPerCycle},
+				} {
+					use(pidMetrics, 0)
+					out = append(out, chromeEvent{
+						Name: fmt.Sprintf("%s %s", p.Label, c.metric), Ph: "C",
+						Ts: smp.Cycle, Pid: pidMetrics, Tid: 0,
+						Args: map[string]any{"value": c.value},
+					})
+				}
+			}
+		}
+	}
+
+	// Track naming metadata.
+	seenPid := make(map[int]bool)
+	for pt := range usedTid {
+		pid, tid := pt[0], pt[1]
+		if !seenPid[pid] {
+			seenPid[pid] = true
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": pidName(pid, streamLabel)},
+			})
+		}
+		tname := ""
+		switch {
+		case pid == pidMemory:
+			tname = fmt.Sprintf("queue %d", tid)
+		case pid == pidPolicy || pid == pidMetrics:
+			// single-track processes need no thread names
+		case tid == 0:
+			tname = "kernels"
+		default:
+			tname = fmt.Sprintf("SM %d", tid-1)
+		}
+		if tname != "" {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": tname},
+			})
+		}
+	}
+
+	// Perfetto wants non-decreasing ts within a track; metadata (ph "M",
+	// ts 0) sorts first naturally.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pid != out[j].Pid {
+			return out[i].Pid < out[j].Pid
+		}
+		if out[i].Tid != out[j].Tid {
+			return out[i].Tid < out[j].Tid
+		}
+		return out[i].Ts < out[j].Ts
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+func pidName(pid int, streamLabel func(int) string) string {
+	switch pid {
+	case pidPolicy:
+		return "partition policy"
+	case pidMemory:
+		return "memory contention"
+	case pidMetrics:
+		return "interval metrics"
+	}
+	if streamLabel != nil {
+		if l := streamLabel(pid); l != "" {
+			return fmt.Sprintf("stream %d (%s)", pid, l)
+		}
+	}
+	return fmt.Sprintf("stream %d", pid)
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SeriesPoint is one task-stream's metrics over one sampling interval.
+// "Stream" here is the paper's logical stream (the rendering task or one
+// compute workload), i.e. the task id: per-batch hardware streams are
+// folded into their owning task so the series stays readable.
+type SeriesPoint struct {
+	Stream int    // task id (0 = graphics, 1.. = compute workloads)
+	Label  string // task label ("graphics", workload name, or "taskN")
+
+	IPC   float64 // warp instructions per cycle over the interval
+	Warps int     // resident warps at the sample instant (occupancy)
+	L1Hit float64 // L1 hit rate over the interval (0 when no accesses)
+	L2Hit float64 // L2 hit rate over the interval (0 when no accesses)
+	// DRAMBytesPerCycle is the DRAM bandwidth consumed over the interval
+	// (read + write bytes divided by elapsed cycles).
+	DRAMBytesPerCycle float64
+}
+
+// Sample is one interval's points for every active task-stream.
+type Sample struct {
+	Cycle  int64 // cycle at which the sample was taken
+	Points []SeriesPoint
+}
+
+// IntervalSeries accumulates interval metrics samples at a fixed cycle
+// cadence. The GPU driver appends one Sample roughly every Interval
+// cycles (event-accelerated runs may overshoot a boundary; the recorded
+// Cycle is always the true sample time, and rates are computed over the
+// true elapsed span).
+type IntervalSeries struct {
+	Interval int64
+	Samples  []Sample
+}
+
+// WriteCSV renders the series in long format: one row per (cycle,
+// stream), with per-stream IPC, occupancy, hit-rate, and DRAM-bandwidth
+// columns.
+func (s *IntervalSeries) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "cycle,stream,label,ipc,occupancy_warps,l1_hit,l2_hit,dram_bytes_per_cycle"); err != nil {
+		return err
+	}
+	for _, smp := range s.Samples {
+		for _, p := range smp.Points {
+			if _, err := fmt.Fprintf(bw, "%d,%d,%s,%.4f,%d,%.4f,%.4f,%.2f\n",
+				smp.Cycle, p.Stream, p.Label, p.IPC, p.Warps, p.L1Hit, p.L2Hit, p.DRAMBytesPerCycle); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

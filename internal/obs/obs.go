@@ -1,0 +1,161 @@
+// Package obs is CRISP's cycle-domain observability layer: structured,
+// cycle-stamped trace events emitted by the timing model, a stall-cause
+// taxonomy for per-scheduler issue-slot attribution, an interval metrics
+// time series, and export sinks (Chrome trace-event / Perfetto JSON and
+// CSV).
+//
+// The layer is designed around a nil fast path: every emission site in
+// the simulator is guarded by a single tracer-non-nil branch, so a run
+// with tracing disabled pays one predictable branch per site and nothing
+// else. Stall attribution is always on — it is part of the model's
+// statistics, not of the optional tracing — but it only adds work on
+// scheduler slots that already failed to issue (a path that has already
+// scanned every resident warp).
+//
+// The package is dependency-free (stdlib only) so every simulator layer
+// (sm, mem, gpu, partition, stats) can import it without cycles.
+package obs
+
+// StallCause classifies why a warp scheduler could not issue in a cycle
+// it was given an issue slot. Exactly one cause is recorded per
+// non-issuing slot: the binding constraint of the earliest-ready warp
+// (the warp that will issue soonest), which is the constraint actually
+// delaying forward progress.
+type StallCause uint8
+
+const (
+	// StallScoreboard: a source or destination register is pending on an
+	// ALU/SFU/tensor producer (plain scoreboard dependence).
+	StallScoreboard StallCause = iota
+	// StallMemPending: a register is pending on an outstanding memory
+	// access (global, texture, shared, or constant load).
+	StallMemPending
+	// StallPipeBusy: the instruction's execution unit has not finished
+	// its initiation interval for the previous instruction.
+	StallPipeBusy
+	// StallBarrier: the warp is waiting at a CTA-wide barrier.
+	StallBarrier
+	// StallEmptySlot: the scheduler had no resident warps while its SM
+	// was otherwise busy (a wasted issue slot from under-occupancy).
+	StallEmptySlot
+
+	numStallCauses
+)
+
+// NumStallCauses is the number of distinct stall causes, for sizing
+// per-cause accumulator arrays.
+const NumStallCauses = int(numStallCauses)
+
+var stallNames = [NumStallCauses]string{
+	StallScoreboard: "scoreboard",
+	StallMemPending: "mem-pending",
+	StallPipeBusy:   "pipe-busy",
+	StallBarrier:    "barrier",
+	StallEmptySlot:  "empty-slot",
+}
+
+func (c StallCause) String() string {
+	if int(c) < len(stallNames) {
+		return stallNames[c]
+	}
+	return "StallCause(?)"
+}
+
+// StallCauses lists every cause in accumulator order.
+func StallCauses() []StallCause {
+	out := make([]StallCause, NumStallCauses)
+	for i := range out {
+		out[i] = StallCause(i)
+	}
+	return out
+}
+
+// EventKind identifies the type of a trace event.
+type EventKind uint8
+
+const (
+	// EvKernelLaunch marks a kernel entering the running set.
+	EvKernelLaunch EventKind = iota
+	// EvKernelDone marks a kernel's last CTA committing.
+	EvKernelDone
+	// EvCTAIssue marks one CTA being placed on an SM.
+	EvCTAIssue
+	// EvCTACommit marks one CTA's last warp exiting.
+	EvCTACommit
+	// EvBatchStart marks a graphics drawcall batch (stream) beginning
+	// execution.
+	EvBatchStart
+	// EvBatchDone marks a graphics drawcall batch (stream) draining.
+	EvBatchDone
+	// EvRepartition marks a dynamic partition policy decision (sampling
+	// restart or a newly chosen split).
+	EvRepartition
+	// EvMemContention marks sustained queueing at an L2 bank or DRAM
+	// channel (the shared-resource contention the paper studies).
+	EvMemContention
+)
+
+var kindNames = [...]string{
+	EvKernelLaunch:  "kernel-launch",
+	EvKernelDone:    "kernel-done",
+	EvCTAIssue:      "cta-issue",
+	EvCTACommit:     "cta-commit",
+	EvBatchStart:    "batch-start",
+	EvBatchDone:     "batch-done",
+	EvRepartition:   "repartition",
+	EvMemContention: "mem-contention",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "EventKind(?)"
+}
+
+// Event is one cycle-stamped structured trace event. Fields that do not
+// apply to a kind are -1 (Stream, Task, SM, CTA) or zero values.
+type Event struct {
+	Cycle  int64
+	Kind   EventKind
+	Stream int    // owning stream id (-1 for policy-global events)
+	Task   int    // owning task (-1 when not applicable)
+	SM     int    // SM id, L2 bank, or DRAM channel (-1 when n/a)
+	CTA    int    // CTA index within the kernel (-1 when n/a)
+	Name   string // kernel/batch/policy detail
+	Arg    int64  // kind-specific payload (CTA count, wait cycles, split)
+}
+
+// Tracer receives trace events from the timing model. Implementations
+// must be cheap: Emit is called from the simulator's hot loop (guarded
+// by one nil check per site). The simulator is single-threaded, so
+// implementations need no locking.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// Recorder is a Tracer that appends every event to memory.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(ev Event) { r.events = append(r.events, ev) }
+
+// Events returns the recorded events in emission order. The slice is
+// owned by the recorder; callers must not mutate it while recording.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Reset discards all recorded events, retaining capacity.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// NullTracer is a Tracer that discards everything. It exists to measure
+// the cost of the emission sites themselves (branch + interface call +
+// event construction) against the nil fast path.
+type NullTracer struct{}
+
+// Emit implements Tracer.
+func (NullTracer) Emit(Event) {}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderCollectsAndResets(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Cycle: 10, Kind: EvKernelLaunch, Stream: 1, Name: "k"})
+	r.Emit(Event{Cycle: 20, Kind: EvKernelDone, Stream: 1, Name: "k"})
+	if n := len(r.Events()); n != 2 {
+		t.Fatalf("events = %d, want 2", n)
+	}
+	if r.Events()[0].Cycle != 10 || r.Events()[1].Kind != EvKernelDone {
+		t.Errorf("events recorded out of order: %+v", r.Events())
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestStallCauseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range StallCauses() {
+		s := c.String()
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("cause %d has no name: %q", c, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate cause name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(StallCauses()) != NumStallCauses {
+		t.Errorf("StallCauses() = %d entries, want %d", len(StallCauses()), NumStallCauses)
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	kinds := []EventKind{EvKernelLaunch, EvKernelDone, EvCTAIssue, EvCTACommit,
+		EvBatchStart, EvBatchDone, EvRepartition, EvMemContention}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("kind %d has no name: %q", k, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+// chromeDoc mirrors the emitted JSON shape for round-trip checks.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func testEvents() []Event {
+	return []Event{
+		{Cycle: 0, Kind: EvBatchStart, Stream: 0, Task: 0, SM: -1, CTA: -1, Name: "b0"},
+		{Cycle: 0, Kind: EvKernelLaunch, Stream: 0, Task: 0, SM: -1, CTA: -1, Name: "vs", Arg: 2},
+		{Cycle: 1, Kind: EvCTAIssue, Stream: 0, Task: 0, SM: 3, CTA: 0, Name: "vs"},
+		{Cycle: 2, Kind: EvCTAIssue, Stream: 0, Task: 0, SM: 1, CTA: 1, Name: "vs"},
+		{Cycle: 50, Kind: EvCTACommit, Stream: 0, Task: 0, SM: 3, CTA: 0, Name: "vs"},
+		{Cycle: 80, Kind: EvCTACommit, Stream: 0, Task: 0, SM: 1, CTA: 1, Name: "vs"},
+		{Cycle: 80, Kind: EvKernelDone, Stream: 0, Task: 0, SM: -1, CTA: -1, Name: "vs", Arg: 2},
+		{Cycle: 90, Kind: EvBatchDone, Stream: 0, Task: 0, SM: -1, CTA: -1, Name: "b0"},
+		{Cycle: 100, Kind: EvRepartition, Stream: -1, Task: -1, SM: -1, CTA: -1, Name: "split 4:8 CTAs", Arg: 4<<16 | 8},
+		{Cycle: 120, Kind: EvMemContention, Stream: 1 << 20, Task: -1, SM: 2, CTA: -1, Name: "L2 bank queue", Arg: 40},
+		// A kernel that never finishes: must still be closed as a span.
+		{Cycle: 130, Kind: EvKernelLaunch, Stream: 1 << 20, Task: 1, SM: -1, CTA: -1, Name: "dangling", Arg: 1},
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	series := &IntervalSeries{Interval: 64, Samples: []Sample{
+		{Cycle: 64, Points: []SeriesPoint{{Stream: 0, Label: "graphics", IPC: 1.5, Warps: 12, L1Hit: 0.9, L2Hit: 0.5, DRAMBytesPerCycle: 3.2}}},
+		{Cycle: 128, Points: []SeriesPoint{{Stream: 0, Label: "graphics", IPC: 0.5, Warps: 4}}},
+	}}
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, testEvents(), series, func(stream int) string {
+		if stream == 0 {
+			return "batch0"
+		}
+		return ""
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	// ts must be non-decreasing within every (pid, tid) track.
+	last := map[[2]int]int64{}
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		phases[e.Ph]++
+		names[e.Name] = true
+		if e.Ph == "M" {
+			continue
+		}
+		k := [2]int{e.Pid, e.Tid}
+		if prev, ok := last[k]; ok && e.Ts < prev {
+			t.Errorf("track pid=%d tid=%d: ts %d after %d", e.Pid, e.Tid, e.Ts, prev)
+		}
+		last[k] = e.Ts
+	}
+	// One complete kernel span, two CTA spans, one dangling-kernel span.
+	if phases["X"] != 4 {
+		t.Errorf("X events = %d, want 4", phases["X"])
+	}
+	// 2 batch instants + 1 repartition + 1 contention marker.
+	if phases["i"] != 4 {
+		t.Errorf("i events = %d, want 4", phases["i"])
+	}
+	// 5 counters for the full sample + 5 for the sparse one.
+	if phases["C"] != 10 {
+		t.Errorf("C events = %d, want 10", phases["C"])
+	}
+	if phases["M"] == 0 {
+		t.Error("no track-naming metadata emitted")
+	}
+	for _, want := range []string{"vs", "vs cta0", "vs cta1", "dangling",
+		"split 4:8 CTAs", "L2 bank queue", "graphics IPC"} {
+		if !names[want] {
+			t.Errorf("missing event %q", want)
+		}
+	}
+
+	// The dangling kernel must be closed at the last seen cycle (130 with
+	// minimum duration 1).
+	for _, e := range doc.TraceEvents {
+		if e.Name == "dangling" && e.Ph == "X" {
+			if e.Dur < 1 {
+				t.Errorf("dangling span dur = %d", e.Dur)
+			}
+			if e.Args["unfinished"] != true {
+				t.Error("dangling span not marked unfinished")
+			}
+		}
+	}
+}
+
+func TestChromeTraceStreamLabels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, testEvents(), nil, func(int) string { return "lbl" }); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "stream 0 (lbl)") {
+		t.Error("stream label missing from process names")
+	}
+	if !strings.Contains(s, "partition policy") || !strings.Contains(s, "memory contention") {
+		t.Error("synthetic process names missing")
+	}
+	// nil labeler must also work.
+	if err := WriteChromeTrace(&bytes.Buffer{}, testEvents(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSeriesCSV(t *testing.T) {
+	s := &IntervalSeries{Interval: 100, Samples: []Sample{
+		{Cycle: 100, Points: []SeriesPoint{
+			{Stream: 0, Label: "graphics", IPC: 1.25, Warps: 8, L1Hit: 0.5, L2Hit: 0.25, DRAMBytesPerCycle: 2},
+			{Stream: 1, Label: "VIO", IPC: 0.5, Warps: 3},
+		}},
+		{Cycle: 200, Points: []SeriesPoint{
+			{Stream: 0, Label: "graphics", IPC: 2, Warps: 10},
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "cycle,stream,label,ipc,") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "100,0,graphics,1.2500,8,") {
+		t.Errorf("bad row %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "200,0,graphics,") {
+		t.Errorf("bad row %q", lines[3])
+	}
+}

@@ -1,7 +1,10 @@
 package partition
 
 import (
+	"fmt"
+
 	"crisp/internal/gpu"
+	"crisp/internal/obs"
 	"crisp/internal/sm"
 	"crisp/internal/trace"
 )
@@ -125,6 +128,10 @@ func (w *WarpedSlicer) OnLaunch(now int64, k *trace.Kernel, task int) {
 	w.state = wsSampling
 	w.sampleEnd = now + w.cfg.sampleCycles
 	w.resampleCnt++
+	if t := w.g.Tracer(); t != nil {
+		t.Emit(obs.Event{Cycle: now, Kind: obs.EvRepartition, Stream: -1,
+			Task: task, SM: -1, CTA: -1, Name: "resample", Arg: int64(w.resampleCnt)})
+	}
 	w.g.ResetSMCounters()
 }
 
@@ -157,6 +164,11 @@ func (w *WarpedSlicer) Tick(now int64) {
 	w.limits[0] = envelopeFor(w.kernelNeed[0], ca, full)
 	w.limits[1] = envelopeFor(w.kernelNeed[1], cb, full)
 	w.state = wsSteady
+	if t := w.g.Tracer(); t != nil {
+		t.Emit(obs.Event{Cycle: now, Kind: obs.EvRepartition, Stream: -1,
+			Task: -1, SM: -1, CTA: -1,
+			Name: fmt.Sprintf("split %d:%d CTAs", ca, cb), Arg: int64(ca)<<16 | int64(cb)})
+	}
 	w.g.ResetSMCounters()
 }
 

@@ -17,6 +17,7 @@ import (
 	"crisp/internal/config"
 	"crisp/internal/isa"
 	"crisp/internal/mem"
+	"crisp/internal/obs"
 	"crisp/internal/trace"
 )
 
@@ -89,6 +90,12 @@ const never = int64(math.MaxInt64 / 4)
 // and the owning stream.
 type InstStats interface {
 	OnIssue(smID, stream, task int, op isa.Opcode, lanes int)
+	// OnStall reports one scheduler issue slot in which no resident warp
+	// could issue; stream/task identify the earliest-ready warp (the one
+	// whose binding constraint is actually delaying progress). Empty
+	// schedulers are accounted locally (see Core.EmptySlots) and do not
+	// reach this method.
+	OnStall(smID, stream, task int, cause obs.StallCause)
 }
 
 // ctaRT is the runtime state of one resident CTA.
@@ -115,6 +122,10 @@ type warpRT struct {
 	task         int
 	cta          *ctaRT
 	arrival      int64
+	// regFromMem marks registers whose pending write comes from the
+	// memory path (LDG/TEX/LDS/LDC) rather than an ALU pipeline, so stall
+	// slots can be attributed to memory versus plain scoreboard latency.
+	regFromMem [256]bool
 }
 
 // SchedPolicy selects the warp-scheduling discipline.
@@ -162,6 +173,14 @@ type Core struct {
 	TexFilterLatency int64
 	// Sched selects the warp-scheduling discipline (default GTO).
 	Sched SchedPolicy
+
+	// schedSlots counts scheduler issue slots examined (one per scheduler
+	// per Step); emptySlots counts the subset in which the scheduler had
+	// no resident warps. Every slot resolves to exactly one of: an issue
+	// (InstStats.OnIssue), a per-stream stall (InstStats.OnStall), or an
+	// empty slot — the conservation law the obs layer's tests check.
+	schedSlots int64
+	emptySlots int64
 }
 
 // NewCore builds one SM attached to the shared memory system.
@@ -181,6 +200,12 @@ func NewCore(id int, cfg *config.GPU, memsys *mem.System, stats InstStats) *Core
 	}
 	return c
 }
+
+// SchedSlots reports the total scheduler issue slots examined on this SM.
+func (c *Core) SchedSlots() int64 { return c.schedSlots }
+
+// EmptySlots reports the issue slots in which a scheduler had no warps.
+func (c *Core) EmptySlots() int64 { return c.emptySlots }
 
 // ResidentWarps reports the warps currently resident for a task.
 func (c *Core) ResidentWarps(task int) int { return c.residentWarpsByTask[task] }
@@ -283,41 +308,48 @@ func (c *Core) Busy() bool {
 
 // step attempts one issue for cycle now; it returns the next cycle this
 // scheduler wants to run (now+1 after an issue, the stall-resolution cycle
-// otherwise, never when it has no warps).
+// otherwise, never when it has no warps). Every invocation is one issue
+// slot, accounted as exactly one of issue / stall / empty.
 func (s *scheduler) step(now int64) int64 {
+	core := s.core
+	core.schedSlots++
 	if len(s.warps) == 0 {
+		core.emptySlots++
 		return never
 	}
-	if s.core.Sched == SchedLRR {
+	if core.Sched == SchedLRR {
 		return s.stepLRR(now)
 	}
 	// Greedy: stick with the last issued warp while it can issue.
 	if s.last != nil && !s.last.done {
-		if ok, _ := s.tryIssue(s.last, now); ok {
+		if ok, _, _ := s.tryIssue(s.last, now); ok {
 			return now + 1
 		}
 	}
 	// Then oldest-first among the rest; the warps slice preserves
 	// arrival order, so a single in-order pass realizes GTO.
 	best := never
+	var bestWarp *warpRT
+	var bestCause obs.StallCause
 	for _, w := range s.warps {
 		if w.done || w == s.last {
 			continue
 		}
-		ok, earliest := s.tryIssue(w, now)
+		ok, earliest, cause := s.tryIssue(w, now)
 		if ok {
 			s.last = w
 			return now + 1
 		}
 		if earliest < best {
-			best = earliest
+			best, bestWarp, bestCause = earliest, w, cause
 		}
 	}
 	if s.last != nil && !s.last.done {
-		if _, e := s.earliestFor(s.last, now); e < best {
-			best = e
+		if _, e, cause := s.earliestFor(s.last, now); e < best {
+			best, bestWarp, bestCause = e, s.last, cause
 		}
 	}
+	s.noteStall(bestWarp, bestCause)
 	if best <= now {
 		best = now + 1
 	}
@@ -329,12 +361,14 @@ func (s *scheduler) step(now int64) int64 {
 func (s *scheduler) stepLRR(now int64) int64 {
 	n := len(s.warps)
 	best := never
+	var bestWarp *warpRT
+	var bestCause obs.StallCause
 	for i := 0; i < n; i++ {
 		w := s.warps[(s.rr+1+i)%n]
 		if w.done {
 			continue
 		}
-		ok, earliest := s.tryIssue(w, now)
+		ok, earliest, cause := s.tryIssue(w, now)
 		if ok {
 			// Advance the cursor to the issued warp.
 			for j, x := range s.warps {
@@ -346,21 +380,43 @@ func (s *scheduler) stepLRR(now int64) int64 {
 			return now + 1
 		}
 		if earliest < best {
-			best = earliest
+			best, bestWarp, bestCause = earliest, w, cause
 		}
 	}
+	s.noteStall(bestWarp, bestCause)
 	if best <= now {
 		best = now + 1
 	}
 	return best
 }
 
-// earliestFor computes when w could issue its current instruction.
-func (s *scheduler) earliestFor(w *warpRT, now int64) (canNow bool, earliest int64) {
+// noteStall attributes a non-issuing slot to the earliest-ready warp's
+// stream (stall-cause attribution).
+func (s *scheduler) noteStall(w *warpRT, cause obs.StallCause) {
+	if w == nil {
+		// All resident warps raced to done within this slot; count the
+		// slot as empty rather than losing it.
+		s.core.emptySlots++
+		return
+	}
+	if st := s.core.stats; st != nil {
+		st.OnStall(s.core.ID, w.stream, w.task, cause)
+	}
+}
+
+// earliestFor computes when w could issue its current instruction and,
+// when it cannot issue now, which constraint binds (the stall cause).
+func (s *scheduler) earliestFor(w *warpRT, now int64) (canNow bool, earliest int64, cause obs.StallCause) {
 	in := &w.insts[w.pc]
+	// blockedUntil is only ever set by barriers, so it is the barrier
+	// cause whenever it binds.
 	e := w.blockedUntil
-	if r := w.regReady[in.Dst]; in.Dst != isa.RegNone && r > e {
-		e = r
+	cause = obs.StallBarrier
+	if in.Dst != isa.RegNone {
+		if r := w.regReady[in.Dst]; r > e {
+			e = r
+			cause = regCause(w, in.Dst)
+		}
 	}
 	for _, src := range [3]isa.Reg{in.SrcA, in.SrcB, in.SrcC} {
 		if src == isa.RegNone {
@@ -368,23 +424,35 @@ func (s *scheduler) earliestFor(w *warpRT, now int64) (canNow bool, earliest int
 		}
 		if r := w.regReady[src]; r > e {
 			e = r
+			cause = regCause(w, src)
 		}
 	}
 	unit := isa.UnitOf(in.Op)
 	if unit != isa.UnitCTRL && unit != isa.UnitNone {
 		if f := s.unitFree[unit]; f > e {
 			e = f
+			cause = obs.StallPipeBusy
 		}
 	}
-	return e <= now, e
+	return e <= now, e, cause
+}
+
+// regCause distinguishes waiting on memory from a plain scoreboard
+// dependence for a pending register.
+func regCause(w *warpRT, r isa.Reg) obs.StallCause {
+	if w.regFromMem[r] {
+		return obs.StallMemPending
+	}
+	return obs.StallScoreboard
 }
 
 // tryIssue issues w's current instruction at cycle now if possible.
-// On failure it returns the earliest cycle issue could succeed.
-func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64) {
-	ok, earliest := s.earliestFor(w, now)
+// On failure it returns the earliest cycle issue could succeed and the
+// binding stall cause.
+func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause) {
+	ok, earliest, cause := s.earliestFor(w, now)
 	if !ok {
-		return false, earliest
+		return false, earliest, cause
 	}
 	in := &w.insts[w.pc]
 	core := s.core
@@ -426,6 +494,7 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64) {
 		}
 		if in.Dst != isa.RegNone {
 			w.regReady[in.Dst] = ready
+			w.regFromMem[in.Dst] = true
 		}
 	case isa.OpSTG:
 		lines := coalesce(in.Addrs, uint64(core.cfg.LineSize))
@@ -438,6 +507,7 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64) {
 		s.unitFree[isa.UnitLDST] = now + int64(conflicts)
 		if in.Dst != isa.RegNone {
 			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op)) + int64(conflicts-1)*2
+			w.regFromMem[in.Dst] = true
 		}
 	case isa.OpSTS:
 		s.unitFree[isa.UnitLDST] = now + int64(sharedConflictDegree(in))
@@ -446,11 +516,13 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64) {
 		s.unitFree[isa.UnitLDST] = now + int64(isa.InitiationInterval(in.Op))
 		if in.Dst != isa.RegNone {
 			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op))
+			w.regFromMem[in.Dst] = true
 		}
 	default:
 		s.unitFree[unit] = now + int64(isa.InitiationInterval(in.Op))
 		if in.Dst != isa.RegNone {
 			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op))
+			w.regFromMem[in.Dst] = false
 		}
 	}
 
@@ -458,7 +530,7 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64) {
 		core.stats.OnIssue(core.ID, w.stream, w.task, in.Op, in.ActiveLanes())
 	}
 	w.pc++
-	return true, now
+	return true, now, 0
 }
 
 // retire removes a finished warp and commits its CTA when it was the last.

@@ -6,13 +6,16 @@ import (
 	"crisp/internal/config"
 	"crisp/internal/isa"
 	"crisp/internal/mem"
+	"crisp/internal/obs"
 	"crisp/internal/trace"
 )
 
 type issueCounter struct {
-	total  int64
-	byOp   map[isa.Opcode]int64
-	byTask map[int]int64
+	total   int64
+	byOp    map[isa.Opcode]int64
+	byTask  map[int]int64
+	stalls  [obs.NumStallCauses]int64
+	stalled int64
 }
 
 func newCounter() *issueCounter {
@@ -23,6 +26,11 @@ func (c *issueCounter) OnIssue(smID, stream, task int, op isa.Opcode, lanes int)
 	c.total++
 	c.byOp[op]++
 	c.byTask[task]++
+}
+
+func (c *issueCounter) OnStall(smID, stream, task int, cause obs.StallCause) {
+	c.stalls[cause]++
+	c.stalled++
 }
 
 func testCore(t *testing.T) (*Core, *issueCounter, *config.GPU) {

@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"crisp/internal/obs"
 )
 
 // Stream aggregates the per-stream counters the paper's per-stream-stats
@@ -33,6 +35,31 @@ type Stream struct {
 
 	KernelsLaunched int
 	CTAsLaunched    int
+
+	// Stalls counts scheduler issue slots in which this stream's
+	// earliest-ready warp could not issue, by cause (indexed by
+	// obs.StallCause). Together with WarpInsts (issues) and the GPU's
+	// empty-slot count these partition every scheduler slot.
+	Stalls [obs.NumStallCauses]int64
+}
+
+// StallTotal is the total attributed stall slots across all causes.
+func (s *Stream) StallTotal() int64 {
+	var n int64
+	for _, v := range s.Stalls {
+		n += v
+	}
+	return n
+}
+
+// StallFraction reports cause's share of the stream's scheduler slots
+// (issues + stalls); 0 when the stream never held a slot.
+func (s *Stream) StallFraction(cause obs.StallCause) float64 {
+	slots := s.WarpInsts + s.StallTotal()
+	if slots == 0 {
+		return 0
+	}
+	return float64(s.Stalls[cause]) / float64(slots)
 }
 
 // IPC is warp instructions per cycle over the stream's active window.
@@ -69,6 +96,9 @@ func (s *Stream) Add(o *Stream) {
 	s.TexAccesses += o.TexAccesses
 	s.KernelsLaunched += o.KernelsLaunched
 	s.CTAsLaunched += o.CTAsLaunched
+	for i := range s.Stalls {
+		s.Stalls[i] += o.Stalls[i]
+	}
 	if o.Cycles > s.Cycles {
 		s.Cycles = o.Cycles
 	}
@@ -167,19 +197,24 @@ func (h *Histogram) Mean() float64 {
 	return float64(s) / float64(h.total)
 }
 
-// Mode reports the most frequent value (smallest on ties).
+// Mode reports the most frequent value (smallest on ties). Ties resolve
+// to the smallest value without sorting: a single pass tracks the best
+// (count, value) pair.
 func (h *Histogram) Mode() int {
 	best, bestC := 0, -1
-	keys := h.sortedKeys()
-	for _, v := range keys {
-		if c := h.counts[v]; c > bestC {
+	for v, c := range h.counts {
+		if c > bestC || (c == bestC && v < best) {
 			best, bestC = v, c
 		}
+	}
+	if bestC < 0 {
+		return 0
 	}
 	return best
 }
 
-// Quantile reports the q-quantile (0..1) of the samples.
+// Quantile reports the q-quantile (0..1) of the samples. The sorted key
+// slice is built exactly once per call.
 func (h *Histogram) Quantile(q float64) int {
 	if h.total == 0 {
 		return 0
@@ -188,14 +223,14 @@ func (h *Histogram) Quantile(q float64) int {
 	if target < 1 {
 		target = 1
 	}
+	keys := h.sortedKeys()
 	seen := 0
-	for _, v := range h.sortedKeys() {
+	for _, v := range keys {
 		seen += h.counts[v]
 		if seen >= target {
 			return v
 		}
 	}
-	keys := h.sortedKeys()
 	return keys[len(keys)-1]
 }
 

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"crisp/internal/obs"
 )
 
 func TestPearsonPerfectCorrelation(t *testing.T) {
@@ -177,5 +179,62 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
 	if csv != want {
 		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestHistogramModeTies(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{5, 5, 3, 3, 9} {
+		h.Observe(v)
+	}
+	// 3 and 5 tie at two samples each; the smaller value wins.
+	if m := h.Mode(); m != 3 {
+		t.Errorf("Mode = %d, want 3 (smallest tied value)", m)
+	}
+	if m := NewHistogram().Mode(); m != 0 {
+		t.Errorf("empty Mode = %d, want 0", m)
+	}
+}
+
+func TestHistogramQuantileExtremes(t *testing.T) {
+	h := NewHistogram()
+	for v := 1; v <= 100; v++ {
+		h.Observe(v)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %d, want 1", q)
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Errorf("Quantile(0.5) = %d, want 50", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %d, want 100", q)
+	}
+	// q > 1 must clamp to the largest key, not panic.
+	if q := h.Quantile(1.5); q != 100 {
+		t.Errorf("Quantile(1.5) = %d, want 100", q)
+	}
+}
+
+func TestStreamStallAccounting(t *testing.T) {
+	s := &Stream{WarpInsts: 60}
+	s.Stalls[obs.StallScoreboard] = 30
+	s.Stalls[obs.StallMemPending] = 10
+	if got := s.StallTotal(); got != 40 {
+		t.Errorf("StallTotal = %d, want 40", got)
+	}
+	if f := s.StallFraction(obs.StallScoreboard); f != 0.3 {
+		t.Errorf("StallFraction(scoreboard) = %f, want 0.3", f)
+	}
+	if f := (&Stream{}).StallFraction(obs.StallScoreboard); f != 0 {
+		t.Errorf("empty StallFraction = %f, want 0", f)
+	}
+
+	var o Stream
+	o.Stalls[obs.StallScoreboard] = 5
+	o.Stalls[obs.StallBarrier] = 2
+	s.Add(&o)
+	if s.Stalls[obs.StallScoreboard] != 35 || s.Stalls[obs.StallBarrier] != 2 {
+		t.Errorf("Add did not fold stalls: %v", s.Stalls)
 	}
 }
