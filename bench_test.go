@@ -11,6 +11,7 @@ package crisp
 // Tables are printed under -v via b.Logf.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -466,4 +467,60 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	b.ReportMetric(100*(hooks.Seconds()-off.Seconds())/off.Seconds(), "hooks_overhead_%")
 	b.ReportMetric(100*(full.Seconds()-off.Seconds())/off.Seconds(), "full_overhead_%")
 	b.ReportMetric(float64(len(rec.Events())), "events/run")
+}
+
+// BenchmarkHardeningOverhead quantifies the happy-path cost of the
+// simulation hardening layer on the same concurrent pair:
+//
+//   - "off": watchdog disabled, no budget, background context — the
+//     pre-hardening loop shape.
+//   - "on": default watchdog window, a cycle budget far above the run
+//     length, and a cancellable (but never canceled) context — every
+//     hardening check armed. The on-vs-off delta (hardening_overhead_%)
+//     is the acceptance criterion's <2% figure.
+func BenchmarkHardeningOverhead(b *testing.B) {
+	gfx, err := experiments.Frame("SPL", benchScale.W2K, benchScale.H2K, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := experiments.BuildComputeForBench("VIO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run := func(armed bool) int64 {
+		job := core.Job{GPU: JetsonOrin(), Graphics: gfx, Compute: comp, Policy: core.PolicyEven}
+		runCtx := context.Background()
+		if armed {
+			job.CycleBudget = 1 << 40
+			runCtx = ctx
+		} else {
+			job.WatchdogWindow = -1
+		}
+		res, err := job.RunContext(runCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if run(false) != run(true) {
+		b.Fatal("hardening changed simulated cycles on the happy path")
+	}
+
+	var off, on time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		run(false)
+		t1 := time.Now()
+		run(true)
+		t2 := time.Now()
+		off += t1.Sub(t0)
+		on += t2.Sub(t1)
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(off.Seconds()*1000/n, "off_ms/run")
+	b.ReportMetric(100*(on.Seconds()-off.Seconds())/off.Seconds(), "hardening_overhead_%")
 }

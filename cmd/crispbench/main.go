@@ -3,41 +3,116 @@
 // prints the rows/series the corresponding paper table or figure reports,
 // followed by the headline metrics its claim rests on.
 //
+// The harness degrades gracefully: every run is guarded against panics
+// and an optional per-run timeout, failed runs are reported in the final
+// summary table while the rest of the sweep completes, and the exit code
+// is non-zero only when every run failed (or any run failed under
+// -strict).
+//
 // Usage:
 //
 //	crispbench [-exp all|table2|fig3|fig6|fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15] [-scale default|quick]
+//	crispbench -sweep cfg1.json,cfg2.json [-scene SPL] [-compute VIO] [-policy EVEN]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	crisp "crisp"
 	"crisp/internal/experiments"
+	"crisp/internal/robust"
 	"crisp/internal/stats"
 )
+
+// runOutcome is one guarded run's row in the final summary.
+type runOutcome struct {
+	name string
+	dur  time.Duration
+	err  error
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table2, fig3, fig3sweep, fig6, fig7, fig9, fig10, fig11, fig12, fig13, fig14, fig15, upscale, qos)")
 	scaleName := flag.String("scale", "default", "resolution scale: default (320x180 2K-class) or quick (128x72)")
 	csvDir := flag.String("csv", "", "also write each experiment's table as <dir>/<exp>.csv (artifact-style output)")
+	strict := flag.Bool("strict", false, "exit non-zero if any run fails (default: only if all fail)")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock timeout (0 = none)")
+	sweep := flag.String("sweep", "", "comma-separated GPU config JSON files: run scene+compute under -policy on each instead of the experiment suite")
+	sceneName := flag.String("scene", "", "sweep mode: rendering workload (empty = compute only)")
+	computeName := flag.String("compute", "VIO", "sweep mode: compute workload (empty = graphics only)")
+	policyName := flag.String("policy", "EVEN", "sweep mode: partitioning policy")
+	dumpDir := flag.String("dumps", "", "write crash-dump JSON for failed runs into this directory")
 	flag.Parse()
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for _, dir := range []string{*csvDir, *dumpDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 
-	sc := experiments.DefaultScale
-	if *scaleName == "quick" {
-		sc = experiments.QuickScale
+	var outcomes []runOutcome
+	if *sweep != "" {
+		outcomes = runSweep(*sweep, *sceneName, *computeName, *policyName, *runTimeout, *dumpDir)
+	} else {
+		outcomes = runExperiments(*exp, *scaleName, *csvDir, *dumpDir, *runTimeout)
+		if outcomes == nil {
+			fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *exp)
+			os.Exit(2)
+		}
 	}
 
-	selected := strings.Split(*exp, ",")
+	failed := printSummary(outcomes)
+	switch {
+	case failed == len(outcomes):
+		os.Exit(1)
+	case failed > 0 && *strict:
+		os.Exit(1)
+	}
+}
+
+// guard runs fn with panic recovery and an optional wall-clock timeout.
+// On timeout the runaway goroutine is abandoned (the process-level
+// watchdog inside the simulator itself is the cycle-domain guard; this
+// one bounds host time).
+func guard(name string, timeout time.Duration, fn func() error) (err error) {
+	done := make(chan error, 1)
+	go func() {
+		var ferr error
+		defer func() {
+			robust.RecoverAsError(&ferr, name)
+			done <- ferr
+		}()
+		ferr = fn()
+	}()
+	if timeout <= 0 {
+		return <-done
+	}
+	select {
+	case err = <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("%s: exceeded run timeout %v (abandoned)", name, timeout)
+	}
+}
+
+// runExperiments drives the selected suite experiments, each guarded.
+// Returns nil when no experiment name matched.
+func runExperiments(exp, scaleName, csvDir, dumpDir string, timeout time.Duration) []runOutcome {
+	sc := experiments.DefaultScale
+	if scaleName == "quick" {
+		sc = experiments.QuickScale
+	}
+	selected := strings.Split(exp, ",")
 	want := func(name string) bool {
 		for _, s := range selected {
 			if s == "all" || s == name {
@@ -47,33 +122,124 @@ func main() {
 		return false
 	}
 
-	ran := 0
+	var outcomes []runOutcome
 	for _, e := range allExperiments {
 		if !want(e.name) {
 			continue
 		}
-		ran++
 		fmt.Printf("==== %s — %s ====\n", strings.ToUpper(e.name), e.title)
 		t0 := time.Now()
-		table, err := e.run(sc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
-			os.Exit(1)
-		}
-		if *csvDir != "" && table != nil {
-			path := fmt.Sprintf("%s/%s.csv", *csvDir, e.name)
-			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-				os.Exit(1)
+		err := guard(e.name, timeout, func() error {
+			table, err := e.run(sc)
+			if err != nil {
+				return err
 			}
-			fmt.Printf("wrote %s\n", path)
+			if csvDir != "" && table != nil {
+				path := fmt.Sprintf("%s/%s.csv", csvDir, e.name)
+				if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+			return nil
+		})
+		dur := time.Since(t0).Round(time.Millisecond)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED after %v: %v\n\n", e.name, dur, err)
+			writeDump(dumpDir, e.name, err)
+		} else {
+			fmt.Printf("(%s in %v)\n\n", e.name, dur)
 		}
-		fmt.Printf("(%s in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+		outcomes = append(outcomes, runOutcome{e.name, dur, err})
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *exp)
-		os.Exit(2)
+	return outcomes
+}
+
+// runSweep runs one scene+compute pairing across a list of GPU config
+// files, guarding each run with true context cancellation.
+func runSweep(sweep, sceneName, computeName, policyName string, timeout time.Duration, dumpDir string) []runOutcome {
+	var outcomes []runOutcome
+	for _, path := range strings.Split(sweep, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		t0 := time.Now()
+		err := guard(name, timeout, func() error {
+			cfg, err := crisp.GPUFromFile(path)
+			if err != nil {
+				return err
+			}
+			ctx := context.Background()
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			res, err := crisp.RunPairContext(ctx, cfg, sceneName, computeName,
+				crisp.PolicyKind(policyName), crisp.DefaultRenderOptions())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-24s %12d cycles  %8.3f ms\n", name, res.Cycles, res.FrameTimeMS)
+			return nil
+		})
+		dur := time.Since(t0).Round(time.Millisecond)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%-24s FAILED after %v: %v\n", name, dur, err)
+			writeDump(dumpDir, name, err)
+		}
+		outcomes = append(outcomes, runOutcome{name, dur, err})
 	}
+	return outcomes
+}
+
+// writeDump serializes the crash dump attached to err (if any) as JSON.
+func writeDump(dir, name string, err error) {
+	if dir == "" {
+		return
+	}
+	se, ok := robust.AsSimError(err)
+	if !ok || se.Dump == nil {
+		return
+	}
+	path := filepath.Join(dir, name+".dump.json")
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, ferr)
+		return
+	}
+	defer f.Close()
+	if werr := se.Dump.WriteJSON(f); werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "crash dump written to %s\n", path)
+}
+
+// printSummary renders the outcome table and returns the failure count.
+func printSummary(outcomes []runOutcome) int {
+	failed := 0
+	t := &stats.Table{Header: []string{"run", "status", "time", "detail"}}
+	for _, o := range outcomes {
+		status, detail := "ok", ""
+		if o.err != nil {
+			failed++
+			status = "FAILED"
+			detail = o.err.Error()
+			var se *robust.SimError
+			if errors.As(o.err, &se) {
+				detail = fmt.Sprintf("%s @ cycle %d: %s", se.Kind, se.Cycle, se.Msg)
+			}
+			if len(detail) > 72 {
+				detail = detail[:69] + "..."
+			}
+		}
+		t.AddRow(o.name, status, o.dur.String(), detail)
+	}
+	fmt.Printf("==== SUMMARY (%d/%d ok) ====\n%s", len(outcomes)-failed, len(outcomes), t)
+	return failed
 }
 
 type experiment struct {

@@ -37,6 +37,8 @@ func main() {
 	traceOut := flag.String("trace", "", "Chrome trace-event JSON output path")
 	metricsOut := flag.String("metrics", "", "interval metrics CSV output path (default: derived from -trace)")
 	metricsN := flag.Int64("interval", 2048, "interval metrics sampling period in cycles")
+	watchdog := flag.Int64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default, negative = off)")
+	budget := flag.Int64("budget", 0, "hard cycle budget (0 = unlimited)")
 	flag.Parse()
 
 	if *sceneName == "" && *computeName == "" {
@@ -74,9 +76,18 @@ func main() {
 	}
 
 	rec := crisp.NewTraceRecorder()
-	res, err := crisp.RunPair(cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts,
-		crisp.WithTracer(rec), crisp.WithMetrics(*metricsN))
+	runOpts := []crisp.RunOption{crisp.WithTracer(rec), crisp.WithMetrics(*metricsN)}
+	if *watchdog != 0 {
+		runOpts = append(runOpts, crisp.WithWatchdog(*watchdog))
+	}
+	if *budget > 0 {
+		runOpts = append(runOpts, crisp.WithCycleBudget(*budget))
+	}
+	res, err := crisp.RunPair(cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts, runOpts...)
 	if err != nil {
+		if se, ok := crisp.AsSimError(err); ok {
+			log.Fatalf("simulation failed: %s at cycle %d: %s", se.Kind, se.Cycle, se.Msg)
+		}
 		log.Fatal(err)
 	}
 

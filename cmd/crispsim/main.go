@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 	metricsOut := flag.String("metrics", "", "write an interval metrics CSV time series")
 	metricsN := flag.Int64("metrics-interval", 2048, "interval metrics sampling period in cycles")
+	watchdog := flag.Int64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default, negative = off)")
+	budget := flag.Int64("budget", 0, "hard cycle budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock timeout; cancels the simulation cleanly (0 = none)")
+	dumpOut := flag.String("dump", "", "write the crash-dump JSON here when the run fails")
 	flag.Parse()
 
 	if *sceneName == "" && *computeName == "" {
@@ -72,8 +77,33 @@ func main() {
 		runOpts = append(runOpts, crisp.WithMetrics(*metricsN))
 	}
 
-	res, err := crisp.RunPair(cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts, runOpts...)
+	if *watchdog != 0 {
+		runOpts = append(runOpts, crisp.WithWatchdog(*watchdog))
+	}
+	if *budget > 0 {
+		runOpts = append(runOpts, crisp.WithCycleBudget(*budget))
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := crisp.RunPairContext(ctx, cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts, runOpts...)
 	if err != nil {
+		if se, ok := crisp.AsSimError(err); ok {
+			fmt.Fprintf(os.Stderr, "simulation failed: %s at cycle %d: %s\n", se.Kind, se.Cycle, se.Msg)
+			if *dumpOut != "" && se.Dump != nil {
+				if f, ferr := os.Create(*dumpOut); ferr == nil {
+					if werr := se.Dump.WriteJSON(f); werr == nil {
+						fmt.Fprintf(os.Stderr, "crash dump written to %s\n", *dumpOut)
+					}
+					f.Close()
+				}
+			}
+			os.Exit(1)
+		}
 		log.Fatal(err)
 	}
 

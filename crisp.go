@@ -27,6 +27,7 @@
 package crisp
 
 import (
+	"context"
 	"io"
 
 	"crisp/internal/compute"
@@ -34,6 +35,7 @@ import (
 	"crisp/internal/core"
 	"crisp/internal/obs"
 	"crisp/internal/render"
+	"crisp/internal/robust"
 	"crisp/internal/scene"
 )
 
@@ -100,12 +102,16 @@ func SceneNames() []string { return scene.Names() }
 func ComputeNames() []string { return compute.Names() }
 
 // RenderScene renders a built-in scene, producing a frame and its traces.
-func RenderScene(name string, opts RenderOptions) (*FrameResult, error) {
+// Panics inside the renderer are recovered and returned as errors.
+func RenderScene(name string, opts RenderOptions) (res *FrameResult, err error) {
+	defer robust.RecoverAsError(&err, "crisp.RenderScene")
 	return core.RenderScene(name, opts)
 }
 
-// BuildCompute builds a built-in compute workload.
-func BuildCompute(name string) (*ComputeWorkload, error) {
+// BuildCompute builds a built-in compute workload. Panics inside the
+// generator are recovered and returned as errors.
+func BuildCompute(name string) (w *ComputeWorkload, err error) {
+	defer robust.RecoverAsError(&err, "crisp.BuildCompute")
 	return compute.ByName(name, core.ComputeStreamBase)
 }
 
@@ -154,6 +160,15 @@ func WithMetrics(interval int64) RunOption { return core.WithMetrics(interval) }
 // cycles into Result.Timeline.
 func WithTimeline(interval int64) RunOption { return core.WithTimeline(interval) }
 
+// WithWatchdog sets the forward-progress watchdog window in cycles: the
+// run fails with a watchdog SimError when no instruction issues for that
+// long while warps are resident (0 = default window, negative disables).
+func WithWatchdog(window int64) RunOption { return core.WithWatchdog(window) }
+
+// WithCycleBudget caps the run at n simulated cycles; crossing the budget
+// fails the run with a budget SimError carrying a crash dump (0 = off).
+func WithCycleBudget(n int64) RunOption { return core.WithCycleBudget(n) }
+
 // WriteChromeTrace renders recorded events (and an optional interval
 // series) as a Chrome trace-event JSON file loadable in Perfetto or
 // chrome://tracing. streamLabel may be nil.
@@ -163,7 +178,41 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent, series *IntervalSeries, 
 
 // RunPair renders sceneName (may be empty), builds computeName (may be
 // empty), and simulates them concurrently under policy on cfg. Optional
-// RunOptions attach observability sinks.
-func RunPair(cfg GPUConfig, sceneName, computeName string, policy PolicyKind, opts RenderOptions, runOpts ...RunOption) (*Result, error) {
+// RunOptions attach observability sinks and hardening limits. Panics
+// inside the pipeline are recovered and returned as errors.
+func RunPair(cfg GPUConfig, sceneName, computeName string, policy PolicyKind, opts RenderOptions, runOpts ...RunOption) (res *Result, err error) {
+	defer robust.RecoverAsError(&err, "crisp.RunPair")
 	return core.RunPair(cfg, sceneName, computeName, policy, opts, runOpts...)
 }
+
+// RunPairContext is RunPair with cooperative cancellation: when ctx is
+// canceled or its deadline passes, the simulation stops and returns a
+// canceled SimError whose crash dump records where the run stood.
+func RunPairContext(ctx context.Context, cfg GPUConfig, sceneName, computeName string, policy PolicyKind, opts RenderOptions, runOpts ...RunOption) (res *Result, err error) {
+	defer robust.RecoverAsError(&err, "crisp.RunPairContext")
+	return core.RunPairContext(ctx, cfg, sceneName, computeName, policy, opts, runOpts...)
+}
+
+// SimError is a structured simulation failure (validation, deadlock,
+// watchdog, budget, cancellation, or recovered panic), usually carrying a
+// CrashDump of simulator state at the failure cycle.
+type SimError = robust.SimError
+
+// CrashDump is the JSON-serializable simulator state snapshot attached to
+// a SimError: per-SM occupancy, per-stream kernel progress, per-task
+// stall attribution, and the partition policy's last decision.
+type CrashDump = robust.CrashDump
+
+// The SimError kinds.
+const (
+	ErrValidation = robust.KindValidation
+	ErrDeadlock   = robust.KindDeadlock
+	ErrWatchdog   = robust.KindWatchdog
+	ErrBudget     = robust.KindBudget
+	ErrCanceled   = robust.KindCanceled
+	ErrPanic      = robust.KindPanic
+)
+
+// AsSimError extracts a *SimError from an error chain, reporting whether
+// one was found.
+func AsSimError(err error) (*SimError, bool) { return robust.AsSimError(err) }

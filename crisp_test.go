@@ -1,6 +1,10 @@
 package crisp
 
-import "testing"
+import (
+	"context"
+	"strings"
+	"testing"
+)
 
 func tinyOpts() RenderOptions {
 	o := DefaultRenderOptions()
@@ -71,5 +75,62 @@ func TestPublicRenderAndCompute(t *testing.T) {
 	}
 	if res.L2Lines == 0 {
 		t.Error("no L2 composition recorded")
+	}
+}
+
+// panickyTracer is a user-supplied observability callback that panics —
+// the classic recoverable programmer error the public API firewall must
+// convert into an error instead of crashing the host process.
+type panickyTracer struct{ after int }
+
+func (p *panickyTracer) Emit(TraceEvent) {
+	if p.after--; p.after < 0 {
+		panic("tracer exploded")
+	}
+}
+
+func TestPublicAPIPanicRecovery(t *testing.T) {
+	res, err := RunPair(JetsonOrin(), "", "VIO", PolicySerial, tinyOpts(),
+		WithTracer(&panickyTracer{after: 3}))
+	if err == nil {
+		t.Fatalf("panicking tracer returned success: %+v", res)
+	}
+	se, ok := AsSimError(err)
+	if !ok {
+		t.Fatalf("err = %v, want a SimError", err)
+	}
+	if se.Kind != ErrPanic {
+		t.Errorf("kind = %v, want panic", se.Kind)
+	}
+	if !strings.Contains(se.Msg, "tracer exploded") {
+		t.Errorf("recovered message lost the panic value: %q", se.Msg)
+	}
+}
+
+func TestPublicSimErrorTaxonomy(t *testing.T) {
+	// Budget: structured, typed, dump attached.
+	_, err := RunPair(JetsonOrin(), "", "VIO", PolicySerial, tinyOpts(), WithCycleBudget(16))
+	se, ok := AsSimError(err)
+	if !ok || se.Kind != ErrBudget {
+		t.Fatalf("err = %v, want budget SimError", err)
+	}
+	if se.Dump == nil || se.Dump.Config != "JetsonOrin" {
+		t.Errorf("dump = %+v, want config name recorded", se.Dump)
+	}
+	// Cancellation through the context API.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPairContext(ctx, JetsonOrin(), "", "VIO", PolicySerial, tinyOpts()); err == nil {
+		t.Fatal("canceled context returned success")
+	} else if se, ok := AsSimError(err); !ok || se.Kind != ErrCanceled {
+		t.Errorf("err = %v, want canceled SimError", err)
+	}
+	// A plain failure (unknown workload) is NOT a SimError.
+	_, err = RunPair(JetsonOrin(), "", "NOPE", PolicySerial, tinyOpts())
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, ok := AsSimError(err); ok {
+		t.Errorf("lookup failure misclassified as SimError: %v", err)
 	}
 }

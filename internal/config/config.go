@@ -63,6 +63,12 @@ func (g *GPU) Validate() error {
 	switch {
 	case g.NumSMs <= 0:
 		return fmt.Errorf("config %q: NumSMs = %d", g.Name, g.NumSMs)
+	case g.SchedulersPerSM <= 0:
+		return fmt.Errorf("config %q: SchedulersPerSM = %d", g.Name, g.SchedulersPerSM)
+	case g.LineSize <= 0:
+		return fmt.Errorf("config %q: LineSize = %d", g.Name, g.LineSize)
+	case g.L1Assoc <= 0 || g.L2Assoc <= 0:
+		return fmt.Errorf("config %q: cache associativity must be positive (L1 %d, L2 %d)", g.Name, g.L1Assoc, g.L2Assoc)
 	case g.MaxWarpsPerSM <= 0 || g.MaxWarpsPerSM%g.SchedulersPerSM != 0:
 		return fmt.Errorf("config %q: MaxWarpsPerSM (%d) must be a positive multiple of SchedulersPerSM (%d)", g.Name, g.MaxWarpsPerSM, g.SchedulersPerSM)
 	case g.L2Banks <= 0 || g.L2Size%g.L2Banks != 0:
@@ -73,6 +79,8 @@ func (g *GPU) Validate() error {
 		return fmt.Errorf("config %q: L1 size is not a whole number of sets", g.Name)
 	case g.MemBandwidthGBps <= 0:
 		return fmt.Errorf("config %q: MemBandwidthGBps = %v", g.Name, g.MemBandwidthGBps)
+	case g.MemChannels <= 0:
+		return fmt.Errorf("config %q: MemChannels = %d", g.Name, g.MemChannels)
 	case g.SectorSize < 0 || (g.SectorSize > 0 && (g.LineSize%g.SectorSize != 0 || g.LineSize/g.SectorSize > 32)):
 		return fmt.Errorf("config %q: SectorSize %d incompatible with %d-byte lines", g.Name, g.SectorSize, g.LineSize)
 	}

@@ -1,0 +1,52 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzConfigLoadFile drives the artifact-style JSON config loader with
+// arbitrary bytes: LoadFile must return a config that passes Validate or
+// a clean error — never panic, and never hand back a config the timing
+// model would divide-by-zero on.
+func FuzzConfigLoadFile(f *testing.F) {
+	f.Add([]byte(`{"name":"x","base":"JetsonOrin","num_sms":4}`))
+	f.Add([]byte(`{"base":"RTX3070","l2_size":2097152,"num_sms":8}`))
+	f.Add([]byte(`{"num_sms":0}`))
+	f.Add([]byte(`{"schedulers_per_sm":0}`))
+	f.Add([]byte(`{"l2_banks":-3,"mem_channels":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	// Seed from the shipped example configs so the corpus starts from
+	// real accepted inputs.
+	if paths, err := filepath.Glob("../../examples/configs/*.json"); err == nil {
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "cfg.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		g, err := LoadFile(path)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("LoadFile accepted a config Validate rejects: %v\ninput: %q", verr, data)
+		}
+		// The derived quantities the timing model divides by must be sane.
+		if g.BytesPerCycle() <= 0 {
+			t.Fatalf("accepted config has BytesPerCycle = %v", g.BytesPerCycle())
+		}
+		if g.FrameTimeMS(1000) <= 0 {
+			t.Fatalf("accepted config has non-positive frame time")
+		}
+	})
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crisp/internal/compute"
@@ -100,6 +101,14 @@ type Job struct {
 	// occupancy, hit rates, DRAM bandwidth) every so many cycles into
 	// Result.Metrics.
 	MetricsInterval int64
+	// WatchdogWindow configures the forward-progress watchdog: the run
+	// fails with a watchdog SimError when no instruction issues for this
+	// many cycles while warps are resident. 0 = the GPU default window;
+	// negative disables the watchdog.
+	WatchdogWindow int64
+	// CycleBudget, when > 0, is a hard bound on simulated cycles; crossing
+	// it fails the run with a budget SimError carrying a crash dump.
+	CycleBudget int64
 }
 
 // Result is a completed simulation.
@@ -129,8 +138,13 @@ type Result struct {
 	WS *partition.WarpedSlicer
 }
 
-// Run executes the job.
-func (j *Job) Run() (*Result, error) {
+// Run executes the job. It is RunContext with a background context.
+func (j *Job) Run() (*Result, error) { return j.RunContext(context.Background()) }
+
+// RunContext executes the job, checking ctx periodically: cancellation
+// terminates the simulation with a canceled SimError carrying a crash
+// dump of where the run stood.
+func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 	if j.Graphics == nil && j.Compute == nil {
 		return nil, fmt.Errorf("core: job has neither graphics nor compute work")
 	}
@@ -220,8 +234,10 @@ func (j *Job) Run() (*Result, error) {
 	if j.MetricsInterval > 0 {
 		g.Metrics = &obs.IntervalSeries{Interval: j.MetricsInterval}
 	}
+	g.WatchdogWindow = j.WatchdogWindow
+	g.CycleBudget = j.CycleBudget
 
-	cycles, err := g.Run()
+	cycles, err := g.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -345,9 +361,23 @@ func WithMetrics(interval int64) RunOption { return func(j *Job) { j.MetricsInte
 // cycles into Result.Timeline.
 func WithTimeline(interval int64) RunOption { return func(j *Job) { j.TimelineInterval = interval } }
 
+// WithWatchdog sets the forward-progress watchdog window in cycles
+// (0 = default window, negative disables).
+func WithWatchdog(window int64) RunOption { return func(j *Job) { j.WatchdogWindow = window } }
+
+// WithCycleBudget caps the run at n simulated cycles (0 = unlimited).
+func WithCycleBudget(n int64) RunOption { return func(j *Job) { j.CycleBudget = n } }
+
 // RunPair is the one-call convenience: render sceneName (may be ""),
 // build computeName (may be ""), and run them under policy on cfg.
 func RunPair(cfg config.GPU, sceneName, computeName string, policy PolicyKind, opts render.Options, runOpts ...RunOption) (*Result, error) {
+	return RunPairContext(context.Background(), cfg, sceneName, computeName, policy, opts, runOpts...)
+}
+
+// RunPairContext is RunPair with cooperative cancellation: when ctx is
+// canceled or times out, the simulation stops and returns a canceled
+// SimError with a crash dump of where the run stood.
+func RunPairContext(ctx context.Context, cfg config.GPU, sceneName, computeName string, policy PolicyKind, opts render.Options, runOpts ...RunOption) (*Result, error) {
 	job := Job{GPU: cfg, Policy: policy}
 	for _, o := range runOpts {
 		o(&job)
@@ -366,5 +396,5 @@ func RunPair(cfg config.GPU, sceneName, computeName string, policy PolicyKind, o
 		}
 		job.Compute = w
 	}
-	return job.Run()
+	return job.RunContext(ctx)
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"crisp/internal/compute"
+	"crisp/internal/config"
+	"crisp/internal/isa"
+	"crisp/internal/robust"
+	"crisp/internal/trace"
+)
+
+// warpsKernel builds a single-CTA compute kernel with the given warp
+// count (ThreadsPerCTA = warps×32), small enough in registers and shared
+// memory that only the thread/warp footprint decides placement.
+func warpsKernel(name string, warps int) *trace.Kernel {
+	b := trace.NewBuilder(name, trace.KindCompute, 0, warps*isa.WarpSize, 16, 0)
+	b.BeginCTA()
+	for w := 0; w < warps; w++ {
+		b.BeginWarp()
+		r := b.NewReg()
+		b.ALU(isa.OpMOV, r, trace.FullMask)
+		b.ALU(isa.OpFADD, b.NewReg(), trace.FullMask, r, r)
+	}
+	return b.Finish()
+}
+
+// TestInfeasibleStreamsErrorUnderEveryPolicy is the satellite's
+// table-driven guarantee: a stream whose kernel can never be placed fails
+// with a structured deadlock SimError — never a hang or a panic — under
+// every partitioning policy, and the crash dump names the unplaceable
+// kernel.
+func TestInfeasibleStreamsErrorUnderEveryPolicy(t *testing.T) {
+	type row struct {
+		name     string
+		warps    int          // per-CTA warp count of the infeasible kernel
+		policies []PolicyKind // policies the row applies to
+	}
+	intraSM := []PolicyKind{PolicyEven, PolicyPriority}
+	rows := []row{
+		// 65 warps exceed a whole SM: rejected statically at AddStream,
+		// identically under every policy (the check is policy-independent).
+		{name: "oversized-whole-SM", warps: 65, policies: PolicyKinds()},
+		// 64 warps exactly fill a whole SM: legal statically, but no
+		// half-SM envelope ever fits it, so intra-SM split policies
+		// deadlock at placement time. (WarpedSlicer is excluded: its
+		// sampling phase grants a full SM, so the CTA places.)
+		{name: "full-SM-vs-half-envelope", warps: 64, policies: intraSM},
+	}
+	for _, r := range rows {
+		for _, pol := range r.policies {
+			t.Run(r.name+"/"+string(pol), func(t *testing.T) {
+				job := Job{
+					GPU:    config.JetsonOrin(),
+					Policy: pol,
+					Compute: &compute.Workload{
+						Name:    "infeasible",
+						Kernels: []*trace.Kernel{warpsKernel("unplaceable", r.warps)},
+					},
+				}
+				_, err := job.Run()
+				se, ok := robust.AsSimError(err)
+				if !ok {
+					t.Fatalf("err = %v, want *robust.SimError", err)
+				}
+				if se.Kind != robust.KindDeadlock {
+					t.Fatalf("kind = %v, want deadlock", se.Kind)
+				}
+				if se.Dump == nil {
+					t.Fatal("no crash dump attached")
+				}
+				if se.Dump.Kernel != "unplaceable" {
+					t.Errorf("dump names kernel %q, want unplaceable", se.Dump.Kernel)
+				}
+				var buf bytes.Buffer
+				if err := se.Dump.WriteJSON(&buf); err != nil {
+					t.Fatalf("WriteJSON: %v", err)
+				}
+				if !strings.Contains(buf.String(), "unplaceable") {
+					t.Error("dump JSON does not mention the unplaceable kernel")
+				}
+			})
+		}
+	}
+}
+
+// TestJobWatchdogAndBudgetOptions checks the Job-level plumbing of the
+// hardening knobs down to the GPU.
+func TestJobWatchdogAndBudgetOptions(t *testing.T) {
+	comp, err := compute.ByName("VIO", ComputeStreamBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{GPU: config.JetsonOrin(), Compute: comp, Policy: PolicySerial, CycleBudget: 32}
+	_, err = job.Run()
+	if se, ok := robust.AsSimError(err); !ok || se.Kind != robust.KindBudget {
+		t.Fatalf("err = %v, want budget SimError", err)
+	}
+}
+
+// TestRunPairContextCancellation checks the context path end to end
+// through the convenience API.
+func TestRunPairContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunPairContext(ctx, config.JetsonOrin(), "", "HOLO", PolicySerial, tinyOpts())
+	if se, ok := robust.AsSimError(err); !ok || se.Kind != robust.KindCanceled {
+		t.Fatalf("err = %v, want canceled SimError", err)
+	}
+}
+
+// TestRunOptionsHardening checks the RunOption wiring.
+func TestRunOptionsHardening(t *testing.T) {
+	_, err := RunPair(config.JetsonOrin(), "", "VIO", PolicySerial, tinyOpts(), WithCycleBudget(16))
+	if se, ok := robust.AsSimError(err); !ok || se.Kind != robust.KindBudget {
+		t.Fatalf("err = %v, want budget SimError", err)
+	}
+	if _, err := RunPair(config.JetsonOrin(), "", "VIO", PolicySerial, tinyOpts(), WithWatchdog(1<<20)); err != nil {
+		t.Fatalf("healthy run with explicit watchdog failed: %v", err)
+	}
+}

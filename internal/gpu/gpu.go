@@ -12,6 +12,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,7 @@ import (
 	"crisp/internal/isa"
 	"crisp/internal/mem"
 	"crisp/internal/obs"
+	"crisp/internal/robust"
 	"crisp/internal/sm"
 	"crisp/internal/stats"
 	"crisp/internal/trace"
@@ -31,6 +33,13 @@ import (
 // calls out.
 type Prioritizer interface {
 	Priority(task int) int
+}
+
+// StateDescriber is an optional Policy extension: a one-line description
+// of the policy's current state (its last decision), embedded in crash
+// dumps so postmortems can see what the policy had just done.
+type StateDescriber interface {
+	DescribeState() string
 }
 
 // Policy is a GPU partitioning scheme. Implementations live in
@@ -127,6 +136,16 @@ type GPU struct {
 	// cycles.
 	Metrics *obs.IntervalSeries
 
+	// WatchdogWindow configures the forward-progress watchdog: the run
+	// fails with a watchdog SimError when no warp instruction issues for
+	// this many cycles while warps are resident. Zero selects
+	// DefaultWatchdogWindow; negative disables the watchdog.
+	WatchdogWindow int64
+
+	// CycleBudget, when positive, bounds the run: crossing it fails the
+	// run with a budget SimError carrying a crash dump.
+	CycleBudget int64
+
 	tracer     obs.Tracer
 	taskLabels map[int]string
 	mPrev      []taskSnap
@@ -135,8 +154,16 @@ type GPU struct {
 	now         int64
 	epoch       int64 // policy tick interval
 	maxTask     int
+	totalIssued int64 // warp instructions issued, the watchdog's progress signal
 	kernelStats []KernelStat
 }
+
+// DefaultWatchdogWindow is the forward-progress window used when
+// WatchdogWindow is zero: generous enough that no legitimate workload
+// spends this long issuing nothing while warps are resident (memory and
+// pipeline waits resolve within thousands of cycles), small enough that a
+// livelocked multi-hour sweep run dies in well under a second of host time.
+const DefaultWatchdogWindow = 4 << 20
 
 // taskSnap is a cumulative per-task counter snapshot used to derive
 // interval deltas for the metrics series.
@@ -264,14 +291,30 @@ func (g *GPU) SetPolicy(p Policy) {
 	}
 }
 
-// AddStream queues a stream definition. Kernels are validated.
+// AddStream queues a stream definition. Kernels are validated
+// structurally (trace.Kernel.Validate) and for placeability: a CTA whose
+// resource footprint exceeds a whole SM can never be scheduled under any
+// policy, so such streams fail fast here with a deadlock SimError instead
+// of misbehaving mid-run.
 func (g *GPU) AddStream(def StreamDef) error {
+	full := sm.Full(&g.cfg)
 	for _, k := range def.Kernels {
 		if err := k.Validate(); err != nil {
-			return fmt.Errorf("gpu: stream %d: %w", def.ID, err)
+			return &robust.SimError{Kind: robust.KindValidation,
+				Msg: fmt.Sprintf("gpu: stream %d: malformed kernel trace", def.ID), Err: err}
 		}
 		if k.Stream != def.ID {
-			return fmt.Errorf("gpu: stream %d: kernel %q carries stream %d", def.ID, k.Name, k.Stream)
+			return &robust.SimError{Kind: robust.KindValidation,
+				Msg: fmt.Sprintf("gpu: stream %d: kernel %q carries stream %d", def.ID, k.Name, k.Stream)}
+		}
+		need := sm.Need(k)
+		if need.Threads > full.Threads || need.Regs > full.Regs ||
+			need.Shared > full.Shared || k.WarpsPerCTA() > g.cfg.MaxWarpsPerSM {
+			return &robust.SimError{Kind: robust.KindDeadlock,
+				Msg: fmt.Sprintf("gpu: stream %d: kernel %q CTA (threads=%d regs=%d shared=%dB) exceeds an entire SM (threads=%d regs=%d shared=%dB) on %s — unplaceable under every policy",
+					def.ID, k.Name, need.Threads, need.Regs, need.Shared,
+					full.Threads, full.Regs, full.Shared, g.cfg.Name),
+				Dump: g.buildDump(k.Name, "CTA exceeds whole-SM capacity")}
 		}
 	}
 	st := &streamRT{def: def, stat: &stats.Stream{Stream: def.ID, Label: def.Label}}
@@ -299,6 +342,7 @@ func (g *GPU) AddStream(def StreamDef) error {
 
 // OnIssue implements sm.InstStats.
 func (g *GPU) OnIssue(smID, stream, task int, op isa.Opcode, lanes int) {
+	g.totalIssued++
 	st := g.lastStat
 	if stream != g.lastStream || st == nil {
 		st = g.statsByStream[stream]
@@ -482,8 +526,21 @@ func (g *GPU) reapFinished() {
 func (g *GPU) KernelStats() []KernelStat { return g.kernelStats }
 
 // Run executes all queued streams to completion and returns the makespan
-// in cycles.
-func (g *GPU) Run() (int64, error) {
+// in cycles. It is RunContext with a background (never-canceled) context.
+func (g *GPU) Run() (int64, error) { return g.RunContext(context.Background()) }
+
+// ctxCheckMask gates how often the run loop polls ctx.Err(): every
+// (mask+1) iterations, so the happy path pays one counter increment and
+// mask per iteration instead of an atomic load.
+const ctxCheckMask = 255
+
+// RunContext executes all queued streams to completion, subject to the
+// hardening envelope: the forward-progress watchdog (WatchdogWindow), the
+// hard cycle budget (CycleBudget), and cancellation of ctx, any of which
+// terminates the run with a *robust.SimError carrying a crash dump of
+// per-SM and per-stream state. The existing all-idle deadlock check
+// likewise now reports a structured SimError instead of a bare error.
+func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 	const never = int64(1<<62 - 1)
 	// Default the sampling cadences locally: the Timeline/Metrics structs
 	// are caller-owned and must not be written back.
@@ -504,8 +561,19 @@ func (g *GPU) Run() (int64, error) {
 		// full interval in.
 		nextMetrics = metricsInterval
 	}
-	lastTick := int64(0)
+	window := g.WatchdogWindow
+	if window == 0 {
+		window = DefaultWatchdogWindow
+	}
+	ctxDone := ctx.Done() // nil for background contexts: check skipped entirely
+	var (
+		lastTick     int64
+		lastIssued   int64 // totalIssued at the last progress observation
+		lastProgress int64 // cycle of the last observed issue
+		iter         uint64
+	)
 	for {
+		iter++
 		g.activateStreams()
 		g.launchReady()
 		g.issueCTAs()
@@ -539,16 +607,59 @@ func (g *GPU) Run() (int64, error) {
 			// CTAs are pending but none was placeable and nothing is
 			// executing: the partition is infeasible.
 			if len(g.running) > 0 {
-				return g.now, fmt.Errorf("gpu: deadlock at cycle %d: kernel %q cannot place CTAs under policy %s",
+				return g.now, g.fail(robust.KindDeadlock, g.running[0].k.Name,
+					"cannot place CTAs under the installed partition",
+					"gpu: deadlock at cycle %d: kernel %q cannot place CTAs under policy %s",
 					g.now, g.running[0].k.Name, g.policyName())
 			}
 			g.now++
 			continue
 		}
+		if next >= sm.Never {
+			// Every resident warp is permanently blocked (a CTA barrier
+			// whose remaining arrivals can never happen): the run would
+			// otherwise spin to the end of time. This is the livelock the
+			// all-idle check above cannot see, caught immediately rather
+			// than after a watchdog window.
+			k := g.stuckKernel()
+			return g.now, g.fail(robust.KindWatchdog, k,
+				"all resident warps permanently blocked (barrier livelock)",
+				"gpu: livelock at cycle %d: all resident warps blocked at barriers (kernel %q)", g.now, k)
+		}
 		if next <= g.now {
 			next = g.now + 1
 		}
 		g.now = next
+
+		// Hardening checks, in increasing cost. The watchdog's progress
+		// signal is the warp-instruction counter: any issue anywhere
+		// resets the window.
+		if g.totalIssued != lastIssued {
+			lastIssued = g.totalIssued
+			lastProgress = g.now
+		} else if window > 0 && g.now-lastProgress > window {
+			k := g.stuckKernel()
+			se := g.fail(robust.KindWatchdog, k,
+				fmt.Sprintf("no instruction issued for %d cycles", g.now-lastProgress),
+				"gpu: watchdog at cycle %d: no instruction issued since cycle %d (window %d, kernel %q)",
+				g.now, lastProgress, window, k)
+			se.Dump.WatchdogWindow = window
+			se.Dump.LastProgress = lastProgress
+			return g.now, se
+		}
+		if g.CycleBudget > 0 && g.now > g.CycleBudget {
+			return g.now, g.fail(robust.KindBudget, g.stuckKernel(),
+				fmt.Sprintf("cycle budget %d exceeded", g.CycleBudget),
+				"gpu: cycle budget exceeded at cycle %d (budget %d)", g.now, g.CycleBudget)
+		}
+		if ctxDone != nil && iter&ctxCheckMask == 0 {
+			select {
+			case <-ctxDone:
+				return g.now, g.fail(robust.KindCanceled, "",
+					"context canceled", "gpu: run canceled at cycle %d: %v", g.now, ctx.Err())
+			default:
+			}
+		}
 
 		if g.Timeline != nil && g.now >= nextSample {
 			g.sampleTimeline()
@@ -569,6 +680,100 @@ func (g *GPU) Run() (int64, error) {
 	}
 	g.foldMemCounters()
 	return g.now, nil
+}
+
+// fail builds the structured error for an abnormal run termination: it
+// folds counters so the dump's stall snapshot is current, emits a trace
+// event for the abort, and attaches the crash dump.
+func (g *GPU) fail(kind robust.Kind, kernel, reason, format string, args ...any) *robust.SimError {
+	g.foldMemCounters()
+	if t := g.tracer; t != nil {
+		t.Emit(obs.Event{Cycle: g.now, Kind: obs.EvWatchdog, Stream: -1, Task: -1,
+			SM: -1, CTA: -1, Name: fmt.Sprintf("%s: %s", kind, reason)})
+	}
+	return &robust.SimError{
+		Kind:  kind,
+		Cycle: g.now,
+		Msg:   fmt.Sprintf(format, args...),
+		Dump:  g.buildDump(kernel, reason),
+	}
+}
+
+// stuckKernel names the kernel most plausibly implicated in a stall: the
+// oldest running kernel with unfinished CTAs.
+func (g *GPU) stuckKernel() string {
+	for _, l := range g.running {
+		if l.doneCTAs < len(l.k.CTAs) {
+			return l.k.Name
+		}
+	}
+	return ""
+}
+
+// buildDump snapshots per-SM occupancy, per-stream kernel/CTA progress,
+// and the stall-attribution breakdown into a crash dump.
+func (g *GPU) buildDump(kernel, reason string) *robust.CrashDump {
+	d := &robust.CrashDump{
+		Cycle:  g.now,
+		Config: g.cfg.Name,
+		Policy: g.policyName(),
+		Kernel: kernel,
+		Reason: reason,
+	}
+	if sd, ok := g.policy.(StateDescriber); ok {
+		d.PolicyState = sd.DescribeState()
+	}
+	d.SMs = make([]robust.SMState, len(g.cores))
+	for i, core := range g.cores {
+		s := robust.SMState{ID: core.ID, ResidentWarps: core.TotalResidentWarps(),
+			BarrierBlocked: core.BarrierBlocked()}
+		u := core.TotalUsage()
+		s.UsedThreads, s.UsedRegs, s.UsedShared, s.UsedCTAs = u.Threads, u.Regs, u.Shared, u.CTAs
+		for task := 0; task <= g.maxTask; task++ {
+			if w := core.ResidentWarps(task); w > 0 {
+				if s.WarpsByTask == nil {
+					s.WarpsByTask = make(map[int]int)
+				}
+				s.WarpsByTask[task] = w
+			}
+		}
+		d.SMs[i] = s
+	}
+	runningBy := make(map[*streamRT]*launch, len(g.running))
+	for _, l := range g.running {
+		runningBy[l.stream] = l
+	}
+	for _, st := range g.streams {
+		if st.idx >= len(st.def.Kernels) {
+			d.StreamsCompleted++
+			continue
+		}
+		ss := robust.StreamState{
+			ID: st.def.ID, Label: st.def.Label, Task: st.def.Task,
+			KernelsDone: st.idx, KernelsTotal: len(st.def.Kernels), Active: st.active,
+		}
+		if l := runningBy[st]; l != nil {
+			ss.Running = &robust.KernelProgress{
+				Name: l.k.Name, CTAsIssued: l.nextCTA, CTAsDone: l.doneCTAs,
+				CTAsTotal: len(l.k.CTAs), LaunchedAt: l.started,
+			}
+		}
+		d.Streams = append(d.Streams, ss)
+	}
+	for task, st := range g.TaskStats() {
+		ts := robust.TaskStalls{Task: task, Label: g.taskLabels[task], Issues: st.WarpInsts}
+		for _, c := range obs.StallCauses() {
+			if n := st.Stalls[c]; n > 0 {
+				if ts.Stalls == nil {
+					ts.Stalls = make(map[string]int64)
+				}
+				ts.Stalls[c.String()] = n
+			}
+		}
+		d.Stalls = append(d.Stalls, ts)
+	}
+	sort.Slice(d.Stalls, func(i, j int) bool { return d.Stalls[i].Task < d.Stalls[j].Task })
+	return d
 }
 
 func (g *GPU) policyName() string {

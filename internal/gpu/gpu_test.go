@@ -1,11 +1,16 @@
 package gpu
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"crisp/internal/config"
 	"crisp/internal/isa"
 	"crisp/internal/obs"
+	"crisp/internal/robust"
 	"crisp/internal/sm"
 	"crisp/internal/stats"
 	"crisp/internal/trace"
@@ -168,11 +173,11 @@ func TestTaskWindowLimitsActiveStreams(t *testing.T) {
 // denyPolicy forbids every placement — Run must error, not hang.
 type denyPolicy struct{}
 
-func (denyPolicy) Name() string                               { return "deny" }
-func (denyPolicy) AllowSM(int, int) bool                      { return false }
-func (denyPolicy) Limit(int, int) (sm.Resources, bool)        { return sm.Resources{}, false }
-func (denyPolicy) OnLaunch(int64, *trace.Kernel, int)         {}
-func (denyPolicy) Tick(int64)                                 {}
+func (denyPolicy) Name() string                        { return "deny" }
+func (denyPolicy) AllowSM(int, int) bool               { return false }
+func (denyPolicy) Limit(int, int) (sm.Resources, bool) { return sm.Resources{}, false }
+func (denyPolicy) OnLaunch(int64, *trace.Kernel, int)  {}
+func (denyPolicy) Tick(int64)                          {}
 
 func TestInfeasiblePolicyErrors(t *testing.T) {
 	g := newGPU(t)
@@ -286,8 +291,8 @@ func TestDeterministicCycles(t *testing.T) {
 // prioPolicy is an even intra-SM split that places task 1's CTAs first.
 type prioPolicy struct{ limit sm.Resources }
 
-func (p prioPolicy) Name() string                        { return "prio" }
-func (p prioPolicy) AllowSM(int, int) bool               { return true }
+func (p prioPolicy) Name() string          { return "prio" }
+func (p prioPolicy) AllowSM(int, int) bool { return true }
 func (p prioPolicy) Limit(_, task int) (sm.Resources, bool) {
 	return p.limit, true
 }
@@ -353,7 +358,7 @@ func TestKernelStatsRecorded(t *testing.T) {
 func TestStallConservation(t *testing.T) {
 	g := newGPU(t)
 	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 8, 4, 100)}})
-	g.AddStream(StreamDef{ID: 7, Task: 1, Kernels: []*trace.Kernel{memKernel("m", 7, 6, 1 << 28)}})
+	g.AddStream(StreamDef{ID: 7, Task: 1, Kernels: []*trace.Kernel{memKernel("m", 7, 6, 1<<28)}})
 	if _, err := g.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +390,7 @@ func TestStallCausesAttributed(t *testing.T) {
 	}
 
 	g2 := newGPU(t)
-	g2.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 0, 2, 1 << 28)}})
+	g2.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 0, 2, 1<<28)}})
 	if _, err := g2.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +443,7 @@ func TestNilTracerEmitsNothing(t *testing.T) {
 	if g.Tracer() != nil {
 		t.Fatal("tracer should default to nil")
 	}
-	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 0, 4, 1 << 28)}})
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{memKernel("m", 0, 4, 1<<28)}})
 	if _, err := g.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +497,7 @@ func TestIntervalMetricsSampling(t *testing.T) {
 	g := newGPU(t)
 	g.Metrics = &obs.IntervalSeries{Interval: 256}
 	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("a", 0, 8, 4, 200)}})
-	g.AddStream(StreamDef{ID: 9, Task: 1, Kernels: []*trace.Kernel{memKernel("m", 9, 6, 1 << 28)}})
+	g.AddStream(StreamDef{ID: 9, Task: 1, Kernels: []*trace.Kernel{memKernel("m", 9, 6, 1<<28)}})
 	cycles, err := g.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -532,5 +537,150 @@ func TestIntervalMetricsSampling(t *testing.T) {
 	}
 	if !sawBoth {
 		t.Error("no sample carried points for both tasks")
+	}
+}
+
+// livelockKernel builds a two-warp CTA where only the first warp arrives
+// at a barrier — a guaranteed barrier livelock the static validators
+// cannot see.
+func livelockKernel(stream int) *trace.Kernel {
+	b := trace.NewBuilder("livelock", trace.KindCompute, stream, 64, 16, 0)
+	b.BeginCTA()
+	b.BeginWarp()
+	b.ALU(isa.OpMOV, b.NewReg(), trace.FullMask)
+	b.Barrier()
+	b.ALU(isa.OpFADD, b.NewReg(), trace.FullMask)
+	b.BeginWarp()
+	b.ALU(isa.OpMOV, b.NewReg(), trace.FullMask)
+	return b.Finish()
+}
+
+func TestWatchdogCatchesBarrierLivelock(t *testing.T) {
+	g := newGPU(t)
+	if err := g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{livelockKernel(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.Run()
+	se, ok := robust.AsSimError(err)
+	if !ok {
+		t.Fatalf("err = %v, want *robust.SimError", err)
+	}
+	if se.Kind != robust.KindWatchdog {
+		t.Fatalf("kind = %v, want watchdog", se.Kind)
+	}
+	if se.Dump == nil {
+		t.Fatal("no crash dump attached")
+	}
+	if se.Dump.Kernel != "livelock" {
+		t.Errorf("dump names kernel %q, want livelock", se.Dump.Kernel)
+	}
+	blocked := 0
+	for _, s := range se.Dump.SMs {
+		blocked += s.BarrierBlocked
+	}
+	if blocked == 0 {
+		t.Error("dump shows no barrier-blocked warps for a barrier livelock")
+	}
+	// The dump must serialize cleanly to JSON.
+	var buf bytes.Buffer
+	if err := se.Dump.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("dump JSON is invalid")
+	}
+	for _, want := range []string{"livelock", "\"sms\"", "\"streams\""} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("dump JSON missing %q", want)
+		}
+	}
+}
+
+// TestLivelockCaughtEvenWithWatchdogDisabled: the barrier-livelock check
+// is structural certainty, not a heuristic, so it fires regardless of the
+// watchdog window setting.
+func TestLivelockCaughtEvenWithWatchdogDisabled(t *testing.T) {
+	g := newGPU(t)
+	g.WatchdogWindow = -1
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{livelockKernel(0)}})
+	_, err := g.Run()
+	if se, ok := robust.AsSimError(err); !ok || se.Kind != robust.KindWatchdog {
+		t.Fatalf("err = %v, want watchdog SimError", err)
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	g := newGPU(t)
+	g.CycleBudget = 64
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("long", 0, 32, 4, 400)}})
+	cycles, err := g.Run()
+	se, ok := robust.AsSimError(err)
+	if !ok || se.Kind != robust.KindBudget {
+		t.Fatalf("err = %v, want budget SimError", err)
+	}
+	if cycles <= 64 {
+		t.Errorf("budget error reported at cycle %d, want > budget", cycles)
+	}
+	if se.Dump == nil || se.Dump.Policy == "" {
+		t.Error("budget dump missing policy name")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{aluKernel("long", 0, 128, 4, 400)}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.RunContext(ctx)
+	se, ok := robust.AsSimError(err)
+	if !ok || se.Kind != robust.KindCanceled {
+		t.Fatalf("err = %v, want canceled SimError", err)
+	}
+	if se.Err == nil {
+		// the context error should be preserved somewhere in the chain
+		t.Log("note: canceled SimError carries no wrapped cause")
+	}
+}
+
+func TestAddStreamRejectsUnplaceableCTA(t *testing.T) {
+	g := newGPU(t)
+	k := aluKernel("huge", 0, 1, 65, 5) // 65 warps > 64 per SM
+	err := g.AddStream(StreamDef{ID: 0, Task: 0, Kernels: []*trace.Kernel{k}})
+	se, ok := robust.AsSimError(err)
+	if !ok || se.Kind != robust.KindDeadlock {
+		t.Fatalf("err = %v, want static deadlock SimError", err)
+	}
+	if se.Dump == nil || se.Dump.Kernel != "huge" {
+		t.Errorf("dump does not name the unplaceable kernel: %+v", se.Dump)
+	}
+}
+
+func TestDeadlockDumpHasStreamProgress(t *testing.T) {
+	g := newGPU(t)
+	g.AddStream(StreamDef{ID: 0, Task: 0, Label: "victim", Kernels: []*trace.Kernel{aluKernel("k", 0, 2, 1, 5)}})
+	g.SetPolicy(denyPolicy{})
+	_, err := g.Run()
+	se, ok := robust.AsSimError(err)
+	if !ok || se.Kind != robust.KindDeadlock {
+		t.Fatalf("err = %v, want deadlock SimError", err)
+	}
+	d := se.Dump
+	if d == nil {
+		t.Fatal("no dump")
+	}
+	if d.Policy != "deny" {
+		t.Errorf("dump policy = %q, want deny", d.Policy)
+	}
+	found := false
+	for _, st := range d.Streams {
+		if st.Label == "victim" && st.Running != nil && st.Running.Name == "k" {
+			found = true
+			if st.Running.CTAsTotal != 2 {
+				t.Errorf("running progress = %+v, want 2 CTAs total", st.Running)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("dump streams lack the victim stream's running kernel: %+v", d.Streams)
 	}
 }

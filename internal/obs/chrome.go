@@ -112,6 +112,12 @@ func WriteChromeTrace(w io.Writer, events []Event, series *IntervalSeries, strea
 				Name: ev.Name, Ph: "i", Ts: ev.Cycle, Pid: pidMemory, Tid: ev.SM, S: "t",
 				Args: map[string]any{"wait_cycles": ev.Arg, "stream": ev.Stream},
 			})
+		case EvWatchdog:
+			use(pidPolicy, 0)
+			out = append(out, chromeEvent{
+				Name: "abort: " + ev.Name, Ph: "i", Ts: ev.Cycle, Pid: pidPolicy, Tid: 0, S: "g",
+				Args: map[string]any{"cycle": ev.Cycle},
+			})
 		}
 	}
 	// Close dangling spans (interrupted runs) at the last seen cycle.

@@ -93,6 +93,10 @@ const (
 	// EvMemContention marks sustained queueing at an L2 bank or DRAM
 	// channel (the shared-resource contention the paper studies).
 	EvMemContention
+	// EvWatchdog marks an abnormal termination of the run: a
+	// forward-progress watchdog trip, a cycle-budget overrun, a
+	// cancellation, or a placement deadlock. Name carries the reason.
+	EvWatchdog
 )
 
 var kindNames = [...]string{
@@ -104,6 +108,7 @@ var kindNames = [...]string{
 	EvBatchDone:     "batch-done",
 	EvRepartition:   "repartition",
 	EvMemContention: "mem-contention",
+	EvWatchdog:      "watchdog",
 }
 
 func (k EventKind) String() string {

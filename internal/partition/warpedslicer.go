@@ -65,6 +65,20 @@ func NewWarpedSlicer(g *gpu.GPU) *WarpedSlicer {
 // Name implements gpu.Policy.
 func (w *WarpedSlicer) Name() string { return "WarpedSlicer" }
 
+// DescribeState implements gpu.StateDescriber: the policy's last decision
+// for crash dumps — sampling vs steady, the active envelopes, and how many
+// repartitions have run.
+func (w *WarpedSlicer) DescribeState() string {
+	phase := "steady"
+	if w.state == wsSampling {
+		phase = "sampling"
+	}
+	return fmt.Sprintf("%s after %d resamples; envelopes task0={threads:%d regs:%d shared:%d ctas:%d} task1={threads:%d regs:%d shared:%d ctas:%d}",
+		phase, w.resampleCnt,
+		w.limits[0].Threads, w.limits[0].Regs, w.limits[0].Shared, w.limits[0].CTAs,
+		w.limits[1].Threads, w.limits[1].Regs, w.limits[1].Shared, w.limits[1].CTAs)
+}
+
 // Resamples reports how many sampling phases have run (one per launch).
 func (w *WarpedSlicer) Resamples() int { return w.resampleCnt }
 

@@ -1,0 +1,343 @@
+// Package inject is a deterministic fault-injection harness for hardening
+// tests: it perturbs execution traces and GPU configurations in the ways
+// real trace collectors and hand-written configs go wrong — truncated
+// warps, empty CTAs, missing barriers, oversized resource footprints,
+// malformed memory operands — and records, for each fault, which layer of
+// the simulator is expected to catch it. Tests drive the catalog to prove
+// that no fault escalates past its containment layer into a hang or a
+// panic.
+//
+// All perturbations are driven by a caller-provided *rand.Rand, so a fixed
+// seed reproduces the exact same mutation.
+package inject
+
+import (
+	"math/rand"
+
+	"crisp/internal/config"
+	"crisp/internal/isa"
+	"crisp/internal/trace"
+)
+
+// Expect names the simulator layer that must contain a fault.
+type Expect int
+
+const (
+	// ExpectValidation faults are rejected by trace.Kernel.Validate (and
+	// therefore by gpu.AddStream before any simulation starts).
+	ExpectValidation Expect = iota
+	// ExpectAddStream faults pass Validate but describe a CTA that can
+	// never fit a whole SM; gpu.AddStream rejects them with a static
+	// deadlock SimError.
+	ExpectAddStream
+	// ExpectRuntime faults pass all static checks and hang the machine at
+	// run time (e.g. a warp missing a barrier); the forward-progress
+	// watchdog or barrier-livelock detection must convert the hang into a
+	// watchdog SimError.
+	ExpectRuntime
+	// ExpectIntraSM faults produce kernels that place on a whole SM but
+	// not inside a half-SM envelope: they complete under whole-SM policies
+	// (Serial, MPS, MiG) and must fail with a deadlock SimError under
+	// intra-SM split policies (EVEN, Priority).
+	ExpectIntraSM
+	// ExpectTolerated faults are benign perturbations the simulator must
+	// absorb: the run completes normally.
+	ExpectTolerated
+)
+
+var expectNames = map[Expect]string{
+	ExpectValidation: "validation",
+	ExpectAddStream:  "addstream",
+	ExpectRuntime:    "runtime",
+	ExpectIntraSM:    "intra-sm",
+	ExpectTolerated:  "tolerated",
+}
+
+func (e Expect) String() string { return expectNames[e] }
+
+// Fault is one trace perturbation.
+type Fault struct {
+	Name   string
+	Expect Expect
+	// Apply mutates kernels in place (callers clone first; see
+	// CloneKernels), drawing randomness only from rng. It reports whether
+	// the fault was applicable to the given trace — e.g. drop-barrier
+	// needs a multi-warp CTA with a BAR instruction.
+	Apply func(kernels []*trace.Kernel, rng *rand.Rand) bool
+}
+
+// Catalog returns the trace-fault catalog. The returned faults are
+// stateless; the same slice contents are returned on every call.
+func Catalog() []Fault {
+	return []Fault{
+		{
+			// A trace writer died mid-warp: the warp's instruction list is
+			// cut short and loses its terminating EXIT.
+			Name:   "truncate-warp",
+			Expect: ExpectValidation,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				w := pickWarp(ks, rng, func(w *trace.Warp) bool { return len(w.Insts) >= 1 })
+				if w == nil {
+					return false
+				}
+				w.Insts = w.Insts[:len(w.Insts)-1]
+				if len(w.Insts) > 0 && w.Insts[len(w.Insts)-1].Op == isa.OpEXIT {
+					// Trailing EXIT duplicated; cut again so it is gone.
+					w.Insts = w.Insts[:len(w.Insts)-1]
+				}
+				return true
+			},
+		},
+		{
+			// A zero-size CTA: the grid entry exists but carries no warps.
+			Name:   "zero-cta",
+			Expect: ExpectValidation,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				k := ks[rng.Intn(len(ks))]
+				if len(k.CTAs) == 0 {
+					return false
+				}
+				k.CTAs[rng.Intn(len(k.CTAs))].Warps = nil
+				return true
+			},
+		},
+		{
+			// An instruction with no active lanes — a corrupted mask.
+			Name:   "empty-mask",
+			Expect: ExpectValidation,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				in := pickInst(ks, rng, func(*trace.Inst) bool { return true })
+				if in == nil {
+					return false
+				}
+				in.Mask = 0
+				return true
+			},
+		},
+		{
+			// A global memory instruction whose per-lane address list does
+			// not match its active mask.
+			Name:   "addr-mismatch",
+			Expect: ExpectValidation,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				in := pickInst(ks, rng, func(in *trace.Inst) bool {
+					return isa.IsMemory(in.Op) && isa.SpaceOf(in.Op) == isa.SpaceGlobal && len(in.Addrs) > 0
+				})
+				if in == nil {
+					return false
+				}
+				in.Addrs = in.Addrs[:len(in.Addrs)-1]
+				return true
+			},
+		},
+		{
+			// A non-memory instruction dragging address operands along.
+			Name:   "nonmem-addrs",
+			Expect: ExpectValidation,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				in := pickInst(ks, rng, func(in *trace.Inst) bool {
+					return !isa.IsMemory(in.Op) && in.Op != isa.OpEXIT
+				})
+				if in == nil {
+					return false
+				}
+				in.Addrs = []uint64{0xDEAD0000}
+				return true
+			},
+		},
+		{
+			// A CTA bigger than a whole SM: more warps than any SM holds.
+			// Validate passes (the trace is internally consistent); only
+			// the launch-time fit check can reject it.
+			Name:   "oversize-cta",
+			Expect: ExpectAddStream,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				k := ks[rng.Intn(len(ks))]
+				k.ThreadsPerCTA = 65 * isa.WarpSize // 65 warps: one more than an Ampere SM holds
+				return true
+			},
+		},
+		{
+			// One warp of a multi-warp CTA lost a BAR: its siblings arrive
+			// at the barrier and wait forever. Static checks cannot see
+			// this; the watchdog must.
+			Name:   "drop-barrier",
+			Expect: ExpectRuntime,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				w := pickWarpInMultiWarpCTA(ks, rng, func(w *trace.Warp) bool {
+					for i := range w.Insts {
+						if w.Insts[i].Op == isa.OpBAR {
+							return true
+						}
+					}
+					return false
+				})
+				if w == nil {
+					return false
+				}
+				for i := range w.Insts {
+					if w.Insts[i].Op == isa.OpBAR {
+						w.Insts = append(w.Insts[:i], w.Insts[i+1:]...)
+						break
+					}
+				}
+				return true
+			},
+		},
+		{
+			// A source-register dependence on a register no prior
+			// instruction wrote. The scoreboard only tracks in-flight
+			// writes, so a dangling dependence resolves immediately — the
+			// simulator must tolerate it.
+			Name:   "dangling-dep",
+			Expect: ExpectTolerated,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				in := pickInst(ks, rng, func(in *trace.Inst) bool {
+					return in.Op != isa.OpEXIT && in.Op != isa.OpBAR
+				})
+				if in == nil {
+					return false
+				}
+				in.SrcA = isa.Reg(250) // far above any builder-allocated register
+				return true
+			},
+		},
+		{
+			// Shared-memory oversubscription: the CTA fits a whole SM but
+			// not half of one. Whole-SM policies run it; intra-SM split
+			// policies can never place it and must report deadlock rather
+			// than spin.
+			Name:   "oversubscribe",
+			Expect: ExpectIntraSM,
+			Apply: func(ks []*trace.Kernel, rng *rand.Rand) bool {
+				k := ks[rng.Intn(len(ks))]
+				k.SharedMem = 48 << 10 // 48 KB of the 64 KB SM: > half, ≤ whole
+				return true
+			},
+		},
+	}
+}
+
+// ByName returns the catalog fault with the given name, or nil.
+func ByName(name string) *Fault {
+	for _, f := range Catalog() {
+		if f.Name == name {
+			ff := f
+			return &ff
+		}
+	}
+	return nil
+}
+
+// ConfigFault is one GPU-configuration perturbation that config.Validate
+// (and therefore gpu.New) must reject.
+type ConfigFault struct {
+	Name  string
+	Apply func(*config.GPU)
+}
+
+// ConfigCatalog returns the config-fault catalog; every entry must be
+// rejected by (*config.GPU).Validate.
+func ConfigCatalog() []ConfigFault {
+	return []ConfigFault{
+		{Name: "zero-sms", Apply: func(g *config.GPU) { g.NumSMs = 0 }},
+		{Name: "bad-l2-banks", Apply: func(g *config.GPU) { g.L2Banks = 3 }},
+		{Name: "negative-bandwidth", Apply: func(g *config.GPU) { g.MemBandwidthGBps = -1 }},
+		{Name: "warps-not-multiple", Apply: func(g *config.GPU) { g.MaxWarpsPerSM = 63 }},
+		{Name: "bad-sector", Apply: func(g *config.GPU) { g.SectorSize = 3 }},
+	}
+}
+
+// CloneKernels deep-copies kernels (CTAs, warps, instructions, and
+// per-lane address lists) so faults can be applied without disturbing the
+// caller's traces.
+func CloneKernels(kernels []*trace.Kernel) []*trace.Kernel {
+	out := make([]*trace.Kernel, len(kernels))
+	for i, k := range kernels {
+		kk := *k
+		kk.CTAs = make([]trace.CTA, len(k.CTAs))
+		for c := range k.CTAs {
+			cta := k.CTAs[c]
+			warps := make([]trace.Warp, len(cta.Warps))
+			for w := range cta.Warps {
+				warp := cta.Warps[w]
+				insts := make([]trace.Inst, len(warp.Insts))
+				copy(insts, warp.Insts)
+				for l := range insts {
+					if len(insts[l].Addrs) > 0 {
+						addrs := make([]uint64, len(insts[l].Addrs))
+						copy(addrs, insts[l].Addrs)
+						insts[l].Addrs = addrs
+					}
+				}
+				warp.Insts = insts
+				warps[w] = warp
+			}
+			cta.Warps = warps
+			kk.CTAs[c] = cta
+		}
+		out[i] = &kk
+	}
+	return out
+}
+
+// pickWarp selects a uniformly random warp satisfying ok, or nil.
+func pickWarp(ks []*trace.Kernel, rng *rand.Rand, ok func(*trace.Warp) bool) *trace.Warp {
+	var candidates []*trace.Warp
+	for _, k := range ks {
+		for c := range k.CTAs {
+			for w := range k.CTAs[c].Warps {
+				if ok(&k.CTAs[c].Warps[w]) {
+					candidates = append(candidates, &k.CTAs[c].Warps[w])
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// pickWarpInMultiWarpCTA is pickWarp restricted to CTAs with ≥ 2 warps
+// (so a dropped barrier actually strands the siblings).
+func pickWarpInMultiWarpCTA(ks []*trace.Kernel, rng *rand.Rand, ok func(*trace.Warp) bool) *trace.Warp {
+	var candidates []*trace.Warp
+	for _, k := range ks {
+		for c := range k.CTAs {
+			if len(k.CTAs[c].Warps) < 2 {
+				continue
+			}
+			for w := range k.CTAs[c].Warps {
+				if ok(&k.CTAs[c].Warps[w]) {
+					candidates = append(candidates, &k.CTAs[c].Warps[w])
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// pickInst selects a uniformly random instruction satisfying ok, or nil.
+func pickInst(ks []*trace.Kernel, rng *rand.Rand, ok func(*trace.Inst) bool) *trace.Inst {
+	var candidates []*trace.Inst
+	for _, k := range ks {
+		for c := range k.CTAs {
+			for w := range k.CTAs[c].Warps {
+				insts := k.CTAs[c].Warps[w].Insts
+				for l := range insts {
+					if ok(&insts[l]) {
+						candidates = append(candidates, &insts[l])
+					}
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

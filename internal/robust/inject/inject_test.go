@@ -1,0 +1,186 @@
+package inject_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crisp/internal/config"
+	"crisp/internal/gpu"
+	"crisp/internal/isa"
+	"crisp/internal/partition"
+	"crisp/internal/robust"
+	"crisp/internal/robust/inject"
+	"crisp/internal/trace"
+)
+
+// workload builds a small two-kernel compute stream exercising every
+// feature the fault catalog perturbs: multi-warp CTAs, barriers, global
+// loads with per-lane addresses, and plain ALU work.
+func workload() []*trace.Kernel {
+	var kernels []*trace.Kernel
+	for ki := 0; ki < 2; ki++ {
+		b := trace.NewBuilder("k", trace.KindCompute, 7, 2*isa.WarpSize, 16, 0)
+		for c := 0; c < 4; c++ {
+			b.BeginCTA()
+			for w := 0; w < 2; w++ {
+				b.BeginWarp()
+				r := b.NewReg()
+				b.ALU(isa.OpIADD, r, trace.FullMask)
+				addrs := make([]uint64, isa.WarpSize)
+				for l := range addrs {
+					addrs[l] = uint64(ki<<20 | c<<12 | w<<8 | l*4)
+				}
+				b.Mem(isa.OpLDG, b.NewReg(), trace.FullMask, addrs, trace.ClassCompute)
+				b.Barrier()
+				b.ALU(isa.OpFMUL, b.NewReg(), trace.FullMask, r)
+			}
+		}
+		kernels = append(kernels, b.Finish())
+	}
+	return kernels
+}
+
+func validateAll(ks []*trace.Kernel) error {
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFaulted pushes the faulted kernels through a real GPU under the
+// given policy builder (nil = serial) and returns the run error.
+func runFaulted(t *testing.T, ks []*trace.Kernel, intraSM bool) error {
+	t.Helper()
+	cfg := config.JetsonOrin()
+	cfg.NumSMs = 2
+	g, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatalf("gpu.New: %v", err)
+	}
+	g.WatchdogWindow = 1 << 16 // keep runtime faults fast
+	if err := g.AddStream(gpu.StreamDef{ID: 7, Task: 1, Label: "faulted", Kernels: ks}); err != nil {
+		return err
+	}
+	if intraSM {
+		g.SetPolicy(partition.NewFGEven(g))
+	}
+	_, err = g.Run()
+	return err
+}
+
+func TestCloneKernelsIsolation(t *testing.T) {
+	orig := workload()
+	pristine := inject.CloneKernels(orig)
+	clone := inject.CloneKernels(orig)
+
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range inject.Catalog() {
+		f.Apply(clone, rng)
+	}
+	if !reflect.DeepEqual(orig, pristine) {
+		t.Fatal("faulting a clone mutated the original kernels")
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	for _, f := range inject.Catalog() {
+		a := inject.CloneKernels(workload())
+		b := inject.CloneKernels(workload())
+		okA := f.Apply(a, rand.New(rand.NewSource(42)))
+		okB := f.Apply(b, rand.New(rand.NewSource(42)))
+		if okA != okB {
+			t.Fatalf("%s: applicability differs across identical seeds", f.Name)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different mutations", f.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if f := inject.ByName("drop-barrier"); f == nil || f.Expect != inject.ExpectRuntime {
+		t.Fatalf("ByName(drop-barrier) = %+v", f)
+	}
+	if f := inject.ByName("no-such-fault"); f != nil {
+		t.Fatalf("ByName(no-such-fault) = %+v, want nil", f)
+	}
+}
+
+// TestFaultContainment is the harness's core claim: every catalog fault is
+// caught at (exactly) its expected layer and never escalates to a hang or
+// panic.
+func TestFaultContainment(t *testing.T) {
+	for _, f := range inject.Catalog() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			ks := inject.CloneKernels(workload())
+			if !f.Apply(ks, rand.New(rand.NewSource(3))) {
+				t.Fatalf("%s: fault not applicable to the test workload", f.Name)
+			}
+			switch f.Expect {
+			case inject.ExpectValidation:
+				if err := validateAll(ks); err == nil {
+					t.Fatal("Validate accepted the faulted trace")
+				}
+				err := runFaulted(t, ks, false)
+				se, ok := robust.AsSimError(err)
+				if !ok || se.Kind != robust.KindValidation {
+					t.Fatalf("AddStream error = %v, want validation SimError", err)
+				}
+			case inject.ExpectAddStream:
+				if err := validateAll(ks); err != nil {
+					t.Fatalf("fault should pass Validate, got %v", err)
+				}
+				err := runFaulted(t, ks, false)
+				se, ok := robust.AsSimError(err)
+				if !ok || se.Kind != robust.KindDeadlock {
+					t.Fatalf("error = %v, want static deadlock SimError", err)
+				}
+				if se.Dump == nil {
+					t.Fatal("static deadlock SimError carries no crash dump")
+				}
+			case inject.ExpectRuntime:
+				err := runFaulted(t, ks, false)
+				se, ok := robust.AsSimError(err)
+				if !ok || se.Kind != robust.KindWatchdog {
+					t.Fatalf("error = %v, want watchdog SimError", err)
+				}
+				if se.Dump == nil || len(se.Dump.SMs) == 0 {
+					t.Fatal("watchdog SimError lacks a populated crash dump")
+				}
+			case inject.ExpectIntraSM:
+				if err := runFaulted(t, ks, false); err != nil {
+					t.Fatalf("whole-SM run failed: %v", err)
+				}
+				err := runFaulted(t, ks, true)
+				se, ok := robust.AsSimError(err)
+				if !ok || se.Kind != robust.KindDeadlock {
+					t.Fatalf("intra-SM error = %v, want deadlock SimError", err)
+				}
+			case inject.ExpectTolerated:
+				if err := runFaulted(t, ks, false); err != nil {
+					t.Fatalf("tolerated fault failed the run: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestConfigCatalogRejected(t *testing.T) {
+	for _, cf := range inject.ConfigCatalog() {
+		cf := cf
+		t.Run(cf.Name, func(t *testing.T) {
+			cfg := config.JetsonOrin()
+			cf.Apply(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("Validate accepted the faulted config")
+			}
+			if _, err := gpu.New(cfg); err == nil {
+				t.Fatal("gpu.New accepted the faulted config")
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+// Package robust is CRISP's simulation-hardening layer: the structured
+// error type every abnormal simulation outcome resolves to, the crash-dump
+// schema attached to it for postmortems, and the panic-recovery helper the
+// public API boundary uses so programmer errors inside the simulator
+// surface as errors instead of crashing library consumers.
+//
+// The package sits below every simulator layer (gpu, core, the public
+// crisp package import it; it imports nothing but the standard library),
+// so any layer can construct a SimError without import cycles.
+//
+// Failure taxonomy:
+//
+//   - KindValidation — a trace, stream, or configuration failed a
+//     structural check before the run started (fail-fast).
+//   - KindDeadlock — a kernel's CTAs can never be placed: either detected
+//     statically at AddStream (a CTA exceeding the whole SM) or at run
+//     time (CTAs pending, nothing executing, nothing placeable under the
+//     installed partition policy).
+//   - KindWatchdog — the forward-progress watchdog tripped: warps are
+//     resident but no instruction retired for the configured window
+//     (livelocks, e.g. a warp that never arrives at a CTA barrier).
+//   - KindBudget — the run exceeded its hard cycle budget.
+//   - KindCanceled — the caller's context was canceled mid-run.
+//   - KindPanic — a panic escaped the simulator internals and was
+//     converted to an error at the public API boundary.
+package robust
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+// Kind classifies a SimError.
+type Kind uint8
+
+const (
+	// KindValidation marks a pre-run structural check failure.
+	KindValidation Kind = iota
+	// KindDeadlock marks an unplaceable kernel (static or runtime).
+	KindDeadlock
+	// KindWatchdog marks a forward-progress watchdog trip.
+	KindWatchdog
+	// KindBudget marks a cycle-budget overrun.
+	KindBudget
+	// KindCanceled marks a context cancellation.
+	KindCanceled
+	// KindPanic marks a recovered internal panic.
+	KindPanic
+)
+
+var kindNames = [...]string{
+	KindValidation: "validation",
+	KindDeadlock:   "deadlock",
+	KindWatchdog:   "watchdog",
+	KindBudget:     "budget",
+	KindCanceled:   "canceled",
+	KindPanic:      "panic",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// SimError is the structured error for every abnormal simulation outcome.
+// It carries the failure class, the simulated cycle at which the failure
+// was detected, and — for failures inside a running simulation — a crash
+// dump of machine state for postmortems.
+type SimError struct {
+	Kind  Kind
+	Cycle int64
+	// Msg is the human-readable failure description.
+	Msg string
+	// Dump is the machine-state snapshot at failure (nil for failures
+	// before a GPU existed, e.g. config parse errors).
+	Dump *CrashDump
+	// Err is the wrapped cause, when the failure wraps another error.
+	Err error
+}
+
+// Error implements error.
+func (e *SimError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("sim %s at cycle %d: %s: %v", e.Kind, e.Cycle, e.Msg, e.Err)
+	}
+	return fmt.Sprintf("sim %s at cycle %d: %s", e.Kind, e.Cycle, e.Msg)
+}
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *SimError) Unwrap() error { return e.Err }
+
+// AsSimError extracts a SimError from an error chain.
+func AsSimError(err error) (*SimError, bool) {
+	var se *SimError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// CrashDump is the JSON-serializable postmortem snapshot attached to
+// runtime SimErrors: where every SM and stream stood when the run died.
+type CrashDump struct {
+	// Cycle is the simulated cycle at failure.
+	Cycle int64 `json:"cycle"`
+	// Config and Policy identify the machine and partitioning scheme.
+	Config string `json:"config"`
+	Policy string `json:"policy"`
+	// PolicyState is the installed policy's self-description (its last
+	// decision), when the policy implements gpu.StateDescriber.
+	PolicyState string `json:"policy_state,omitempty"`
+	// Kernel names the kernel implicated in the failure (the unplaceable
+	// kernel for deadlocks, the stuck kernel for watchdog trips).
+	Kernel string `json:"kernel,omitempty"`
+	// Reason restates the failure in one line.
+	Reason string `json:"reason"`
+	// WatchdogWindow and LastProgress describe the forward-progress
+	// watchdog's view at failure (watchdog trips only).
+	WatchdogWindow int64 `json:"watchdog_window,omitempty"`
+	LastProgress   int64 `json:"last_progress_cycle,omitempty"`
+	// SMs is the per-SM occupancy snapshot.
+	SMs []SMState `json:"sms"`
+	// Streams lists every stream that had not drained at failure.
+	Streams []StreamState `json:"streams"`
+	// StreamsCompleted counts the streams omitted from Streams because
+	// they finished cleanly before the failure.
+	StreamsCompleted int `json:"streams_completed"`
+	// Stalls is the whole-run stall-attribution snapshot by task: how the
+	// machine was spending its scheduler slots before it died.
+	Stalls []TaskStalls `json:"stalls,omitempty"`
+}
+
+// SMState is one SM's occupancy at failure.
+type SMState struct {
+	ID            int         `json:"id"`
+	ResidentWarps int         `json:"resident_warps"`
+	WarpsByTask   map[int]int `json:"warps_by_task,omitempty"`
+	// BarrierBlocked counts resident warps parked indefinitely at a CTA
+	// barrier — nonzero on every SM is the signature of a barrier livelock.
+	BarrierBlocked int `json:"barrier_blocked,omitempty"`
+	UsedThreads    int `json:"used_threads"`
+	UsedRegs       int `json:"used_regs"`
+	UsedShared     int `json:"used_shared"`
+	UsedCTAs       int `json:"used_ctas"`
+}
+
+// StreamState is one undrained stream's progress at failure.
+type StreamState struct {
+	ID           int    `json:"id"`
+	Label        string `json:"label,omitempty"`
+	Task         int    `json:"task"`
+	KernelsDone  int    `json:"kernels_done"`
+	KernelsTotal int    `json:"kernels_total"`
+	Active       bool   `json:"active"`
+	// Running describes the stream's in-flight kernel, if any.
+	Running *KernelProgress `json:"running,omitempty"`
+}
+
+// KernelProgress is the CTA-level progress of one in-flight kernel.
+type KernelProgress struct {
+	Name       string `json:"name"`
+	CTAsIssued int    `json:"ctas_issued"`
+	CTAsDone   int    `json:"ctas_done"`
+	CTAsTotal  int    `json:"ctas_total"`
+	LaunchedAt int64  `json:"launched_at"`
+}
+
+// TaskStalls is one task's scheduler-slot breakdown: issues plus
+// attributed stall slots by cause name.
+type TaskStalls struct {
+	Task   int              `json:"task"`
+	Label  string           `json:"label,omitempty"`
+	Issues int64            `json:"issues"`
+	Stalls map[string]int64 `json:"stalls,omitempty"`
+}
+
+// WriteJSON serializes the dump, indented for human postmortems.
+func (d *CrashDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// RecoverAsError is the public-API panic firewall: deferred at the top of
+// exported entry points, it converts an escaping panic into a KindPanic
+// SimError carrying the panic value and stack, so library consumers never
+// crash on internal programmer errors (trace.Builder misuse, texture
+// binding bugs). It must be deferred directly, not called from another
+// deferred function's body. A nil *errp panic value is never produced:
+// re-panics of runtime.Goexit are not intercepted.
+func RecoverAsError(errp *error, op string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	cause, _ := r.(error)
+	*errp = &SimError{
+		Kind: KindPanic,
+		Msg:  fmt.Sprintf("%s: recovered panic: %v\n%s", op, r, debug.Stack()),
+		Err:  cause,
+	}
+}

@@ -1,0 +1,118 @@
+package robust
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSimErrorMessageAndUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	err := &SimError{Kind: KindDeadlock, Cycle: 42, Msg: "kernel stuck", Err: cause}
+	msg := err.Error()
+	for _, want := range []string{"deadlock", "42", "kernel stuck", "root cause"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(err, cause) {
+		t.Error("Unwrap lost the cause")
+	}
+}
+
+func TestAsSimError(t *testing.T) {
+	inner := &SimError{Kind: KindWatchdog, Cycle: 7, Msg: "stuck"}
+	wrapped := fmt.Errorf("run failed: %w", inner)
+	se, ok := AsSimError(wrapped)
+	if !ok || se.Kind != KindWatchdog {
+		t.Fatalf("AsSimError = %v, %v", se, ok)
+	}
+	if _, ok := AsSimError(errors.New("plain")); ok {
+		t.Error("plain error reported as SimError")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindValidation: "validation",
+		KindDeadlock:   "deadlock",
+		KindWatchdog:   "watchdog",
+		KindBudget:     "budget",
+		KindCanceled:   "canceled",
+		KindPanic:      "panic",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestCrashDumpJSONRoundTrip(t *testing.T) {
+	d := &CrashDump{
+		Cycle:  100,
+		Config: "JetsonOrin",
+		Policy: "EVEN",
+		Kernel: "vio_k3",
+		Reason: "cannot place CTAs",
+		SMs: []SMState{
+			{ID: 0, ResidentWarps: 8, WarpsByTask: map[int]int{0: 6, 1: 2}, UsedThreads: 256},
+		},
+		Streams: []StreamState{
+			{ID: 1 << 20, Label: "VIO", Task: 1, KernelsDone: 2, KernelsTotal: 5, Active: true,
+				Running: &KernelProgress{Name: "vio_k3", CTAsIssued: 4, CTAsDone: 1, CTAsTotal: 16, LaunchedAt: 90}},
+		},
+		StreamsCompleted: 3,
+		Stalls: []TaskStalls{
+			{Task: 1, Label: "VIO", Issues: 1000, Stalls: map[string]int64{"scoreboard": 50}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back CrashDump
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("dump JSON does not round-trip: %v", err)
+	}
+	if back.Kernel != "vio_k3" || back.SMs[0].WarpsByTask[1] != 2 ||
+		back.Streams[0].Running.CTAsTotal != 16 || back.Stalls[0].Stalls["scoreboard"] != 50 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestRecoverAsError(t *testing.T) {
+	boom := func() (err error) {
+		defer RecoverAsError(&err, "test.Boom")
+		panic("exploded")
+	}
+	err := boom()
+	se, ok := AsSimError(err)
+	if !ok || se.Kind != KindPanic {
+		t.Fatalf("recovered error = %v", err)
+	}
+	if !strings.Contains(se.Msg, "exploded") || !strings.Contains(se.Msg, "test.Boom") {
+		t.Errorf("panic message lost: %q", se.Msg)
+	}
+
+	clean := func() (err error) {
+		defer RecoverAsError(&err, "test.Clean")
+		return nil
+	}
+	if err := clean(); err != nil {
+		t.Errorf("no-panic path produced error %v", err)
+	}
+}
+
+func TestRecoverAsErrorKeepsErrorCause(t *testing.T) {
+	cause := errors.New("typed cause")
+	boom := func() (err error) {
+		defer RecoverAsError(&err, "test.Boom")
+		panic(cause)
+	}
+	if !errors.Is(boom(), cause) {
+		t.Error("panic(error) cause not preserved through recovery")
+	}
+}

@@ -86,6 +86,12 @@ func Fraction(r Resources, num, den int) Resources {
 
 const never = int64(math.MaxInt64 / 4)
 
+// Never is the "no useful work, ever" sentinel a Core's Step returns when
+// every resident warp is permanently blocked (or the SM is empty). The GPU
+// driver compares against it to distinguish a quiescent machine from a
+// livelocked one.
+const Never = never
+
 // InstStats receives per-instruction accounting, keyed by the issuing SM
 // and the owning stream.
 type InstStats interface {
@@ -225,6 +231,26 @@ func (c *Core) Usage(task int) Resources {
 		return *u
 	}
 	return Resources{}
+}
+
+// TotalUsage reports the combined resources in use across all tasks
+// (crash-dump snapshots).
+func (c *Core) TotalUsage() Resources { return c.usageTotal }
+
+// BarrierBlocked counts resident warps parked indefinitely at a CTA
+// barrier (waiting for arrivals that have not happened). Every resident
+// warp blocked this way is the signature of a barrier livelock, which the
+// GPU's forward-progress watchdog converts into a structured error.
+func (c *Core) BarrierBlocked() int {
+	n := 0
+	for i := range c.scheds {
+		for _, w := range c.scheds[i].warps {
+			if !w.done && w.blockedUntil >= never {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func (c *Core) limitFor(task int) Resources {

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"crisp/internal/isa"
+)
+
+// fuzzSeedTrace serializes a small well-formed kernel set with Save so
+// the corpus starts from bytes that decode successfully.
+func fuzzSeedTrace() []byte {
+	var kernels []*Kernel
+	for i := 0; i < 2; i++ {
+		b := NewBuilder("seed", KindCompute, 3, 64, 16, 256)
+		b.BeginCTA()
+		for w := 0; w < 2; w++ {
+			b.BeginWarp()
+			r := b.NewReg()
+			b.ALU(isa.OpMOV, r, FullMask)
+			addrs := make([]uint64, isa.WarpSize)
+			for l := range addrs {
+				addrs[l] = uint64(l * 4)
+			}
+			b.Mem(isa.OpLDG, b.NewReg(), FullMask, addrs, ClassCompute)
+			b.Barrier()
+		}
+		kernels = append(kernels, b.Finish())
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, kernels); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzKernelValidate feeds arbitrary bytes through the trace
+// deserializer and validates whatever decodes: Load and Validate must
+// contain any corruption — truncated streams, hostile counts, malformed
+// instruction lists — with a clean error, never a panic or an OOM.
+func FuzzKernelValidate(f *testing.F) {
+	seed := fuzzSeedTrace()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b}) // bare gzip magic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kernels, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, k := range kernels {
+			if k == nil {
+				t.Fatal("Load returned a nil kernel without error")
+			}
+			// Validate must classify, not crash, whatever decoded.
+			_ = k.Validate()
+			_ = k.InstCount()
+			_ = k.WarpsPerCTA()
+		}
+	})
+}

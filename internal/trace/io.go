@@ -57,7 +57,14 @@ func Load(r io.Reader) ([]*Kernel, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("trace: negative kernel count %d", n)
 	}
-	kernels := make([]*Kernel, 0, n)
+	// Cap the pre-allocation: n is attacker-controlled (a corrupt or
+	// malicious file), and a huge count must fail at decode — after 0
+	// kernels decode — rather than OOM the host up front.
+	capHint := n
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	kernels := make([]*Kernel, 0, capHint)
 	for i := 0; i < n; i++ {
 		var k Kernel
 		if err := dec.Decode(&k); err != nil {
