@@ -36,6 +36,11 @@ type runOutcome struct {
 	name string
 	dur  time.Duration
 	err  error
+	// Snapshot accounting (sweep mode with -checkpoint-dir / -resume).
+	ckptSaves int
+	ckptSave  time.Duration
+	snapLoad  time.Duration
+	resumedAt int64
 }
 
 func main() {
@@ -49,6 +54,10 @@ func main() {
 	computeName := flag.String("compute", "VIO", "sweep mode: compute workload (empty = graphics only)")
 	policyName := flag.String("policy", "EVEN", "sweep mode: partitioning policy")
 	dumpDir := flag.String("dumps", "", "write crash-dump JSON for failed runs into this directory")
+	ckptDir := flag.String("checkpoint-dir", "", "sweep mode: checkpoint each run into <dir>/<config-name>/ (plus a final snapshot on failure)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "sweep mode: checkpoint cadence in cycles (0 = default 100000)")
+	resume := flag.Bool("resume", false, "sweep mode: resume each run from its checkpoint subdirectory when a snapshot exists")
+	budget := flag.Int64("budget", 0, "sweep mode: per-run cycle budget; exceeding it fails the run, leaving a resumable snapshot (0 = unlimited)")
 	flag.Parse()
 
 	for _, dir := range []string{*csvDir, *dumpDir} {
@@ -62,7 +71,11 @@ func main() {
 
 	var outcomes []runOutcome
 	if *sweep != "" {
-		outcomes = runSweep(*sweep, *sceneName, *computeName, *policyName, *runTimeout, *dumpDir)
+		outcomes = runSweep(sweepConfig{
+			paths: *sweep, scene: *sceneName, compute: *computeName, policy: *policyName,
+			timeout: *runTimeout, dumpDir: *dumpDir,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume, budget: *budget,
+		})
 	} else {
 		outcomes = runExperiments(*exp, *scaleName, *csvDir, *dumpDir, *runTimeout)
 		if outcomes == nil {
@@ -150,47 +163,97 @@ func runExperiments(exp, scaleName, csvDir, dumpDir string, timeout time.Duratio
 		} else {
 			fmt.Printf("(%s in %v)\n\n", e.name, dur)
 		}
-		outcomes = append(outcomes, runOutcome{e.name, dur, err})
+		outcomes = append(outcomes, runOutcome{name: e.name, dur: dur, err: err})
 	}
 	return outcomes
 }
 
+// sweepConfig bundles sweep-mode settings.
+type sweepConfig struct {
+	paths, scene, compute, policy string
+	timeout                       time.Duration
+	dumpDir                       string
+	ckptDir                       string
+	ckptEvery                     int64
+	resume                        bool
+	budget                        int64
+}
+
 // runSweep runs one scene+compute pairing across a list of GPU config
-// files, guarding each run with true context cancellation.
-func runSweep(sweep, sceneName, computeName, policyName string, timeout time.Duration, dumpDir string) []runOutcome {
+// files, guarding each run with true context cancellation. With
+// -checkpoint-dir each run checkpoints into its own subdirectory; with
+// -resume a run that left a snapshot there (e.g. killed by -budget on a
+// previous invocation) picks up where it stopped instead of starting over.
+func runSweep(sc sweepConfig) []runOutcome {
 	var outcomes []runOutcome
-	for _, path := range strings.Split(sweep, ",") {
+	for _, path := range strings.Split(sc.paths, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
 			continue
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		out := runOutcome{name: name}
 		t0 := time.Now()
-		err := guard(name, timeout, func() error {
-			cfg, err := crisp.GPUFromFile(path)
-			if err != nil {
-				return err
-			}
+		out.err = guard(name, sc.timeout, func() error {
 			ctx := context.Background()
-			if timeout > 0 {
+			if sc.timeout > 0 {
 				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, timeout)
+				ctx, cancel = context.WithTimeout(ctx, sc.timeout)
 				defer cancel()
 			}
-			res, err := crisp.RunPairContext(ctx, cfg, sceneName, computeName,
-				crisp.PolicyKind(policyName), crisp.DefaultRenderOptions())
+			var runOpts []crisp.RunOption
+			if sc.budget > 0 {
+				runOpts = append(runOpts, crisp.WithCycleBudget(sc.budget))
+			}
+			sub := ""
+			if sc.ckptDir != "" {
+				sub = filepath.Join(sc.ckptDir, name)
+				runOpts = append(runOpts, crisp.WithCheckpointDir(sub))
+				if sc.ckptEvery > 0 {
+					runOpts = append(runOpts, crisp.WithCheckpointEvery(sc.ckptEvery))
+				}
+			}
+
+			var res *crisp.Result
+			var err error
+			if sc.resume && sub != "" {
+				tLoad := time.Now()
+				env, lerr := crisp.LoadSnapshot(sub)
+				if lerr == nil {
+					out.snapLoad = time.Since(tLoad)
+					res, err = crisp.Resume(ctx, env, runOpts...)
+				} else {
+					fmt.Fprintf(os.Stderr, "%s: no resumable snapshot (%v); starting fresh\n", name, lerr)
+				}
+			}
+			if res == nil && err == nil {
+				var cfg crisp.GPUConfig
+				cfg, err = crisp.GPUFromFile(path)
+				if err != nil {
+					return err
+				}
+				res, err = crisp.RunPairContext(ctx, cfg, sc.scene, sc.compute,
+					crisp.PolicyKind(sc.policy), crisp.DefaultRenderOptions(), runOpts...)
+			}
 			if err != nil {
 				return err
+			}
+			out.ckptSaves, out.ckptSave = res.CheckpointSaves, res.CheckpointSaveTime
+			if res.Resumed {
+				out.resumedAt = res.ResumedFrom
+				// Stderr, so a resumed sweep's stdout stays diffable against
+				// an uninterrupted one (the CI interrupt-resume gate).
+				fmt.Fprintf(os.Stderr, "%s: resumed from cycle %d\n", name, res.ResumedFrom)
 			}
 			fmt.Printf("%-24s %12d cycles  %8.3f ms\n", name, res.Cycles, res.FrameTimeMS)
 			return nil
 		})
-		dur := time.Since(t0).Round(time.Millisecond)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%-24s FAILED after %v: %v\n", name, dur, err)
-			writeDump(dumpDir, name, err)
+		out.dur = time.Since(t0).Round(time.Millisecond)
+		if out.err != nil {
+			fmt.Fprintf(os.Stderr, "%-24s FAILED after %v: %v\n", name, out.dur, out.err)
+			writeDump(sc.dumpDir, name, out.err)
 		}
-		outcomes = append(outcomes, runOutcome{name, dur, err})
+		outcomes = append(outcomes, out)
 	}
 	return outcomes
 }
@@ -221,7 +284,7 @@ func writeDump(dir, name string, err error) {
 // printSummary renders the outcome table and returns the failure count.
 func printSummary(outcomes []runOutcome) int {
 	failed := 0
-	t := &stats.Table{Header: []string{"run", "status", "time", "detail"}}
+	t := &stats.Table{Header: []string{"run", "status", "time", "snapshot", "detail"}}
 	for _, o := range outcomes {
 		status, detail := "ok", ""
 		if o.err != nil {
@@ -236,7 +299,17 @@ func printSummary(outcomes []runOutcome) int {
 				detail = detail[:69] + "..."
 			}
 		}
-		t.AddRow(o.name, status, o.dur.String(), detail)
+		snap := ""
+		if o.ckptSaves > 0 {
+			snap = fmt.Sprintf("%d saves/%v", o.ckptSaves, o.ckptSave.Round(time.Microsecond))
+		}
+		if o.snapLoad > 0 {
+			if snap != "" {
+				snap += " "
+			}
+			snap += fmt.Sprintf("load %v@%d", o.snapLoad.Round(time.Microsecond), o.resumedAt)
+		}
+		t.AddRow(o.name, status, o.dur.String(), snap, detail)
 	}
 	fmt.Printf("==== SUMMARY (%d/%d ok) ====\n%s", len(outcomes)-failed, len(outcomes), t)
 	return failed

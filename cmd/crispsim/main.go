@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"crisp"
 	"crisp/internal/stats"
+	"crisp/internal/trace"
 )
 
 func main() {
@@ -40,10 +42,16 @@ func main() {
 	budget := flag.Int64("budget", 0, "hard cycle budget (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "wall-clock timeout; cancels the simulation cleanly (0 = none)")
 	dumpOut := flag.String("dump", "", "write the crash-dump JSON here when the run fails")
+	ckptDir := flag.String("checkpoint-dir", "", "periodically checkpoint simulator state into this directory (plus a final snapshot on failure)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "checkpoint cadence in cycles (0 = default 100000)")
+	ckptRetain := flag.Int("checkpoint-retain", 0, "periodic checkpoints kept (0 = default 3; the final snapshot is exempt)")
+	resume := flag.String("resume", "", "resume from a snapshot file or checkpoint directory (overrides -scene/-compute/-policy/-gpu)")
+	stateDigest := flag.Bool("state-digest", false, "print the determinism auditor's architectural-state digest stream")
+	digestEvery := flag.Int64("digest-every", 100_000, "digest sampling period in cycles for -state-digest")
 	flag.Parse()
 
-	if *sceneName == "" && *computeName == "" {
-		fmt.Fprintln(os.Stderr, "need -scene and/or -compute")
+	if *sceneName == "" && *computeName == "" && *resume == "" {
+		fmt.Fprintln(os.Stderr, "need -scene and/or -compute (or -resume)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -83,6 +91,18 @@ func main() {
 	if *budget > 0 {
 		runOpts = append(runOpts, crisp.WithCycleBudget(*budget))
 	}
+	if *ckptDir != "" {
+		runOpts = append(runOpts, crisp.WithCheckpointDir(*ckptDir))
+		if *ckptEvery > 0 {
+			runOpts = append(runOpts, crisp.WithCheckpointEvery(*ckptEvery))
+		}
+		if *ckptRetain > 0 {
+			runOpts = append(runOpts, crisp.WithCheckpointRetain(*ckptRetain))
+		}
+	}
+	if *stateDigest {
+		runOpts = append(runOpts, crisp.WithStateDigest(*digestEvery))
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -90,7 +110,24 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := crisp.RunPairContext(ctx, cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts, runOpts...)
+	var res *crisp.Result
+	if *resume != "" {
+		// Resume rebuilds the job from the snapshot's self-describing spec;
+		// workload and policy flags are taken from the snapshot, not the
+		// command line.
+		env, lerr := crisp.LoadSnapshot(*resume)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		*sceneName, *computeName, *policy = env.Spec.Scene, env.Spec.Compute, env.Spec.Policy
+		cfg = env.Spec.GPU
+		if *policy == "" {
+			*policy = "serial"
+		}
+		res, err = crisp.Resume(ctx, env, runOpts...)
+	} else {
+		res, err = crisp.RunPairContext(ctx, cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts, runOpts...)
+	}
 	if err != nil {
 		if se, ok := crisp.AsSimError(err); ok {
 			fmt.Fprintf(os.Stderr, "simulation failed: %s at cycle %d: %s\n", se.Kind, se.Cycle, se.Msg)
@@ -101,6 +138,9 @@ func main() {
 					}
 					f.Close()
 				}
+			}
+			if *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "final snapshot saved in %s (resume with -resume %s)\n", *ckptDir, *ckptDir)
 			}
 			os.Exit(1)
 		}
@@ -121,8 +161,19 @@ func main() {
 	}
 
 	fmt.Printf("%s", header(*sceneName, *computeName, cfg.Name, *policy))
+	if res.Resumed {
+		fmt.Printf("resumed from: cycle %d\n", res.ResumedFrom)
+	}
 	fmt.Printf("cycles      : %d\n", res.Cycles)
 	fmt.Printf("frame time  : %.4f ms\n", res.FrameTimeMS)
+	if res.CheckpointSaves > 0 {
+		fmt.Printf("checkpoints : %d saved in %v\n", res.CheckpointSaves, res.CheckpointSaveTime)
+	}
+	if *stateDigest {
+		for _, d := range res.Digests {
+			fmt.Printf("digest %12d %016x\n", d.Cycle, d.Digest)
+		}
+	}
 
 	t := stats.Table{Header: []string{"task", "warp insts", "IPC", "L1 hit", "L2 hit", "DRAM rd KB", "DRAM wr KB"}}
 	for task := 0; task < 2; task++ {
@@ -136,9 +187,16 @@ func main() {
 	}
 	fmt.Println(t.String())
 
+	// Print classes in sorted order: map iteration order would make the
+	// output differ run to run, which the CI determinism gate diffs.
 	fmt.Printf("L2 composition (%d valid lines):", res.L2Lines)
-	for class, n := range res.L2ByClass {
-		fmt.Printf(" %v=%d", class, n)
+	classes := make([]int, 0, len(res.L2ByClass))
+	for class := range res.L2ByClass {
+		classes = append(classes, int(class))
+	}
+	sort.Ints(classes)
+	for _, class := range classes {
+		fmt.Printf(" %v=%d", trace.MemClass(class), res.L2ByClass[trace.MemClass(class)])
 	}
 	fmt.Println()
 

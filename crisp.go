@@ -37,6 +37,7 @@ import (
 	"crisp/internal/render"
 	"crisp/internal/robust"
 	"crisp/internal/scene"
+	"crisp/internal/snapshot"
 )
 
 // GPUConfig describes one simulated GPU (see JetsonOrin and RTX3070).
@@ -211,8 +212,68 @@ const (
 	ErrBudget     = robust.KindBudget
 	ErrCanceled   = robust.KindCanceled
 	ErrPanic      = robust.KindPanic
+	ErrSnapshot   = robust.KindSnapshot
 )
 
 // AsSimError extracts a *SimError from an error chain, reporting whether
 // one was found.
 func AsSimError(err error) (*SimError, bool) { return robust.AsSimError(err) }
+
+// Snapshot is one versioned checkpoint file's content: the spec that
+// rebuilds the job plus the complete captured simulator state.
+type Snapshot = snapshot.Envelope
+
+// DigestEntry is one sampled architectural-state digest from the
+// determinism auditor (Result.Digests).
+type DigestEntry = snapshot.DigestEntry
+
+// FirstDivergence compares two digest series over their overlapping cycle
+// range and returns the first cycle at which they disagree; ok=false means
+// the series are consistent.
+func FirstDivergence(a, b []DigestEntry) (cycle int64, ok bool) {
+	return snapshot.FirstDivergence(a, b)
+}
+
+// WithCheckpointDir enables periodic checkpointing into dir: snapshots are
+// written atomically (temp file + rename), old ones pruned beyond the
+// retention bound, and a final snapshot is saved next to the crash dump
+// when the run fails.
+func WithCheckpointDir(dir string) RunOption { return core.WithCheckpointDir(dir) }
+
+// WithCheckpointEvery sets the checkpoint cadence in cycles (0 = the
+// default, 100k cycles).
+func WithCheckpointEvery(n int64) RunOption { return core.WithCheckpointEvery(n) }
+
+// WithCheckpointRetain bounds how many periodic checkpoints are kept
+// (0 = default 3; the failure-time final snapshot is exempt).
+func WithCheckpointRetain(n int) RunOption { return core.WithCheckpointRetain(n) }
+
+// WithStateDigest arms the determinism auditor: every n cycles the run
+// hashes its architectural state into Result.Digests, so two runs — or an
+// interrupted-and-resumed run against an uninterrupted one — can be
+// compared cycle-by-cycle with FirstDivergence.
+func WithStateDigest(n int64) RunOption { return core.WithStateDigest(n) }
+
+// LoadSnapshot reads a snapshot from a file path or checkpoint directory
+// (a directory resolves to its latest snapshot). Corrupt, truncated, or
+// version-mismatched files fail with an ErrSnapshot SimError, never a
+// panic.
+func LoadSnapshot(arg string) (env *Snapshot, err error) {
+	defer robust.RecoverAsError(&err, "crisp.LoadSnapshot")
+	return core.LoadSnapshot(arg)
+}
+
+// Resume rebuilds the job described by the snapshot's spec, restores the
+// captured state, and runs to completion. runOpts apply on top — e.g. to
+// keep checkpointing into the same directory. Panics are recovered and
+// returned as errors.
+func Resume(ctx context.Context, env *Snapshot, runOpts ...RunOption) (res *Result, err error) {
+	defer robust.RecoverAsError(&err, "crisp.Resume")
+	return core.ResumeContext(ctx, env, runOpts...)
+}
+
+// ResumeFile is Resume on a snapshot path or checkpoint directory.
+func ResumeFile(ctx context.Context, arg string, runOpts ...RunOption) (res *Result, err error) {
+	defer robust.RecoverAsError(&err, "crisp.ResumeFile")
+	return core.ResumeFile(ctx, arg, runOpts...)
+}

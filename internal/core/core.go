@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"crisp/internal/compute"
 	"crisp/internal/config"
@@ -17,6 +18,7 @@ import (
 	"crisp/internal/render"
 	"crisp/internal/scene"
 	"crisp/internal/sm"
+	"crisp/internal/snapshot"
 	"crisp/internal/stats"
 	"crisp/internal/trace"
 )
@@ -109,7 +111,41 @@ type Job struct {
 	// CycleBudget, when > 0, is a hard bound on simulated cycles; crossing
 	// it fails the run with a budget SimError carrying a crash dump.
 	CycleBudget int64
+
+	// SceneName and ComputeName record how Graphics/Compute were built
+	// (RunPair sets them). They make checkpoints self-describing: a
+	// snapshot whose spec carries both names can be resumed in a fresh
+	// process that regenerates the identical workloads.
+	SceneName   string
+	ComputeName string
+	// RenderOpts are the options SceneName was rendered with (carried in
+	// the checkpoint spec so a resume re-renders the identical frame).
+	RenderOpts render.Options
+
+	// CheckpointDir, when non-empty, enables periodic checkpointing into
+	// that directory every CheckpointEvery cycles (0 selects
+	// DefaultCheckpointEvery), keeping the newest CheckpointRetain files
+	// (0 selects snapshot.DefaultRetain). On watchdog/budget/deadlock/
+	// panic failures a final snapshot is additionally written next to the
+	// crash dump as final.crispsnap, exempt from retention.
+	CheckpointDir    string
+	CheckpointEvery  int64
+	CheckpointRetain int
+	// DigestEvery, when > 0, arms the determinism auditor: the
+	// architectural state is hashed every so many cycles into
+	// Result.Digests (plus one final digest at completion).
+	DigestEvery int64
+	// Restore, when non-nil, loads this snapshot into the freshly built
+	// GPU before running: the job must describe the same workloads, config,
+	// and policy as the captured run (ResumeContext builds such a job from
+	// the snapshot's own spec).
+	Restore *snapshot.Envelope
 }
+
+// DefaultCheckpointEvery is the checkpoint cadence used when CheckpointDir
+// is set but CheckpointEvery is zero. At 100k cycles the save overhead is
+// under the hardening layer's 2% envelope (BenchmarkCheckpointOverhead).
+const DefaultCheckpointEvery = 100_000
 
 // Result is a completed simulation.
 type Result struct {
@@ -136,6 +172,16 @@ type Result struct {
 	Kernels []gpu.KernelStat
 	// WS exposes warped-slicer state when that policy ran.
 	WS *partition.WarpedSlicer
+	// Digests is the determinism-auditor series when Job.DigestEvery > 0.
+	Digests []snapshot.DigestEntry
+	// Resumed/ResumedFrom report whether (and from which cycle) the run
+	// was restored from a snapshot.
+	Resumed     bool
+	ResumedFrom int64
+	// CheckpointSaves counts periodic snapshots written;
+	// CheckpointSaveTime is the wall-clock time they cost.
+	CheckpointSaves    int
+	CheckpointSaveTime time.Duration
 }
 
 // Run executes the job. It is RunContext with a background context.
@@ -236,11 +282,59 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 	}
 	g.WatchdogWindow = j.WatchdogWindow
 	g.CycleBudget = j.CycleBudget
+	g.DigestEvery = j.DigestEvery
+
+	var store *snapshot.Store
+	if j.CheckpointDir != "" {
+		store = &snapshot.Store{Dir: j.CheckpointDir, Retain: j.CheckpointRetain}
+		spec := j.buildSpec()
+		g.CheckpointEvery = j.CheckpointEvery
+		if g.CheckpointEvery <= 0 {
+			g.CheckpointEvery = DefaultCheckpointEvery
+		}
+		g.CheckpointSink = func() error {
+			t0 := time.Now()
+			st, err := g.CaptureState()
+			if err != nil {
+				return err
+			}
+			if _, err := store.Save(&snapshot.Envelope{Version: snapshot.FormatVersion, Spec: spec, State: *st}); err != nil {
+				return err
+			}
+			res.CheckpointSaves++
+			res.CheckpointSaveTime += time.Since(t0)
+			return nil
+		}
+		// A panic escaping the simulator still leaves a resumable final
+		// snapshot next to the crash dump, like any other failure.
+		defer func() {
+			if r := recover(); r != nil {
+				j.saveFinal(g, store)
+				panic(r)
+			}
+		}()
+	}
+
+	if j.Restore != nil {
+		if err := g.RestoreState(&j.Restore.State); err != nil {
+			return nil, err
+		}
+		res.Resumed = true
+		res.ResumedFrom = j.Restore.State.Arch.Cycle
+	}
 
 	cycles, err := g.RunContext(ctx)
 	if err != nil {
+		if store != nil {
+			// The simulator state is intact after a structured failure:
+			// persist it so the run can resume past a budget kill or be
+			// replayed up to a watchdog trip. Best-effort — the primary
+			// error always wins.
+			j.saveFinal(g, store)
+		}
 		return nil, err
 	}
+	res.Digests = g.Digests()
 	res.Cycles = cycles
 	res.FrameTimeMS = j.GPU.FrameTimeMS(cycles)
 	res.PerStream = g.StreamStats()
@@ -388,6 +482,8 @@ func RunPairContext(ctx context.Context, cfg config.GPU, sceneName, computeName 
 			return nil, err
 		}
 		job.Graphics = res
+		job.SceneName = sceneName
+		job.RenderOpts = opts
 	}
 	if computeName != "" {
 		w, err := compute.ByName(computeName, ComputeStreamBase)
@@ -395,6 +491,7 @@ func RunPairContext(ctx context.Context, cfg config.GPU, sceneName, computeName 
 			return nil, err
 		}
 		job.Compute = w
+		job.ComputeName = computeName
 	}
 	return job.RunContext(ctx)
 }

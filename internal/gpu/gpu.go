@@ -22,6 +22,7 @@ import (
 	"crisp/internal/obs"
 	"crisp/internal/robust"
 	"crisp/internal/sm"
+	"crisp/internal/snapshot"
 	"crisp/internal/stats"
 	"crisp/internal/trace"
 )
@@ -40,6 +41,16 @@ type Prioritizer interface {
 // dumps so postmortems can see what the policy had just done.
 type StateDescriber interface {
 	DescribeState() string
+}
+
+// StateSnapshotter is an optional Policy extension for policies with
+// dynamic state (WarpedSlicer's sampling phase, TAP's set split and
+// utility monitors): a serialized blob carried in checkpoints and restored
+// on resume. Policies without it are treated as stateless — their behavior
+// is fully determined by name and configuration.
+type StateSnapshotter interface {
+	CaptureState() ([]byte, error)
+	RestoreState(blob []byte) error
 }
 
 // Policy is a GPU partitioning scheme. Implementations live in
@@ -146,16 +157,50 @@ type GPU struct {
 	// run with a budget SimError carrying a crash dump.
 	CycleBudget int64
 
+	// CheckpointEvery and CheckpointSink arm periodic checkpointing: every
+	// CheckpointEvery cycles the run loop invokes the sink at an iteration
+	// boundary (post policy-tick), where the captured state resumes
+	// bit-identically. Sink errors abort the run with a snapshot SimError.
+	CheckpointEvery int64
+	CheckpointSink  func() error
+
+	// DigestEvery arms the determinism auditor: every DigestEvery cycles
+	// the run loop hashes the architectural state and appends the digest
+	// to the series returned by Digests. The digest covers only
+	// architectural state, so tracing/metrics/checkpointing never perturb
+	// it.
+	DigestEvery int64
+
 	tracer     obs.Tracer
 	taskLabels map[int]string
 	mPrev      []taskSnap
 	mPrevCycle int64
+
+	// loop holds the run loop's cursor state; a field (not locals) so
+	// checkpoints can carry it and a resumed run keeps its sampling
+	// cadences aligned with the uninterrupted run's.
+	loop    loopCursors
+	resumed bool
+	digests []snapshot.DigestEntry
 
 	now         int64
 	epoch       int64 // policy tick interval
 	maxTask     int
 	totalIssued int64 // warp instructions issued, the watchdog's progress signal
 	kernelStats []KernelStat
+}
+
+// loopCursors is the run loop's bookkeeping, promoted from locals so it
+// can be checkpointed and restored.
+type loopCursors struct {
+	lastTick       int64 // last policy-tick cycle
+	nextSample     int64 // next timeline sample cycle
+	nextMetrics    int64 // next metrics sample cycle
+	nextCheckpoint int64
+	nextDigest     int64
+	lastIssued     int64 // totalIssued at the last progress observation
+	lastProgress   int64 // cycle of the last observed issue
+	iter           uint64
 }
 
 // DefaultWatchdogWindow is the forward-progress window used when
@@ -471,21 +516,30 @@ func (g *GPU) issueCTAs() {
 					t.Emit(obs.Event{Cycle: g.now, Kind: obs.EvCTAIssue, Stream: l.k.Stream,
 						Task: l.task, SM: smID, CTA: ctaIdx, Name: l.k.Name})
 				}
-				core.IssueCTA(g.now, l.k, l.nextCTA, l.task, func(doneAt int64) {
-					l.doneCTAs++
-					if doneAt > l.lastDone {
-						l.lastDone = doneAt
-					}
-					st.stat.Cycles = doneAt - st.start
-					if t := g.tracer; t != nil {
-						t.Emit(obs.Event{Cycle: doneAt, Kind: obs.EvCTACommit, Stream: l.k.Stream,
-							Task: l.task, SM: smID, CTA: ctaIdx, Name: l.k.Name})
-					}
-				})
+				core.IssueCTA(g.now, l.k, l.nextCTA, l.task, g.completionFn(l, smID, ctaIdx))
 				l.nextCTA++
 				st.stat.CTAsLaunched++
 				placed = true
 			}
+		}
+	}
+}
+
+// completionFn builds the CTA-completion closure for one placed CTA. It is
+// a named constructor (rather than an inline literal in issueCTAs) so that
+// checkpoint restore can rebuild the identical closure for CTAs that were
+// resident at capture time.
+func (g *GPU) completionFn(l *launch, smID, ctaIdx int) func(doneAt int64) {
+	st := l.stream
+	return func(doneAt int64) {
+		l.doneCTAs++
+		if doneAt > l.lastDone {
+			l.lastDone = doneAt
+		}
+		st.stat.Cycles = doneAt - st.start
+		if t := g.tracer; t != nil {
+			t.Emit(obs.Event{Cycle: doneAt, Kind: obs.EvCTACommit, Stream: l.k.Stream,
+				Task: l.task, SM: smID, CTA: ctaIdx, Name: l.k.Name})
 		}
 	}
 }
@@ -544,36 +598,42 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 	const never = int64(1<<62 - 1)
 	// Default the sampling cadences locally: the Timeline/Metrics structs
 	// are caller-owned and must not be written back.
-	var nextSample, timelineInterval int64
+	var timelineInterval int64
 	if g.Timeline != nil {
 		timelineInterval = g.Timeline.Interval
 		if timelineInterval <= 0 {
 			timelineInterval = 1024
 		}
 	}
-	var nextMetrics, metricsInterval int64
+	var metricsInterval int64
 	if g.Metrics != nil {
 		metricsInterval = g.Metrics.Interval
 		if metricsInterval <= 0 {
 			metricsInterval = 2048
 		}
-		// Rates are deltas, so the first sample is only meaningful one
-		// full interval in.
-		nextMetrics = metricsInterval
+		if !g.resumed {
+			// Rates are deltas, so the first sample is only meaningful one
+			// full interval in.
+			g.loop.nextMetrics = metricsInterval
+		}
+	}
+	if g.DigestEvery > 0 && g.loop.nextDigest <= g.now {
+		// Fresh run, or the auditor was newly enabled on a resumed run: a
+		// run that carried the cursor through a checkpoint always captures
+		// it already advanced past the capture cycle.
+		g.loop.nextDigest = g.now + g.DigestEvery
+	}
+	if g.CheckpointSink != nil && g.CheckpointEvery > 0 && g.loop.nextCheckpoint <= g.now {
+		g.loop.nextCheckpoint = g.now + g.CheckpointEvery
 	}
 	window := g.WatchdogWindow
 	if window == 0 {
 		window = DefaultWatchdogWindow
 	}
 	ctxDone := ctx.Done() // nil for background contexts: check skipped entirely
-	var (
-		lastTick     int64
-		lastIssued   int64 // totalIssued at the last progress observation
-		lastProgress int64 // cycle of the last observed issue
-		iter         uint64
-	)
+	ls := &g.loop
 	for {
-		iter++
+		ls.iter++
 		g.activateStreams()
 		g.launchReady()
 		g.issueCTAs()
@@ -631,20 +691,58 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 		}
 		g.now = next
 
-		// Hardening checks, in increasing cost. The watchdog's progress
-		// signal is the warp-instruction counter: any issue anywhere
-		// resets the window.
-		if g.totalIssued != lastIssued {
-			lastIssued = g.totalIssued
-			lastProgress = g.now
-		} else if window > 0 && g.now-lastProgress > window {
+		// Observability and policy phases run first so that a checkpoint
+		// taken at this boundary captures post-tick state: a resumed run
+		// re-enters the loop at the top of the next iteration and repeats
+		// nothing.
+		if g.Timeline != nil && g.now >= ls.nextSample {
+			g.sampleTimeline()
+			ls.nextSample = g.now + timelineInterval
+		}
+		if g.Metrics != nil && g.now >= ls.nextMetrics {
+			g.sampleMetrics()
+			ls.nextMetrics = g.now + metricsInterval
+		}
+		if g.policy != nil && g.now-ls.lastTick >= g.epoch {
+			g.policy.Tick(g.now)
+			ls.lastTick = g.now
+		}
+		// Watchdog bookkeeping precedes the checkpoint so the captured
+		// progress window matches the uninterrupted run's; the digest
+		// precedes it so the cursor is captured already advanced (the
+		// digest at this cycle belongs to the pre-checkpoint series).
+		progressed := g.totalIssued != ls.lastIssued
+		if progressed {
+			ls.lastIssued = g.totalIssued
+			ls.lastProgress = g.now
+		}
+		if g.DigestEvery > 0 && g.now >= ls.nextDigest {
+			ls.nextDigest = g.now + g.DigestEvery
+			d, err := g.StateDigest()
+			if err != nil {
+				return g.now, g.fail(robust.KindSnapshot, "",
+					"state digest failed", "gpu: state digest at cycle %d: %v", g.now, err)
+			}
+			g.digests = append(g.digests, d)
+		}
+		if g.CheckpointSink != nil && g.CheckpointEvery > 0 && g.now >= ls.nextCheckpoint {
+			ls.nextCheckpoint = g.now + g.CheckpointEvery
+			if err := g.CheckpointSink(); err != nil {
+				return g.now, g.fail(robust.KindSnapshot, "",
+					"checkpoint write failed", "gpu: checkpoint at cycle %d: %v", g.now, err)
+			}
+		}
+
+		// Hardening checks. The watchdog's progress signal is the
+		// warp-instruction counter: any issue anywhere resets the window.
+		if !progressed && window > 0 && g.now-ls.lastProgress > window {
 			k := g.stuckKernel()
 			se := g.fail(robust.KindWatchdog, k,
-				fmt.Sprintf("no instruction issued for %d cycles", g.now-lastProgress),
+				fmt.Sprintf("no instruction issued for %d cycles", g.now-ls.lastProgress),
 				"gpu: watchdog at cycle %d: no instruction issued since cycle %d (window %d, kernel %q)",
-				g.now, lastProgress, window, k)
+				g.now, ls.lastProgress, window, k)
 			se.Dump.WatchdogWindow = window
-			se.Dump.LastProgress = lastProgress
+			se.Dump.LastProgress = ls.lastProgress
 			return g.now, se
 		}
 		if g.CycleBudget > 0 && g.now > g.CycleBudget {
@@ -652,7 +750,7 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 				fmt.Sprintf("cycle budget %d exceeded", g.CycleBudget),
 				"gpu: cycle budget exceeded at cycle %d (budget %d)", g.now, g.CycleBudget)
 		}
-		if ctxDone != nil && iter&ctxCheckMask == 0 {
+		if ctxDone != nil && ls.iter&ctxCheckMask == 0 {
 			select {
 			case <-ctxDone:
 				return g.now, g.fail(robust.KindCanceled, "",
@@ -660,25 +758,23 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 			default:
 			}
 		}
-
-		if g.Timeline != nil && g.now >= nextSample {
-			g.sampleTimeline()
-			nextSample = g.now + timelineInterval
-		}
-		if g.Metrics != nil && g.now >= nextMetrics {
-			g.sampleMetrics()
-			nextMetrics = g.now + metricsInterval
-		}
-		if g.policy != nil && g.now-lastTick >= g.epoch {
-			g.policy.Tick(g.now)
-			lastTick = g.now
-		}
 	}
 	if g.Metrics != nil && g.now > g.mPrevCycle {
 		// Close the series with the tail interval.
 		g.sampleMetrics()
 	}
 	g.foldMemCounters()
+	if g.DigestEvery > 0 {
+		// Close the series with a final digest at the makespan cycle, so
+		// two complete runs can be compared end to end even when neither
+		// crossed another digest boundary.
+		d, err := g.StateDigest()
+		if err != nil {
+			return g.now, g.fail(robust.KindSnapshot, "",
+				"state digest failed", "gpu: final state digest: %v", err)
+		}
+		g.digests = append(g.digests, d)
+	}
 	return g.now, nil
 }
 
@@ -760,7 +856,16 @@ func (g *GPU) buildDump(kernel, reason string) *robust.CrashDump {
 		}
 		d.Streams = append(d.Streams, ss)
 	}
-	for task, st := range g.TaskStats() {
+	// Iterate tasks in sorted order: TaskStats returns a map, and the dump
+	// must be byte-identical across runs for the determinism auditor's sake.
+	byTask := g.TaskStats()
+	tasks := make([]int, 0, len(byTask))
+	for task := range byTask {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	for _, task := range tasks {
+		st := byTask[task]
 		ts := robust.TaskStalls{Task: task, Label: g.taskLabels[task], Issues: st.WarpInsts}
 		for _, c := range obs.StallCauses() {
 			if n := st.Stalls[c]; n > 0 {

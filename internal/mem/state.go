@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"crisp/internal/robust"
+	"crisp/internal/snapshot"
+	"crisp/internal/trace"
+)
+
+// This file implements checkpoint capture/restore for the memory system.
+// Capture walks maps into slices sorted by key so the serialized form is
+// deterministic; restore validates geometry against the live system before
+// touching any state, so a snapshot from a different config fails with a
+// structured error instead of corrupting the hierarchy.
+
+func stateErr(format string, args ...any) error {
+	return &robust.SimError{Kind: robust.KindSnapshot, Msg: fmt.Sprintf(format, args...)}
+}
+
+// captureState snapshots one cache's valid lines, ordered by tag-array
+// index (the iteration is already deterministic; the order is the array's).
+func (c *Cache) captureState() snapshot.CacheState {
+	var cs snapshot.CacheState
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.valid {
+			continue
+		}
+		cs.Lines = append(cs.Lines, snapshot.LineState{
+			Idx:     i,
+			Tag:     l.tag,
+			Dirty:   l.dirty,
+			LastUse: l.lastUse,
+			Class:   uint8(l.class),
+			Stream:  l.stream,
+			Sectors: l.sectors,
+		})
+	}
+	return cs
+}
+
+// restoreState rebuilds the tag array from a capture.
+func (c *Cache) restoreState(cs snapshot.CacheState) error {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for _, ls := range cs.Lines {
+		if ls.Idx < 0 || ls.Idx >= len(c.lines) {
+			return stateErr("cache line index %d outside tag array of %d lines", ls.Idx, len(c.lines))
+		}
+		c.lines[ls.Idx] = line{
+			tag:     ls.Tag,
+			valid:   true,
+			dirty:   ls.Dirty,
+			lastUse: ls.LastUse,
+			class:   trace.MemClass(ls.Class),
+			stream:  ls.Stream,
+			sectors: ls.Sectors,
+		}
+	}
+	return nil
+}
+
+// capturePending flattens an MSHR merge map into a granule-sorted slice.
+func capturePending(m map[uint64]int64) snapshot.PendingFills {
+	var p snapshot.PendingFills
+	if len(m) == 0 {
+		return p
+	}
+	p.Fills = make([]snapshot.Fill, 0, len(m))
+	for g, r := range m {
+		p.Fills = append(p.Fills, snapshot.Fill{Granule: g, Ready: r})
+	}
+	sort.Slice(p.Fills, func(i, j int) bool { return p.Fills[i].Granule < p.Fills[j].Granule })
+	return p
+}
+
+func restorePending(p snapshot.PendingFills) map[uint64]int64 {
+	m := make(map[uint64]int64, len(p.Fills))
+	for _, f := range p.Fills {
+		m[f.Granule] = f.Ready
+	}
+	return m
+}
+
+// CaptureState snapshots the complete memory-system state: cache tag
+// arrays, in-flight MSHR fills, bank/channel queue state, and per-stream
+// counters. The contention-marker rate limiters (lastL2Cont/lastDramCont)
+// are tracer-only state and deliberately excluded.
+func (s *System) CaptureState() snapshot.MemState {
+	var ms snapshot.MemState
+	ms.L1 = make([]snapshot.CacheState, len(s.l1))
+	ms.L1Pending = make([]snapshot.PendingFills, len(s.l1Pending))
+	for i, c := range s.l1 {
+		ms.L1[i] = c.captureState()
+		ms.L1Pending[i] = capturePending(s.l1Pending[i])
+	}
+	ms.L2 = make([]snapshot.CacheState, len(s.l2))
+	ms.L2Pending = make([]snapshot.PendingFills, len(s.l2Pending))
+	for i, c := range s.l2 {
+		ms.L2[i] = c.captureState()
+		ms.L2Pending[i] = capturePending(s.l2Pending[i])
+	}
+	ms.L2NextFree = append([]int64(nil), s.l2NextFree...)
+	ms.DRAMNextFree = append([]int64(nil), s.dramNextFree...)
+
+	ids := s.Streams()
+	ms.Counters = make([]snapshot.StreamCounterState, 0, len(ids))
+	for _, id := range ids {
+		c := s.counters[id]
+		ms.Counters = append(ms.Counters, snapshot.StreamCounterState{
+			Stream:     id,
+			L1Accesses: c.L1Accesses,
+			L1Misses:   c.L1Misses,
+			L2Accesses: c.L2Accesses,
+			L2Misses:   c.L2Misses,
+			DRAMReadB:  c.DRAMReadB,
+			DRAMWriteB: c.DRAMWriteB,
+		})
+	}
+	return ms
+}
+
+// RestoreState loads a capture into the live system. The system must have
+// been built from the same config (the geometry check enforces it).
+func (s *System) RestoreState(ms snapshot.MemState) error {
+	if len(ms.L1) != len(s.l1) || len(ms.L2) != len(s.l2) ||
+		len(ms.L2NextFree) != len(s.l2NextFree) || len(ms.DRAMNextFree) != len(s.dramNextFree) {
+		return stateErr("memory geometry mismatch: snapshot has %d L1s/%d L2 banks/%d channels, system has %d/%d/%d",
+			len(ms.L1), len(ms.L2), len(ms.DRAMNextFree), len(s.l1), len(s.l2), len(s.dramNextFree))
+	}
+	if len(ms.L1Pending) != len(s.l1Pending) || len(ms.L2Pending) != len(s.l2Pending) {
+		return stateErr("memory snapshot inconsistent: pending-fill tables do not match cache counts")
+	}
+	for i, c := range s.l1 {
+		if err := c.restoreState(ms.L1[i]); err != nil {
+			return err
+		}
+		s.l1Pending[i] = restorePending(ms.L1Pending[i])
+	}
+	for i, c := range s.l2 {
+		if err := c.restoreState(ms.L2[i]); err != nil {
+			return err
+		}
+		s.l2Pending[i] = restorePending(ms.L2Pending[i])
+	}
+	copy(s.l2NextFree, ms.L2NextFree)
+	copy(s.dramNextFree, ms.DRAMNextFree)
+
+	s.counters = make(map[int]*Counters, len(ms.Counters))
+	for _, cs := range ms.Counters {
+		s.counters[cs.Stream] = &Counters{
+			L1Accesses: cs.L1Accesses,
+			L1Misses:   cs.L1Misses,
+			L2Accesses: cs.L2Accesses,
+			L2Misses:   cs.L2Misses,
+			DRAMReadB:  cs.DRAMReadB,
+			DRAMWriteB: cs.DRAMWriteB,
+		}
+	}
+	// Reset the tracer rate limiters: they only suppress duplicate
+	// contention markers and carry no architectural state.
+	for i := range s.lastL2Cont {
+		s.lastL2Cont[i] = 0
+	}
+	for i := range s.lastDramCont {
+		s.lastDramCont[i] = 0
+	}
+	return nil
+}
+
+// CaptureState snapshots the monitor with its shadow-tag stacks sorted by
+// sampled-set key.
+func (u *UMON) CaptureState() snapshot.UMONState {
+	us := snapshot.UMONState{
+		WayHits:  append([]int64(nil), u.WayHits...),
+		Accesses: u.Accesses,
+		Misses:   u.Misses,
+	}
+	keys := make([]uint64, 0, len(u.stacks))
+	for k := range u.stacks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	us.Stacks = make([]snapshot.UMONStack, 0, len(keys))
+	for _, k := range keys {
+		us.Stacks = append(us.Stacks, snapshot.UMONStack{
+			Key:  k,
+			Tags: append([]uint64(nil), u.stacks[k]...),
+		})
+	}
+	return us
+}
+
+// RestoreState loads a monitor capture.
+func (u *UMON) RestoreState(us snapshot.UMONState) error {
+	if len(us.WayHits) != len(u.WayHits) {
+		return stateErr("UMON snapshot has %d way counters, monitor has %d", len(us.WayHits), len(u.WayHits))
+	}
+	copy(u.WayHits, us.WayHits)
+	u.Accesses = us.Accesses
+	u.Misses = us.Misses
+	u.stacks = make(map[uint64][]uint64, len(us.Stacks))
+	for _, st := range us.Stacks {
+		u.stacks[st.Key] = append([]uint64(nil), st.Tags...)
+	}
+	return nil
+}

@@ -23,6 +23,9 @@
 //   - KindCanceled — the caller's context was canceled mid-run.
 //   - KindPanic — a panic escaped the simulator internals and was
 //     converted to an error at the public API boundary.
+//   - KindSnapshot — a checkpoint could not be written, or a snapshot
+//     file was corrupt, truncated, version-mismatched, or inconsistent
+//     with the simulator it was being restored into.
 package robust
 
 import (
@@ -49,6 +52,10 @@ const (
 	KindCanceled
 	// KindPanic marks a recovered internal panic.
 	KindPanic
+	// KindSnapshot marks a checkpoint/restore failure: a corrupt,
+	// truncated, or version-mismatched snapshot file, or a snapshot whose
+	// state is inconsistent with the simulator it is being restored into.
+	KindSnapshot
 )
 
 var kindNames = [...]string{
@@ -58,6 +65,7 @@ var kindNames = [...]string{
 	KindBudget:     "budget",
 	KindCanceled:   "canceled",
 	KindPanic:      "panic",
+	KindSnapshot:   "snapshot",
 }
 
 func (k Kind) String() string {

@@ -120,6 +120,7 @@ type ctaRT struct {
 // warpRT is the runtime state of one resident warp.
 type warpRT struct {
 	insts        []trace.Inst
+	warpIdx      int // index within the CTA's warp list (trace identity)
 	pc           int
 	regReady     [256]int64
 	blockedUntil int64
@@ -298,6 +299,7 @@ func (c *Core) IssueCTA(now int64, k *trace.Kernel, ctaIdx, task int, onComplete
 	for wi := range k.CTAs[ctaIdx].Warps {
 		w := &warpRT{
 			insts:   k.CTAs[ctaIdx].Warps[wi].Insts,
+			warpIdx: wi,
 			stream:  k.Stream,
 			task:    task,
 			cta:     cta,

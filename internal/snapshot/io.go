@@ -1,0 +1,294 @@
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"crisp/internal/robust"
+)
+
+// Header is the first line of a snapshot file: plain JSON, so `head -1`
+// identifies any snapshot without decoding the body. Field order is
+// declaration order, which keeps Magic first in the serialized form.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Cycle   int64  `json:"cycle"`
+	Policy  string `json:"policy"`
+	Scene   string `json:"scene,omitempty"`
+	Compute string `json:"compute,omitempty"`
+	// BodyLen and BodyFNV integrity-check the binary body that follows:
+	// BodyLen bytes of gzip-compressed gob, hashed with FNV-1a-64.
+	BodyLen int64  `json:"body_len"`
+	BodyFNV uint64 `json:"body_fnv"`
+}
+
+// maxBodyLen caps the compressed body a decoder will read, and
+// maxDecompressed caps what it will inflate — hostile headers and
+// gzip bombs fail cleanly instead of exhausting memory.
+const (
+	maxBodyLen      = 1 << 31 // 2 GiB compressed
+	maxDecompressed = 1 << 33 // 8 GiB inflated
+)
+
+func snapErr(msg string, cause error) error {
+	return &robust.SimError{Kind: robust.KindSnapshot, Msg: msg, Err: cause}
+}
+
+// Encode writes env to w: one JSON header line, then the gzip-compressed
+// gob body the header integrity-checks.
+func Encode(w io.Writer, env *Envelope) error {
+	var body bytes.Buffer
+	// BestSpeed: checkpoints are written every few hundred thousand cycles
+	// on the run's critical path, and gzip dominates the save cost. The
+	// gob body is mostly small integers, which compress well at any level.
+	zw, _ := gzip.NewWriterLevel(&body, gzip.BestSpeed)
+	if err := gob.NewEncoder(zw).Encode(env); err != nil {
+		return snapErr("encoding snapshot body", err)
+	}
+	if err := zw.Close(); err != nil {
+		return snapErr("compressing snapshot body", err)
+	}
+	h := fnv.New64a()
+	h.Write(body.Bytes())
+	hdr := Header{
+		Magic:   Magic,
+		Version: env.Version,
+		Cycle:   env.State.Arch.Cycle,
+		Policy:  env.Spec.Policy,
+		Scene:   env.Spec.Scene,
+		Compute: env.Spec.Compute,
+		BodyLen: int64(body.Len()),
+		BodyFNV: h.Sum64(),
+	}
+	hb, err := json.Marshal(hdr)
+	if err != nil {
+		return snapErr("encoding snapshot header", err)
+	}
+	hb = append(hb, '\n')
+	if _, err := w.Write(hb); err != nil {
+		return snapErr("writing snapshot header", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return snapErr("writing snapshot body", err)
+	}
+	return nil
+}
+
+// Decode reads a snapshot from r. Every failure mode — truncation,
+// corruption, version mismatch, hostile length fields, even a panic inside
+// the gob decoder — returns a KindSnapshot SimError; Decode never panics.
+func Decode(r io.Reader) (env *Envelope, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			env = nil
+			err = snapErr(fmt.Sprintf("panic decoding snapshot: %v", rec), nil)
+		}
+	}()
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, snapErr("reading snapshot header", err)
+	}
+	// Reject non-snapshot files before handing the line to the JSON
+	// decoder: the magic field is serialized first by construction.
+	if !strings.HasPrefix(line, `{"magic":"`+Magic+`"`) {
+		return nil, snapErr("not a CRISP snapshot (bad magic)", nil)
+	}
+	var hdr Header
+	if err := json.Unmarshal([]byte(line), &hdr); err != nil {
+		return nil, snapErr("parsing snapshot header", err)
+	}
+	if hdr.Version != FormatVersion {
+		return nil, snapErr(fmt.Sprintf("snapshot format version %d, this build reads version %d", hdr.Version, FormatVersion), nil)
+	}
+	if hdr.BodyLen < 0 || hdr.BodyLen > maxBodyLen {
+		return nil, snapErr(fmt.Sprintf("snapshot body length %d out of range", hdr.BodyLen), nil)
+	}
+	body := make([]byte, hdr.BodyLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, snapErr("snapshot body truncated", err)
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != hdr.BodyFNV {
+		return nil, snapErr("snapshot body checksum mismatch (file corrupt)", nil)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		return nil, snapErr("snapshot body is not valid gzip", err)
+	}
+	defer zr.Close()
+	e := new(Envelope)
+	if err := gob.NewDecoder(io.LimitReader(zr, maxDecompressed)).Decode(e); err != nil {
+		return nil, snapErr("decoding snapshot body", err)
+	}
+	if e.Version != FormatVersion {
+		return nil, snapErr(fmt.Sprintf("snapshot envelope version %d disagrees with header", e.Version), nil)
+	}
+	return e, nil
+}
+
+// LoadFile reads and decodes the snapshot at path.
+func LoadFile(path string) (*Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, snapErr("opening snapshot", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Ext is the snapshot file extension.
+const Ext = ".crispsnap"
+
+// fileName is the canonical checkpoint name: zero-padded so lexical order
+// is cycle order.
+func fileName(cycle int64) string {
+	return fmt.Sprintf("ckpt-%016d%s", cycle, Ext)
+}
+
+// Store writes checkpoints into a directory with atomic replace and
+// bounded retention.
+type Store struct {
+	// Dir is the checkpoint directory, created on first save.
+	Dir string
+	// Retain is the number of newest checkpoints to keep; <= 0 means
+	// DefaultRetain. The final snapshot written on failure is exempt.
+	Retain int
+}
+
+// DefaultRetain is the default number of periodic checkpoints kept.
+const DefaultRetain = 3
+
+// Save atomically writes env as the checkpoint for its cycle: the file is
+// written to a temp name in the same directory and renamed into place, so
+// a crash mid-write never leaves a partial file under a checkpoint name.
+// After a successful write, checkpoints beyond the retention bound are
+// pruned oldest-first. Returns the final path.
+func (s *Store) Save(env *Envelope) (string, error) {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", snapErr("creating checkpoint directory", err)
+	}
+	final := filepath.Join(s.Dir, fileName(env.State.Arch.Cycle))
+	if err := writeAtomic(final, env); err != nil {
+		return "", err
+	}
+	s.prune()
+	return final, nil
+}
+
+// SaveFinal writes the failure-time snapshot under a fixed name next to
+// the crash dump; it is never pruned by retention.
+func (s *Store) SaveFinal(env *Envelope) (string, error) {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", snapErr("creating checkpoint directory", err)
+	}
+	final := filepath.Join(s.Dir, "final"+Ext)
+	if err := writeAtomic(final, env); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+func writeAtomic(final string, env *Envelope) error {
+	dir := filepath.Dir(final)
+	tmp, err := os.CreateTemp(dir, ".tmp-ckpt-*")
+	if err != nil {
+		return snapErr("creating checkpoint temp file", err)
+	}
+	tmpName := tmp.Name()
+	if err := Encode(tmp, env); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return snapErr("closing checkpoint temp file", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return snapErr("publishing checkpoint", err)
+	}
+	return nil
+}
+
+// prune removes periodic checkpoints beyond the retention bound,
+// oldest-first. Prune failures are ignored: retention is best-effort and
+// must never fail a save that already succeeded.
+func (s *Store) prune() {
+	keep := s.Retain
+	if keep <= 0 {
+		keep = DefaultRetain
+	}
+	names := listCheckpoints(s.Dir)
+	for _, n := range names[:max(0, len(names)-keep)] {
+		os.Remove(filepath.Join(s.Dir, n))
+	}
+}
+
+// listCheckpoints returns periodic checkpoint file names in dir, sorted
+// ascending by cycle (lexical order by construction). final.crispsnap is
+// excluded.
+func listCheckpoints(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, Ext) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Latest returns the path of the newest snapshot in dir: the
+// highest-cycle periodic checkpoint, or final.crispsnap when it is newer
+// (a failed run's last state always post-dates its periodic checkpoints).
+func Latest(dir string) (string, error) {
+	names := listCheckpoints(dir)
+	best := ""
+	bestCycle := int64(-1)
+	if len(names) > 0 {
+		best = filepath.Join(dir, names[len(names)-1])
+		fmt.Sscanf(names[len(names)-1], "ckpt-%d", &bestCycle)
+	}
+	finalPath := filepath.Join(dir, "final"+Ext)
+	if env, err := LoadFile(finalPath); err == nil {
+		if env.State.Arch.Cycle >= bestCycle {
+			return finalPath, nil
+		}
+	}
+	if best == "" {
+		return "", snapErr(fmt.Sprintf("no snapshots in %s", dir), nil)
+	}
+	return best, nil
+}
+
+// Resolve turns a -resume argument into a snapshot path: a file path is
+// used as-is, a directory resolves to its latest snapshot.
+func Resolve(arg string) (string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return "", snapErr("resolving snapshot path", err)
+	}
+	if info.IsDir() {
+		return Latest(arg)
+	}
+	return arg, nil
+}

@@ -1,0 +1,274 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crisp/internal/config"
+	"crisp/internal/robust"
+)
+
+// sampleEnvelope builds a small but fully populated envelope: every schema
+// branch carries data so round-trip tests exercise the whole tree.
+func sampleEnvelope(cycle int64) *Envelope {
+	return &Envelope{
+		Version: FormatVersion,
+		Spec: Spec{
+			GPU:         config.JetsonOrin(),
+			Scene:       "SPL",
+			Compute:     "VIO",
+			Policy:      "EVEN",
+			DigestEvery: 512,
+			Complete:    true,
+		},
+		State: GPUState{
+			Arch: ArchState{
+				Cycle:       cycle,
+				TotalIssued: 12345,
+				MaxTask:     1,
+				PolicyName:  "EVEN",
+				Streams: []StreamState{{
+					ID: 0, NextKernel: 2, Active: true, Started: true,
+					Stat: StreamCounters{Cycles: cycle, WarpInsts: 99, Stalls: []int64{1, 2, 3}},
+				}},
+				Running:       []LaunchState{{StreamID: 0, KernelIdx: 1, NextCTA: 4, DoneCTAs: 2}},
+				Kernels:       []KernelStatState{{Name: "k0", Stream: 0, Done: 7, CTAs: 3}},
+				InstsBySMTask: [][]int64{{5, 6}, {7, 8}},
+				Cores: []CoreState{{
+					ID: 0, ArrivalSeq: 9, SchedSlots: 100, EmptySlots: 40,
+					CTAs: []CTAState{{Ref: 0, KernelIdx: 1, CTAIdx: 2, WarpsLeft: 1, BarWaiting: []int{0}}},
+					Scheds: []SchedState{{
+						LastWarp: 0, UnitFree: []int64{10, 20},
+						Warps: []WarpState{{Ref: 0, CTA: 0, WarpIdx: 3, PC: 42, BlockedUntil: 50,
+							PendingRegs: []RegState{{Reg: 7, Ready: 60, FromMem: true}}}},
+					}},
+				}},
+				Mem: MemState{
+					L1:           []CacheState{{Lines: []LineState{{Idx: 1, Tag: 0xabc, Dirty: true, Sectors: 0xf}}}},
+					L1Pending:    []PendingFills{{Fills: []Fill{{Granule: 0x100, Ready: 70}}}},
+					L2:           []CacheState{{}},
+					L2Pending:    []PendingFills{{}},
+					L2NextFree:   []int64{5},
+					DRAMNextFree: []int64{6},
+					Counters:     []StreamCounterState{{Stream: 0, L1Accesses: 11, DRAMReadB: 256}},
+				},
+			},
+			Obs: ObsState{
+				Loop:  LoopState{NextCheckpoint: cycle + 100, NextDigest: cycle + 50, Iter: 77},
+				MPrev: []TaskSnapState{{WarpInsts: 99, HasStreams: true}},
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	env := sampleEnvelope(1000)
+	var buf bytes.Buffer
+	if err := Encode(&buf, env); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Fatalf("round trip altered the envelope:\n got %+v\nwant %+v", got, env)
+	}
+	d1, err := ArchDigest(&env.State.Arch)
+	if err != nil {
+		t.Fatalf("ArchDigest: %v", err)
+	}
+	d2, err := ArchDigest(&got.State.Arch)
+	if err != nil {
+		t.Fatalf("ArchDigest(decoded): %v", err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest changed across round trip: %#x != %#x", d1, d2)
+	}
+}
+
+func TestArchDigestIsStateSensitive(t *testing.T) {
+	a, b := sampleEnvelope(1000), sampleEnvelope(1000)
+	b.State.Arch.Cores[0].Scheds[0].Warps[0].PC++
+	da, _ := ArchDigest(&a.State.Arch)
+	db, _ := ArchDigest(&b.State.Arch)
+	if da == db {
+		t.Fatalf("digests identical despite differing warp PC")
+	}
+	// Observability state must NOT feed the digest.
+	c := sampleEnvelope(1000)
+	c.State.Obs.Loop.Iter = 999999
+	dc, _ := ArchDigest(&c.State.Arch)
+	if dc != da {
+		t.Fatalf("digest perturbed by observability-only change")
+	}
+}
+
+// wantSnapErr asserts err is a structured snapshot SimError — the contract
+// for every decode failure mode.
+func wantSnapErr(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: no error", what)
+	}
+	se, ok := robust.AsSimError(err)
+	if !ok || se.Kind != robust.KindSnapshot {
+		t.Fatalf("%s: err = %v, want KindSnapshot SimError", what, err)
+	}
+}
+
+func TestDecodeRejectsHostileInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleEnvelope(2000)); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	good := buf.Bytes()
+
+	t.Run("empty", func(t *testing.T) {
+		_, err := Decode(bytes.NewReader(nil))
+		wantSnapErr(t, err, "empty input")
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		_, err := Decode(strings.NewReader("{\"magic\":\"notasnap\"}\n"))
+		wantSnapErr(t, err, "bad magic")
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		hacked := bytes.Replace(good, []byte(`"version":1`), []byte(`"version":999`), 1)
+		_, err := Decode(bytes.NewReader(hacked))
+		wantSnapErr(t, err, "future version")
+	})
+	t.Run("hostile-body-len", func(t *testing.T) {
+		line := good[:bytes.IndexByte(good, '\n')+1]
+		hacked := bytes.Replace(line, []byte(`"body_len":`), []byte(`"body_len":9999999999999,"x":`), 1)
+		_, err := Decode(bytes.NewReader(hacked))
+		wantSnapErr(t, err, "hostile body length")
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{1, 10, len(good) / 2, len(good) - 1} {
+			if _, err := Decode(bytes.NewReader(good[:n])); err == nil {
+				t.Fatalf("truncation to %d bytes decoded successfully", n)
+			}
+		}
+	})
+	t.Run("corrupted-body", func(t *testing.T) {
+		headerEnd := bytes.IndexByte(good, '\n') + 1
+		for _, off := range []int{headerEnd, headerEnd + (len(good)-headerEnd)/2, len(good) - 1} {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 0xff
+			_, err := Decode(bytes.NewReader(bad))
+			wantSnapErr(t, err, "flipped body byte")
+		}
+	})
+}
+
+func TestStoreRetentionAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	st := &Store{Dir: dir, Retain: 2}
+	for _, c := range []int64{100, 200, 300, 400} {
+		if _, err := st.Save(sampleEnvelope(c)); err != nil {
+			t.Fatalf("Save(%d): %v", c, err)
+		}
+	}
+	names := listCheckpoints(dir)
+	if len(names) != 2 {
+		t.Fatalf("retention kept %d checkpoints (%v), want 2", len(names), names)
+	}
+	if names[0] != fileName(300) || names[1] != fileName(400) {
+		t.Fatalf("retention kept %v, want the two newest (300, 400)", names)
+	}
+
+	// Without a final snapshot, Latest is the newest periodic checkpoint.
+	p, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if filepath.Base(p) != fileName(400) {
+		t.Fatalf("Latest = %s, want %s", p, fileName(400))
+	}
+
+	// A newer final snapshot wins; an older one does not.
+	if _, err := st.SaveFinal(sampleEnvelope(450)); err != nil {
+		t.Fatalf("SaveFinal: %v", err)
+	}
+	if p, _ = Latest(dir); filepath.Base(p) != "final"+Ext {
+		t.Fatalf("Latest = %s, want final snapshot at cycle 450", p)
+	}
+	if _, err := st.SaveFinal(sampleEnvelope(50)); err != nil {
+		t.Fatalf("SaveFinal: %v", err)
+	}
+	if p, _ = Latest(dir); filepath.Base(p) != fileName(400) {
+		t.Fatalf("Latest = %s, want newest periodic over a stale final", p)
+	}
+
+	// Final snapshots survive further retention rounds.
+	if _, err := st.Save(sampleEnvelope(500)); err != nil {
+		t.Fatalf("Save(500): %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "final"+Ext)); err != nil {
+		t.Fatalf("final snapshot pruned by retention: %v", err)
+	}
+
+	// No stray temp files remain after atomic writes.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	dir := t.TempDir()
+	st := &Store{Dir: dir}
+	path, err := st.Save(sampleEnvelope(123))
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if p, err := Resolve(path); err != nil || p != path {
+		t.Fatalf("Resolve(file) = %s, %v; want the file itself", p, err)
+	}
+	if p, err := Resolve(dir); err != nil || p != path {
+		t.Fatalf("Resolve(dir) = %s, %v; want latest checkpoint %s", p, err, path)
+	}
+	if _, err := Resolve(filepath.Join(dir, "missing")); err == nil {
+		t.Fatalf("Resolve accepted a missing path")
+	}
+	if _, err := Latest(t.TempDir()); err == nil {
+		t.Fatalf("Latest accepted an empty directory")
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	mk := func(pairs ...int64) []DigestEntry {
+		var out []DigestEntry
+		for i := 0; i < len(pairs); i += 2 {
+			out = append(out, DigestEntry{Cycle: pairs[i], Digest: uint64(pairs[i+1])})
+		}
+		return out
+	}
+	cases := []struct {
+		name     string
+		a, b     []DigestEntry
+		cycle    int64
+		diverged bool
+	}{
+		{"identical", mk(10, 1, 20, 2), mk(10, 1, 20, 2), 0, false},
+		{"empty", nil, mk(10, 1), 0, false},
+		{"resumed-suffix", mk(10, 1, 20, 2, 30, 3), mk(20, 2, 30, 3), 0, false},
+		{"digest-mismatch", mk(10, 1, 20, 2), mk(10, 1, 20, 9), 20, true},
+		{"misaligned-cycles", mk(10, 1, 20, 2), mk(10, 1, 25, 2), 20, true},
+		{"diverged-suffix", mk(10, 1, 20, 2, 30, 3), mk(20, 2, 30, 9), 30, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, d := FirstDivergence(tc.a, tc.b)
+			if d != tc.diverged || (d && c != tc.cycle) {
+				t.Fatalf("FirstDivergence = (%d, %v), want (%d, %v)", c, d, tc.cycle, tc.diverged)
+			}
+		})
+	}
+}
