@@ -12,6 +12,9 @@ package crisp
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -382,8 +385,20 @@ func BenchmarkAblation_WarpScheduler(b *testing.B) {
 }
 
 // BenchmarkSimulatorSpeed reports the simulator's own throughput in
-// simulated warp instructions per host second (the engineering metric of
-// "Need for Speed": trustworthy simulators must also be fast).
+// simulated warp instructions per host second and simulated cycles per
+// host second (the engineering metric of "Need for Speed": trustworthy
+// simulators must also be fast).
+//
+// The stepping engine's worker count follows GOMAXPROCS (Workers = 0 =
+// auto), so the standard -cpu flag sweeps the parallel engine:
+//
+//	go test -bench=BenchmarkSimulatorSpeed -cpu 1,4,8
+//
+// -cpu 1 resolves to the serial reference engine; higher counts exercise
+// the two-phase parallel engine, which produces bit-identical results
+// (the speedup is free of simulation-accuracy tradeoffs). Setting
+// CRISP_BENCH_JSON=<path> appends each run's numbers to a JSON snapshot
+// (see docs/PERFORMANCE.md), one array entry per worker count.
 func BenchmarkSimulatorSpeed(b *testing.B) {
 	gfx, err := experiments.Frame("SPH", benchScale.W2K, benchScale.H2K, true)
 	if err != nil {
@@ -393,7 +408,7 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var insts int64
+	var insts, cycles int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		job := core.Job{GPU: JetsonOrin(), Graphics: gfx, Compute: comp, Policy: core.PolicyEven}
@@ -405,10 +420,75 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 		for _, st := range res.PerStream {
 			insts += st.WarpInsts
 		}
+		cycles = res.Cycles
 	}
 	b.StopTimer()
-	kips := float64(insts) * float64(b.N) / b.Elapsed().Seconds() / 1000
+	sec := b.Elapsed().Seconds()
+	kips := float64(insts) * float64(b.N) / sec / 1000
+	cps := float64(cycles) * float64(b.N) / sec
 	b.ReportMetric(kips, "warp_KIPS")
+	b.ReportMetric(cps, "sim_cycles/s")
+	writeBenchSnapshot(b, benchEntry{
+		Bench:      "SimulatorSpeed",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runs:       b.N,
+		SimCycles:  cycles,
+		WarpInsts:  insts,
+		ElapsedSec: sec,
+		WarpKIPS:   kips,
+		CyclesPerS: cps,
+	})
+}
+
+// benchEntry is one row of the BENCH_parallel.json snapshot.
+type benchEntry struct {
+	Bench      string  `json:"bench"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Runs       int     `json:"runs"`
+	SimCycles  int64   `json:"sim_cycles"`
+	WarpInsts  int64   `json:"warp_insts"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	WarpKIPS   float64 `json:"warp_kips"`
+	CyclesPerS float64 `json:"cycles_per_sec"`
+}
+
+// writeBenchSnapshot upserts entry into the JSON array at
+// CRISP_BENCH_JSON (no-op when unset), keyed by (bench, observed
+// GOMAXPROCS): the testing package runs a preliminary iteration per -cpu
+// sweep point before the measured one, and last-write-wins keeps exactly
+// the measured numbers, one entry per worker count. GOMAXPROCS is read
+// at run time rather than inferred from the row label because under
+// -benchtime 1x the framework reuses the preliminary iteration — which
+// ran at the previous sweep point's CPU count — for the first row.
+func writeBenchSnapshot(b *testing.B, entry benchEntry) {
+	path := os.Getenv("CRISP_BENCH_JSON")
+	if path == "" {
+		return
+	}
+	var entries []benchEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			b.Fatalf("CRISP_BENCH_JSON %s holds something other than a bench snapshot: %v", path, err)
+		}
+	}
+	replaced := false
+	for i := range entries {
+		if entries[i].Bench == entry.Bench && entries[i].GOMAXPROCS == entry.GOMAXPROCS {
+			entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, entry)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkTracingOverhead quantifies the observability layer's cost on

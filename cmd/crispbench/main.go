@@ -58,7 +58,9 @@ func main() {
 	ckptEvery := flag.Int64("checkpoint-every", 0, "sweep mode: checkpoint cadence in cycles (0 = default 100000)")
 	resume := flag.Bool("resume", false, "sweep mode: resume each run from its checkpoint subdirectory when a snapshot exists")
 	budget := flag.Int64("budget", 0, "sweep mode: per-run cycle budget; exceeding it fails the run, leaving a resumable snapshot (0 = unlimited)")
+	workers := flag.Int("j", 0, "host worker goroutines stepping SMs per run (0 = all CPUs, 1 = serial reference engine; results identical at any setting)")
 	flag.Parse()
+	experiments.Workers = *workers
 
 	for _, dir := range []string{*csvDir, *dumpDir} {
 		if dir != "" {
@@ -75,6 +77,7 @@ func main() {
 			paths: *sweep, scene: *sceneName, compute: *computeName, policy: *policyName,
 			timeout: *runTimeout, dumpDir: *dumpDir,
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume, budget: *budget,
+			workers: *workers,
 		})
 	} else {
 		outcomes = runExperiments(*exp, *scaleName, *csvDir, *dumpDir, *runTimeout)
@@ -177,6 +180,7 @@ type sweepConfig struct {
 	ckptEvery                     int64
 	resume                        bool
 	budget                        int64
+	workers                       int
 }
 
 // runSweep runs one scene+compute pairing across a list of GPU config
@@ -204,6 +208,9 @@ func runSweep(sc sweepConfig) []runOutcome {
 			var runOpts []crisp.RunOption
 			if sc.budget > 0 {
 				runOpts = append(runOpts, crisp.WithCycleBudget(sc.budget))
+			}
+			if sc.workers != 0 {
+				runOpts = append(runOpts, crisp.WithWorkers(sc.workers))
 			}
 			sub := ""
 			if sc.ckptDir != "" {

@@ -48,6 +48,7 @@ func main() {
 	resume := flag.String("resume", "", "resume from a snapshot file or checkpoint directory (overrides -scene/-compute/-policy/-gpu)")
 	stateDigest := flag.Bool("state-digest", false, "print the determinism auditor's architectural-state digest stream")
 	digestEvery := flag.Int64("digest-every", 100_000, "digest sampling period in cycles for -state-digest")
+	workers := flag.Int("j", 0, "host worker goroutines stepping SMs (0 = all CPUs, 1 = serial reference engine; results identical at any setting)")
 	flag.Parse()
 
 	if *sceneName == "" && *computeName == "" && *resume == "" {
@@ -102,6 +103,9 @@ func main() {
 	}
 	if *stateDigest {
 		runOpts = append(runOpts, crisp.WithStateDigest(*digestEvery))
+	}
+	if *workers != 0 {
+		runOpts = append(runOpts, crisp.WithWorkers(*workers))
 	}
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -166,6 +166,13 @@ func WithTimeline(interval int64) RunOption { return core.WithTimeline(interval)
 // long while warps are resident (0 = default window, negative disables).
 func WithWatchdog(window int64) RunOption { return core.WithWatchdog(window) }
 
+// WithWorkers sets host-side SM stepping parallelism: 0 = auto
+// (GOMAXPROCS capped at the SM count), 1 or negative = the serial
+// reference engine, N > 1 = the two-phase parallel engine with N
+// workers. Simulation results are bit-identical at every setting; only
+// wall-clock time changes.
+func WithWorkers(n int) RunOption { return core.WithWorkers(n) }
+
 // WithCycleBudget caps the run at n simulated cycles; crossing the budget
 // fails the run with a budget SimError carrying a crash dump (0 = off).
 func WithCycleBudget(n int64) RunOption { return core.WithCycleBudget(n) }

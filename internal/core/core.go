@@ -111,6 +111,13 @@ type Job struct {
 	// CycleBudget, when > 0, is a hard bound on simulated cycles; crossing
 	// it fails the run with a budget SimError carrying a crash dump.
 	CycleBudget int64
+	// Workers sets the host-side SM stepping parallelism: 0 defers to the
+	// GPU config (whose 0 means auto = GOMAXPROCS), 1 or negative forces
+	// the serial reference engine, N > 1 runs the two-phase parallel
+	// engine. Results are bit-identical at every setting, so Workers is a
+	// host knob, not part of the simulated configuration (checkpoints
+	// neither record nor require it).
+	Workers int
 
 	// SceneName and ComputeName record how Graphics/Compute were built
 	// (RunPair sets them). They make checkpoints self-describing: a
@@ -198,6 +205,7 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.Workers = j.Workers
 
 	window := j.GraphicsWindow
 	if window == 0 {
@@ -461,6 +469,11 @@ func WithWatchdog(window int64) RunOption { return func(j *Job) { j.WatchdogWind
 
 // WithCycleBudget caps the run at n simulated cycles (0 = unlimited).
 func WithCycleBudget(n int64) RunOption { return func(j *Job) { j.CycleBudget = n } }
+
+// WithWorkers sets host-side SM stepping parallelism: 0 = auto
+// (GOMAXPROCS), 1 or negative = the serial reference engine, N > 1 = the
+// two-phase parallel engine. Results are bit-identical at every setting.
+func WithWorkers(n int) RunOption { return func(j *Job) { j.Workers = n } }
 
 // RunPair is the one-call convenience: render sceneName (may be ""),
 // build computeName (may be ""), and run them under policy on cfg.

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+
+	"crisp/internal/config"
+	"crisp/internal/robust"
+	"crisp/internal/snapshot"
+)
+
+// parityWorkers is the parallel worker count the parity tests compare
+// against the serial reference engine. CI overrides it to exercise more
+// than one fan-out shape (CRISP_PARITY_WORKERS=2 and =8).
+func parityWorkers(t *testing.T) int {
+	t.Helper()
+	if v := os.Getenv("CRISP_PARITY_WORKERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			t.Fatalf("CRISP_PARITY_WORKERS=%q: want an integer >= 2", v)
+		}
+		return n
+	}
+	return 8
+}
+
+// runParity executes one scene+compute pairing under policy at the given
+// worker count with the determinism auditor armed.
+func runParity(t *testing.T, scene, comp string, policy PolicyKind, workers int) *Result {
+	t.Helper()
+	res, err := RunPair(config.JetsonOrin(), scene, comp, policy, tinyOpts(),
+		WithWorkers(workers), WithStateDigest(10_000))
+	if err != nil {
+		t.Fatalf("%s+%s/%s -j%d: %v", scene, comp, policy, workers, err)
+	}
+	return res
+}
+
+// expectIdentical asserts two runs of the same job are bit-identical:
+// same final cycle, same stats digest (every per-stream counter, stall
+// attribution included), and the same architectural-state digest stream
+// throughout the run — not merely the same endpoint.
+func expectIdentical(t *testing.T, serial, parallel *Result, label string) {
+	t.Helper()
+	if serial.Cycles != parallel.Cycles {
+		t.Errorf("%s: cycles diverge: serial %d, parallel %d", label, serial.Cycles, parallel.Cycles)
+	}
+	if ds, dp := statsDigestOf(t, serial), statsDigestOf(t, parallel); ds != dp {
+		t.Errorf("%s: stats digests diverge: serial %016x, parallel %016x", label, ds, dp)
+	}
+	if len(serial.Digests) == 0 {
+		t.Fatalf("%s: auditor produced no state digests", label)
+	}
+	if c, diverged := snapshot.FirstDivergence(serial.Digests, parallel.Digests); diverged {
+		t.Errorf("%s: state digests first diverge at cycle %d", label, c)
+	}
+}
+
+// TestParallelParityAllPolicies is the engine's central correctness gate:
+// for every partition policy, a serial (-j1) run and a parallel run must
+// be bit-identical — final cycle, full stats, and the auditor's digest
+// stream sampled across the whole run. Render-only exercises the
+// graphics pipeline's batch streams; the concurrent pairing exercises
+// cross-task partitioning under the parallel engine.
+func TestParallelParityAllPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep is minutes of simulation")
+	}
+	workers := parityWorkers(t)
+	for _, policy := range PolicyKinds() {
+		policy := policy
+		t.Run(string(policy)+"/render-only", func(t *testing.T) {
+			serial := runParity(t, "SPL", "", policy, 1)
+			parallel := runParity(t, "SPL", "", policy, workers)
+			expectIdentical(t, serial, parallel, "SPL/"+string(policy))
+		})
+		t.Run(string(policy)+"/concurrent", func(t *testing.T) {
+			serial := runParity(t, "SPL", "VIO", policy, 1)
+			parallel := runParity(t, "SPL", "VIO", policy, workers)
+			expectIdentical(t, serial, parallel, "SPL+VIO/"+string(policy))
+		})
+	}
+}
+
+// TestParallelCheckpointRoundTrip proves checkpoints are engine-agnostic:
+// a run checkpointed under the parallel engine and killed by a cycle
+// budget must resume — under either engine — to the same final state a
+// never-interrupted serial run reaches.
+func TestParallelCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint round trip is slow")
+	}
+	workers := parityWorkers(t)
+	const policy = PolicyEven
+
+	base := runParity(t, "SPL", "VIO", policy, 1)
+
+	for _, resumeWorkers := range []int{1, workers} {
+		resumeWorkers := resumeWorkers
+		t.Run("resume-j"+strconv.Itoa(resumeWorkers), func(t *testing.T) {
+			dir := t.TempDir()
+			_, err := RunPair(config.JetsonOrin(), "SPL", "VIO", policy, tinyOpts(),
+				WithWorkers(workers), WithStateDigest(10_000),
+				WithCheckpointDir(dir), WithCheckpointEvery(max(1, base.Cycles/8)),
+				WithCycleBudget(base.Cycles/2))
+			se, ok := robust.AsSimError(err)
+			if !ok || se.Kind != robust.KindBudget {
+				t.Fatalf("expected budget SimError from interrupted run, got %v", err)
+			}
+
+			res, err := ResumeFile(context.Background(), dir,
+				WithWorkers(resumeWorkers), WithStateDigest(10_000))
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if !res.Resumed || res.ResumedFrom <= 0 {
+				t.Fatalf("resume metadata missing: resumed=%v from=%d", res.Resumed, res.ResumedFrom)
+			}
+			if res.Cycles != base.Cycles {
+				t.Errorf("cycles diverge after resume: base %d, resumed %d", base.Cycles, res.Cycles)
+			}
+			if db, dr := statsDigestOf(t, base), statsDigestOf(t, res); db != dr {
+				t.Errorf("stats digests diverge after resume: base %016x, resumed %016x", db, dr)
+			}
+			// The resumed run's digest stream restarts at the snapshot cycle;
+			// FirstDivergence aligns the overlapping window, where every
+			// sample must match the uninterrupted baseline.
+			if c, diverged := snapshot.FirstDivergence(base.Digests, res.Digests); diverged {
+				t.Errorf("state digests diverge at cycle %d after resuming from %d", c, res.ResumedFrom)
+			}
+		})
+	}
+}
+
+// TestWorkersAutoMatchesSerial covers the default path users actually
+// run: Workers=0 (auto) must match the serial reference too.
+func TestWorkersAutoMatchesSerial(t *testing.T) {
+	serial := runParity(t, "", "VIO", PolicySerial, 1)
+	auto := runParity(t, "", "VIO", PolicySerial, 0)
+	expectIdentical(t, serial, auto, "VIO/auto")
+}

@@ -1,0 +1,218 @@
+// Package engine steps the SM array through simulated time. It owns the
+// one loop the whole simulator's wall-clock time is spent in: for every
+// simulated time step, run each busy SM's warp schedulers and report the
+// earliest future cycle at which any of them could do useful work.
+//
+// Two implementations share that contract:
+//
+//   - The serial engine is the legacy reference path: it steps busy cores
+//     one after another in ascending SM id, with every cross-SM side
+//     effect (memory-system traffic, statistics, CTA completions) applied
+//     directly as it happens.
+//
+//   - The parallel engine shards busy cores across a persistent worker
+//     pool using a two-phase deterministic protocol. Phase A (parallel):
+//     each core steps against purely per-SM state, recording its would-be
+//     memory transactions, statistics, and completion callbacks into its
+//     IssueLog (see internal/sm/log.go). Phase B (serial): the logs are
+//     drained in canonical order — ascending SM id, program order within
+//     an SM — which reproduces the serial engine's exact interleaving of
+//     calls into the shared memory system and statistics sinks. Results,
+//     stats, stall attribution, state digests, and checkpoints are
+//     therefore byte-identical to the serial engine at any worker count.
+//
+// Both engines skip idle SMs via an O(1) per-core residency check, so the
+// long tail of a run (few busy SMs) costs one compare per idle core per
+// step under either engine.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crisp/internal/sm"
+)
+
+// Engine advances every busy SM core one simulated time step at a time.
+type Engine interface {
+	// Step runs all busy cores for cycle now and returns the earliest
+	// future cycle at which the SM array could do useful work, plus
+	// whether any core was busy. When no core is busy the next value is
+	// meaningless; when all busy cores are permanently blocked it is
+	// >= sm.Never (the driver's livelock signal).
+	Step(now int64) (next int64, anyBusy bool)
+	// Workers reports the effective worker count (1 for the serial engine).
+	Workers() int
+	// Close releases the engine's goroutines. The engine must not be
+	// stepped afterwards.
+	Close()
+}
+
+// Resolve maps a Workers configuration value to an effective worker
+// count: 0 selects auto (GOMAXPROCS), negative forces serial, and any
+// count is capped at numCores — more workers than SMs can never help.
+func Resolve(workers, numCores int) int {
+	if workers < 0 {
+		return 1
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numCores {
+		workers = numCores
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// New builds the engine for cores: serial for an effective worker count
+// of one, the two-phase parallel engine otherwise. Construction switches
+// every core into the matching effects mode, so an engine must be built
+// (and the previous one closed) before each run.
+func New(cores []*sm.Core, workers int) Engine {
+	w := Resolve(workers, len(cores))
+	if w <= 1 {
+		for _, c := range cores {
+			c.SetBuffered(false)
+		}
+		return &serialEngine{cores: cores}
+	}
+	return newParallel(cores, w)
+}
+
+// serialEngine is the legacy direct-effects reference path.
+type serialEngine struct {
+	cores []*sm.Core
+}
+
+func (e *serialEngine) Step(now int64) (int64, bool) {
+	next := int64(sm.Never)
+	anyBusy := false
+	for _, c := range e.cores {
+		if !c.Busy() {
+			continue
+		}
+		anyBusy = true
+		if n := c.Step(now); n < next {
+			next = n
+		}
+	}
+	return next, anyBusy
+}
+
+func (e *serialEngine) Workers() int { return 1 }
+func (e *serialEngine) Close()       {}
+
+// minFanout is the busy-core count below which phase A runs inline on the
+// stepping goroutine: waking workers costs on the order of a microsecond,
+// which only pays off once several cores' worth of scheduler work can be
+// overlapped. The protocol (and thus the results) are identical either
+// way; only the goroutine handoff is skipped.
+const minFanout = 4
+
+// parallelEngine is the two-phase worker-pool engine.
+type parallelEngine struct {
+	cores   []*sm.Core
+	workers int
+
+	// Per-step shards, published to workers via the work channel's
+	// happens-before edge and read back after wg.Wait.
+	busy   []int   // busy core ids, ascending
+	nexts  []int64 // phase-A result per busy index
+	now    int64
+	cursor atomic.Int64
+
+	work   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+func newParallel(cores []*sm.Core, workers int) *parallelEngine {
+	e := &parallelEngine{
+		cores:   cores,
+		workers: workers,
+		busy:    make([]int, 0, len(cores)),
+		nexts:   make([]int64, len(cores)),
+		work:    make(chan struct{}),
+	}
+	for _, c := range cores {
+		c.SetBuffered(true)
+	}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for range e.work {
+				e.runShard()
+				e.wg.Done()
+			}
+		}()
+	}
+	return e
+}
+
+// runShard claims busy-core indices off the shared cursor until none
+// remain, stepping each claimed core. Claims are dynamic (one core at a
+// time) so an SM with heavy scheduler work does not serialize the step
+// behind it; results land in disjoint nexts slots, so phase A shares
+// nothing but the cursor.
+func (e *parallelEngine) runShard() {
+	now := e.now
+	n := int64(len(e.busy))
+	for {
+		i := e.cursor.Add(1) - 1
+		if i >= n {
+			return
+		}
+		e.nexts[i] = e.cores[e.busy[i]].Step(now)
+	}
+}
+
+func (e *parallelEngine) Step(now int64) (int64, bool) {
+	busy := e.busy[:0]
+	for id, c := range e.cores {
+		if c.Busy() {
+			busy = append(busy, id)
+		}
+	}
+	e.busy = busy
+	if len(busy) == 0 {
+		return sm.Never, false
+	}
+
+	// Phase A: step every busy core against per-SM state only.
+	e.now = now
+	e.cursor.Store(0)
+	if helpers := min(e.workers, len(busy)) - 1; helpers > 0 && len(busy) >= minFanout {
+		e.wg.Add(helpers)
+		for i := 0; i < helpers; i++ {
+			e.work <- struct{}{}
+		}
+		e.runShard()
+		e.wg.Wait()
+	} else {
+		e.runShard()
+	}
+
+	// Phase B: serial commit in canonical order (ascending SM id; each
+	// core's log is already in scheduler/program order). This is the only
+	// code that touches the shared memory system and statistics sinks.
+	next := int64(sm.Never)
+	for i, id := range busy {
+		e.cores[id].CommitStep(now)
+		if e.nexts[i] < next {
+			next = e.nexts[i]
+		}
+	}
+	return next, true
+}
+
+func (e *parallelEngine) Workers() int { return e.workers }
+
+func (e *parallelEngine) Close() {
+	if !e.closed {
+		e.closed = true
+		close(e.work)
+	}
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"crisp/internal/sm"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		workers, cores, want int
+	}{
+		{-1, 8, 1},                          // negative forces serial
+		{1, 8, 1},                           // explicit serial
+		{3, 8, 3},                           // explicit count passes through
+		{100, 8, 8},                         // capped at core count
+		{2, 1, 1},                           // single core can never fan out
+		{0, 1 << 20, runtime.GOMAXPROCS(0)}, // auto = GOMAXPROCS
+	}
+	for _, c := range cases {
+		if got := Resolve(c.workers, c.cores); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.cores, got, c.want)
+		}
+	}
+}
+
+func TestEngineKindSelection(t *testing.T) {
+	cores := []*sm.Core{}
+	e := New(cores, 1)
+	defer e.Close()
+	if _, ok := e.(*serialEngine); !ok {
+		t.Errorf("workers=1 built %T, want serial engine", e)
+	}
+	if e.Workers() != 1 {
+		t.Errorf("serial engine reports %d workers", e.Workers())
+	}
+}
+
+func TestEmptyStep(t *testing.T) {
+	// Either engine with no busy cores must report idle with next=Never.
+	for name, e := range map[string]Engine{
+		"serial":   &serialEngine{},
+		"parallel": newParallel(nil, 2),
+	} {
+		next, busy := e.Step(0)
+		if busy || next < sm.Never {
+			t.Errorf("%s: empty step reported busy=%v next=%d", name, busy, next)
+		}
+		e.Close()
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	e := newParallel(nil, 4)
+	e.Close()
+	e.Close() // second close must not panic
+}

@@ -128,6 +128,7 @@ func Fig13(sc Scale) (*Fig13Result, error) {
 		Compute:          comp,
 		Policy:           core.PolicyWarpedSlicer,
 		TimelineInterval: 1024,
+		Workers:          Workers,
 	}
 	res, err := job.Run()
 	if err != nil {

@@ -40,6 +40,12 @@ func (s Scale) Res(class string) (int, int) {
 	return s.W2K, s.H2K
 }
 
+// Workers is the host-side SM stepping parallelism every experiment's
+// jobs run with (crispbench -j): 0 = auto, 1 = serial reference engine.
+// Results are bit-identical at any setting, so this never perturbs the
+// reproduced tables — only how fast they regenerate.
+var Workers int
+
 // RenderScenes lists the rendering workloads in paper order.
 var RenderScenes = []string{"SPH", "PL", "MT", "SPL", "PT", "IT"}
 
@@ -123,7 +129,7 @@ func Simulate(cfg config.GPU, sceneName string, w, h int, lod bool, computeName 
 	}
 	simMu.Unlock()
 
-	job := core.Job{GPU: cfg, Policy: policy}
+	job := core.Job{GPU: cfg, Policy: policy, Workers: Workers}
 	if sceneName != "" {
 		gfx, err := Frame(sceneName, w, h, lod)
 		if err != nil {

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"crisp/internal/config"
+	"crisp/internal/engine"
 	"crisp/internal/isa"
 	"crisp/internal/mem"
 	"crisp/internal/obs"
@@ -163,6 +164,16 @@ type GPU struct {
 	// bit-identically. Sink errors abort the run with a snapshot SimError.
 	CheckpointEvery int64
 	CheckpointSink  func() error
+
+	// Workers selects the SM-stepping engine: 1 (or negative) runs the
+	// serial reference engine; N > 1 runs the two-phase parallel engine
+	// with N worker goroutines; 0 (the default) resolves to the GPU
+	// config's Workers field, and from there to auto (GOMAXPROCS, capped
+	// at the SM count). Results are bit-identical at every setting — the
+	// parallel engine's serial commit phase replays the reference
+	// engine's exact effect order — so this knob trades host CPUs for
+	// wall-clock time only.
+	Workers int
 
 	// DigestEvery arms the determinism auditor: every DigestEvery cycles
 	// the run loop hashes the architectural state and appends the digest
@@ -595,7 +606,6 @@ const ctxCheckMask = 255
 // per-SM and per-stream state. The existing all-idle deadlock check
 // likewise now reports a structured SimError instead of a bare error.
 func (g *GPU) RunContext(ctx context.Context) (int64, error) {
-	const never = int64(1<<62 - 1)
 	// Default the sampling cadences locally: the Timeline/Metrics structs
 	// are caller-owned and must not be written back.
 	var timelineInterval int64
@@ -631,6 +641,8 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 		window = DefaultWatchdogWindow
 	}
 	ctxDone := ctx.Done() // nil for background contexts: check skipped entirely
+	eng := engine.New(g.cores, g.effectiveWorkers())
+	defer eng.Close()
 	ls := &g.loop
 	for {
 		ls.iter++
@@ -652,17 +664,7 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 			}
 		}
 
-		next := never
-		anyBusy := false
-		for _, core := range g.cores {
-			if !core.Busy() {
-				continue
-			}
-			anyBusy = true
-			if n := core.Step(g.now); n < next {
-				next = n
-			}
-		}
+		next, anyBusy := eng.Step(g.now)
 		if !anyBusy {
 			// CTAs are pending but none was placeable and nothing is
 			// executing: the partition is infeasible.
@@ -879,6 +881,16 @@ func (g *GPU) buildDump(kernel, reason string) *robust.CrashDump {
 	}
 	sort.Slice(d.Stalls, func(i, j int) bool { return d.Stalls[i].Task < d.Stalls[j].Task })
 	return d
+}
+
+// effectiveWorkers resolves the run's worker setting: the GPU field wins,
+// then the config's Workers, then auto (0, resolved by the engine to
+// GOMAXPROCS capped at the SM count).
+func (g *GPU) effectiveWorkers() int {
+	if g.Workers != 0 {
+		return g.Workers
+	}
+	return g.cfg.Workers
 }
 
 func (g *GPU) policyName() string {

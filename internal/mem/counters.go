@@ -1,0 +1,106 @@
+package mem
+
+import "sort"
+
+// counterStore holds the per-stream counter blocks. Stream ids come in
+// two bands: graphics streams are small dense integers (batch index
+// order), while compute streams sit at multiples of 1<<20 (the facade's
+// ComputeStreamBase spacing). Counter lookups are on the hot path — two
+// per load before this store existed — so the dense band is a direct
+// slice index and only the handful of high compute ids fall back to a
+// short sorted table scanned linearly. The map the store replaced is
+// rebuilt nowhere; exports walk the store in sorted id order directly.
+type counterStore struct {
+	lo []*Counters // dense, indexed by stream id; nil = no traffic yet
+	// hi holds the sparse band (id < 0 or id >= denseLimit), sorted by id.
+	hiIDs []int
+	hiCnt []*Counters
+}
+
+// denseLimit bounds the directly indexed band. It matches the facade's
+// compute-stream spacing (core.ComputeStreamBase): every graphics stream
+// id is below it, every compute stream id at or above it. The slice only
+// ever grows to the largest dense id actually seen, so a render with n
+// batch streams costs n pointers, not denseLimit.
+const denseLimit = 1 << 20
+
+// get returns the counter block for a stream, creating it on first use.
+func (cs *counterStore) get(stream int) *Counters {
+	if stream >= 0 && stream < denseLimit {
+		if stream >= len(cs.lo) {
+			grown := make([]*Counters, stream+1)
+			copy(grown, cs.lo)
+			cs.lo = grown
+		}
+		c := cs.lo[stream]
+		if c == nil {
+			c = &Counters{}
+			cs.lo[stream] = c
+		}
+		return c
+	}
+	if c := cs.peekHi(stream); c != nil {
+		return c
+	}
+	// Insert keeping hiIDs sorted; the band holds a few compute streams,
+	// so the linear shift is irrelevant.
+	i := sort.SearchInts(cs.hiIDs, stream)
+	c := &Counters{}
+	cs.hiIDs = append(cs.hiIDs, 0)
+	cs.hiCnt = append(cs.hiCnt, nil)
+	copy(cs.hiIDs[i+1:], cs.hiIDs[i:])
+	copy(cs.hiCnt[i+1:], cs.hiCnt[i:])
+	cs.hiIDs[i] = stream
+	cs.hiCnt[i] = c
+	return c
+}
+
+// peek returns the counter block without creating one; nil means the
+// stream has produced no memory traffic.
+func (cs *counterStore) peek(stream int) *Counters {
+	if stream >= 0 && stream < denseLimit {
+		if stream < len(cs.lo) {
+			return cs.lo[stream]
+		}
+		return nil
+	}
+	return cs.peekHi(stream)
+}
+
+func (cs *counterStore) peekHi(stream int) *Counters {
+	for i, id := range cs.hiIDs {
+		if id == stream {
+			return cs.hiCnt[i]
+		}
+	}
+	return nil
+}
+
+// streams lists the active stream ids, sorted ascending. Negative hi ids
+// sort before the dense band, positive ones after it.
+func (cs *counterStore) streams() []int {
+	ids := make([]int, 0, len(cs.hiIDs)+8)
+	for _, id := range cs.hiIDs {
+		if id < 0 {
+			ids = append(ids, id)
+		}
+	}
+	for id, c := range cs.lo {
+		if c != nil {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range cs.hiIDs {
+		if id >= denseLimit {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// reset drops all counter blocks (snapshot restore rebuilds from here).
+func (cs *counterStore) reset() {
+	cs.lo = nil
+	cs.hiIDs = nil
+	cs.hiCnt = nil
+}

@@ -109,7 +109,7 @@ func (s *System) CaptureState() snapshot.MemState {
 	ids := s.Streams()
 	ms.Counters = make([]snapshot.StreamCounterState, 0, len(ids))
 	for _, id := range ids {
-		c := s.counters[id]
+		c := s.counters.peek(id)
 		ms.Counters = append(ms.Counters, snapshot.StreamCounterState{
 			Stream:     id,
 			L1Accesses: c.L1Accesses,
@@ -149,9 +149,9 @@ func (s *System) RestoreState(ms snapshot.MemState) error {
 	copy(s.l2NextFree, ms.L2NextFree)
 	copy(s.dramNextFree, ms.DRAMNextFree)
 
-	s.counters = make(map[int]*Counters, len(ms.Counters))
+	s.counters.reset()
 	for _, cs := range ms.Counters {
-		s.counters[cs.Stream] = &Counters{
+		*s.counters.get(cs.Stream) = Counters{
 			L1Accesses: cs.L1Accesses,
 			L1Misses:   cs.L1Misses,
 			L2Accesses: cs.L2Accesses,

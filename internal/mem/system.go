@@ -2,7 +2,6 @@ package mem
 
 import (
 	"fmt"
-	"sort"
 
 	"crisp/internal/config"
 	"crisp/internal/obs"
@@ -48,7 +47,7 @@ type System struct {
 	lastL2Cont   []int64
 	lastDramCont []int64
 
-	counters map[int]*Counters
+	counters counterStore
 }
 
 // Contention-marker thresholds: a request queueing at least contentionMin
@@ -72,7 +71,6 @@ func NewSystem(cfg *config.GPU) (*System, error) {
 		lastL2Cont:   make([]int64, cfg.L2Banks),
 		lastDramCont: make([]int64, cfg.MemChannels),
 		mapper:       SharedMapper{},
-		counters:     make(map[int]*Counters),
 	}
 	for i := range s.l1 {
 		c, err := NewCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize)
@@ -128,28 +126,14 @@ func (s *System) SetTracer(t obs.Tracer) { s.tracer = t }
 func (s *System) SetsPerBank() int { return s.setsPer }
 
 // Counters returns (creating if needed) the counter block for a stream.
-func (s *System) Counters(stream int) *Counters {
-	c := s.counters[stream]
-	if c == nil {
-		c = &Counters{}
-		s.counters[stream] = c
-	}
-	return c
-}
+func (s *System) Counters(stream int) *Counters { return s.counters.get(stream) }
 
 // PeekCounters returns the counter block for a stream without creating
 // one; nil means the stream has produced no memory traffic.
-func (s *System) PeekCounters(stream int) *Counters { return s.counters[stream] }
+func (s *System) PeekCounters(stream int) *Counters { return s.counters.peek(stream) }
 
 // Streams lists the stream ids with recorded activity, sorted.
-func (s *System) Streams() []int {
-	ids := make([]int, 0, len(s.counters))
-	for id := range s.counters {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
+func (s *System) Streams() []int { return s.counters.streams() }
 
 const xbarLatency = 16 // SM→L2 crossbar traversal, core cycles
 
@@ -192,7 +176,7 @@ func (s *System) Load(now int64, sm, stream int, class trace.MemClass, addr uint
 		}
 	}
 
-	ready := s.l2Access(start+int64(s.cfg.L1Latency), stream, class, addr, false)
+	ready := s.l2Access(start+int64(s.cfg.L1Latency), stream, cnt, class, addr, false)
 	l1.Access(now, addr, false, class, stream, -1)
 	s.l1Pending[sm][granule] = ready
 	// Garbage-collect completed fills opportunistically.
@@ -219,14 +203,15 @@ func (s *System) Store(now int64, sm, stream int, class trace.MemClass, addr uin
 	} else {
 		cnt.L1Misses++
 	}
-	s.l2Access(now+int64(s.cfg.L1Latency), stream, class, addr, true)
+	s.l2Access(now+int64(s.cfg.L1Latency), stream, cnt, class, addr, true)
 	return now + int64(s.cfg.L1Latency)
 }
 
 // l2Access routes one request through the crossbar to its L2 bank and, on
-// miss, to DRAM. It returns the data-ready cycle (for loads).
-func (s *System) l2Access(now int64, stream int, class trace.MemClass, addr uint64, write bool) int64 {
-	cnt := s.Counters(stream)
+// miss, to DRAM. It returns the data-ready cycle (for loads). cnt is the
+// stream's counter block, passed down from Load/Store so the per-stream
+// lookup happens once per request.
+func (s *System) l2Access(now int64, stream int, cnt *Counters, class trace.MemClass, addr uint64, write bool) int64 {
 	cnt.L2Accesses++
 
 	lineA := addr / uint64(s.cfg.LineSize)

@@ -173,7 +173,14 @@ type Core struct {
 	LimitFor func(task int) Resources
 
 	residentWarpsByTask map[int]int
+	resident            int // total resident warps, so Busy is O(1)
 	arrivalSeq          int64
+
+	// log, when non-nil, switches the core into buffered (two-phase) mode:
+	// issue slots record their cross-SM effects here instead of applying
+	// them, and the engine drains the log serially via CommitStep. See
+	// log.go for the protocol and its determinism argument.
+	log *IssueLog
 
 	// TexFilterLatency is added to TEX data-return latency to model the
 	// texture unit's filtering pipeline.
@@ -309,6 +316,7 @@ func (c *Core) IssueCTA(now int64, k *trace.Kernel, ctaIdx, task int, onComplete
 		s := &c.scheds[wi%len(c.scheds)]
 		s.warps = append(s.warps, w)
 		c.residentWarpsByTask[task]++
+		c.resident++
 	}
 }
 
@@ -324,15 +332,9 @@ func (c *Core) Step(now int64) int64 {
 	return next
 }
 
-// Busy reports whether any warps are resident.
-func (c *Core) Busy() bool {
-	for i := range c.scheds {
-		if len(c.scheds[i].warps) > 0 {
-			return true
-		}
-	}
-	return false
-}
+// Busy reports whether any warps are resident. It is O(1) so the engine's
+// per-step busy scan stays cheap even on a mostly idle machine.
+func (c *Core) Busy() bool { return c.resident > 0 }
 
 // step attempts one issue for cycle now; it returns the next cycle this
 // scheduler wants to run (now+1 after an issue, the stall-resolution cycle
@@ -392,18 +394,19 @@ func (s *scheduler) stepLRR(now int64) int64 {
 	var bestWarp *warpRT
 	var bestCause obs.StallCause
 	for i := 0; i < n; i++ {
-		w := s.warps[(s.rr+1+i)%n]
+		idx := (s.rr + 1 + i) % n
+		w := s.warps[idx]
 		if w.done {
 			continue
 		}
 		ok, earliest, cause := s.tryIssue(w, now)
 		if ok {
-			// Advance the cursor to the issued warp.
-			for j, x := range s.warps {
-				if x == w {
-					s.rr = j
-					break
-				}
+			// Advance the cursor to the issued warp. idx is its position
+			// unless the issue was an EXIT, whose retire compacts the slice;
+			// the cursor then stays where it is (the successor slides into
+			// idx, and the next sweep starts one past it, as LRR should).
+			if idx < len(s.warps) && s.warps[idx] == w {
+				s.rr = idx
 			}
 			return now + 1
 		}
@@ -428,6 +431,10 @@ func (s *scheduler) noteStall(w *warpRT, cause obs.StallCause) {
 		return
 	}
 	if st := s.core.stats; st != nil {
+		if lg := s.core.log; lg != nil {
+			lg.addStall(w, cause)
+			return
+		}
 		st.OnStall(s.core.ID, w.stream, w.task, cause)
 	}
 }
@@ -510,6 +517,13 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 	case isa.OpLDG, isa.OpTEX:
 		lines := coalesce(in.Addrs, uint64(core.cfg.LineSize))
 		s.unitFree[isa.UnitLDST] = now + int64(len(lines))
+		if lg := core.log; lg != nil {
+			// Request half: the data-ready cycle (the response) is written
+			// into the scoreboard by CommitStep, before any scheduler can
+			// look at it again.
+			lg.addLoad(w, in.Op, in.Class, in.Dst, lines, now+int64(isa.Latency(in.Op)))
+			break
+		}
 		ready := now + int64(isa.Latency(in.Op))
 		for _, la := range lines {
 			r := core.memsys.Load(now, core.ID, w.stream, in.Class, la*uint64(core.cfg.LineSize))
@@ -527,6 +541,10 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 	case isa.OpSTG:
 		lines := coalesce(in.Addrs, uint64(core.cfg.LineSize))
 		s.unitFree[isa.UnitLDST] = now + int64(len(lines))
+		if lg := core.log; lg != nil {
+			lg.addStore(w, in.Class, lines)
+			break
+		}
 		for _, la := range lines {
 			core.memsys.Store(now, core.ID, w.stream, in.Class, la*uint64(core.cfg.LineSize))
 		}
@@ -555,7 +573,11 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 	}
 
 	if core.stats != nil {
-		core.stats.OnIssue(core.ID, w.stream, w.task, in.Op, in.ActiveLanes())
+		if lg := core.log; lg != nil {
+			lg.addIssue(w, in.Op, in.ActiveLanes())
+		} else {
+			core.stats.OnIssue(core.ID, w.stream, w.task, in.Op, in.ActiveLanes())
+		}
 	}
 	w.pc++
 	return true, now, 0
@@ -574,6 +596,7 @@ func (s *scheduler) retire(w *warpRT, now int64) {
 	}
 	core := s.core
 	core.residentWarpsByTask[w.task]--
+	core.resident--
 	cta := w.cta
 	cta.warpsLeft--
 	if cta.warpsLeft == 0 {
@@ -582,7 +605,13 @@ func (s *scheduler) retire(w *warpRT, now int64) {
 		}
 		core.usageTotal.sub(cta.res)
 		if cta.onComplete != nil {
-			cta.onComplete(now)
+			// The completion callback mutates launch/stream state shared
+			// across SMs, so in buffered mode it is deferred to phase B.
+			if lg := core.log; lg != nil {
+				lg.addComplete(cta.onComplete)
+			} else {
+				cta.onComplete(now)
+			}
 		}
 	}
 }

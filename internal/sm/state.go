@@ -144,6 +144,7 @@ func (c *Core) RestoreState(cs snapshot.CoreState, env RestoreEnv) error {
 	c.usageByTask = make(map[int]*Resources)
 	c.usageTotal = Resources{}
 	c.residentWarpsByTask = make(map[int]int)
+	c.resident = 0
 
 	// Rebuild CTAs.
 	ctas := make([]*ctaRT, len(cs.CTAs))
@@ -232,6 +233,7 @@ func (c *Core) RestoreState(cs snapshot.CoreState, env RestoreEnv) error {
 			warpByRef[ws.Ref] = w
 			s.warps = append(s.warps, w)
 			c.residentWarpsByTask[cta.task]++
+			c.resident++
 		}
 	}
 
