@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +37,10 @@ type runOutcome struct {
 	name string
 	dur  time.Duration
 	err  error
+	// Headline results (sweep mode; experiments print their own tables).
+	cycles      int64
+	frameTimeMS float64
+	statsDigest string
 	// Snapshot accounting (sweep mode with -checkpoint-dir / -resume).
 	ckptSaves int
 	ckptSave  time.Duration
@@ -58,6 +63,7 @@ func main() {
 	ckptEvery := flag.Int64("checkpoint-every", 0, "sweep mode: checkpoint cadence in cycles (0 = default 100000)")
 	resume := flag.Bool("resume", false, "sweep mode: resume each run from its checkpoint subdirectory when a snapshot exists")
 	budget := flag.Int64("budget", 0, "sweep mode: per-run cycle budget; exceeding it fails the run, leaving a resumable snapshot (0 = unlimited)")
+	jsonOut := flag.String("json", "", "write the run summary (per-run cycles, stats digest, failures, snapshot timings) as JSON to this file (\"-\" = stdout)")
 	workers := flag.Int("j", 0, "host worker goroutines stepping SMs per run (0 = all CPUs, 1 = serial reference engine; results identical at any setting)")
 	flag.Parse()
 	experiments.Workers = *workers
@@ -88,6 +94,12 @@ func main() {
 	}
 
 	failed := printSummary(outcomes)
+	if *jsonOut != "" {
+		if err := writeJSONSummary(*jsonOut, outcomes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	switch {
 	case failed == len(outcomes):
 		os.Exit(1)
@@ -245,6 +257,10 @@ func runSweep(sc sweepConfig) []runOutcome {
 			if err != nil {
 				return err
 			}
+			out.cycles, out.frameTimeMS = res.Cycles, res.FrameTimeMS
+			if d, derr := res.StatsDigest(); derr == nil {
+				out.statsDigest = fmt.Sprintf("%016x", d)
+			}
 			out.ckptSaves, out.ckptSave = res.CheckpointSaves, res.CheckpointSaveTime
 			if res.Resumed {
 				out.resumedAt = res.ResumedFrom
@@ -286,6 +302,68 @@ func writeDump(dir, name string, err error) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "crash dump written to %s\n", path)
+}
+
+// jsonRun is one outcome in the -json summary. Zero-valued fields are
+// omitted, so experiment-mode runs (no cycle counts) stay compact.
+type jsonRun struct {
+	Name        string  `json:"name"`
+	Status      string  `json:"status"` // "ok" or "failed"
+	Error       string  `json:"error,omitempty"`
+	ErrorKind   string  `json:"error_kind,omitempty"` // SimError taxonomy kind
+	DurationMS  float64 `json:"duration_ms"`
+	Cycles      int64   `json:"cycles,omitempty"`
+	FrameTimeMS float64 `json:"frame_time_ms,omitempty"`
+	StatsDigest string  `json:"stats_digest,omitempty"`
+
+	CheckpointSaves  int     `json:"checkpoint_saves,omitempty"`
+	CheckpointSaveMS float64 `json:"checkpoint_save_ms,omitempty"`
+	SnapshotLoadMS   float64 `json:"snapshot_load_ms,omitempty"`
+	ResumedAtCycle   int64   `json:"resumed_at_cycle,omitempty"`
+}
+
+// writeJSONSummary serializes the outcome list for machine consumption
+// (CI gates diff stats digests across invocations; dashboards read the
+// timings).
+func writeJSONSummary(path string, outcomes []runOutcome) error {
+	ok := 0
+	runs := make([]jsonRun, 0, len(outcomes))
+	for _, o := range outcomes {
+		jr := jsonRun{
+			Name:             o.name,
+			Status:           "ok",
+			DurationMS:       float64(o.dur.Microseconds()) / 1000,
+			Cycles:           o.cycles,
+			FrameTimeMS:      o.frameTimeMS,
+			StatsDigest:      o.statsDigest,
+			CheckpointSaves:  o.ckptSaves,
+			CheckpointSaveMS: float64(o.ckptSave.Microseconds()) / 1000,
+			SnapshotLoadMS:   float64(o.snapLoad.Microseconds()) / 1000,
+			ResumedAtCycle:   o.resumedAt,
+		}
+		if o.err != nil {
+			jr.Status = "failed"
+			jr.Error = o.err.Error()
+			if se, isSim := robust.AsSimError(o.err); isSim {
+				jr.ErrorKind = se.Kind.String()
+			}
+		} else {
+			ok++
+		}
+		runs = append(runs, jr)
+	}
+	b, err := json.MarshalIndent(map[string]any{
+		"ok": ok, "failed": len(outcomes) - ok, "runs": runs,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // printSummary renders the outcome table and returns the failure count.

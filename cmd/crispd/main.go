@@ -1,0 +1,111 @@
+// Command crispd is the CRISP batch simulation daemon: an HTTP/JSON
+// service that queues simulation jobs, executes them on a bounded worker
+// pool, and serves results from a content-addressed cache so identical
+// submissions never simulate twice.
+//
+//	crispd -addr :8080 -state-dir /var/lib/crispd
+//
+// Submit jobs with plain HTTP:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"scene": "SPL", "compute": "VIO", "policy": "EVEN"}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/metrics
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
+// jobs, cancels running simulations (each flushes a final snapshot through
+// the checkpoint layer), and exits 0. A daemon restarted on the same
+// -state-dir resumes the interrupted jobs from their snapshots and serves
+// previously computed results from the persisted cache.
+//
+// See docs/SERVICE.md for the API reference and lifecycle details.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crisp/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("crispd: ")
+
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	queueDepth := flag.Int("queue", 64, "max jobs admitted but not yet running; beyond it submissions get 429")
+	workers := flag.Int("workers", 2, "concurrent simulations")
+	runWorkers := flag.Int("j", 0, "per-simulation SM-stepping goroutines (0 = all CPUs, 1 = serial reference engine)")
+	stateDir := flag.String("state-dir", "", "persist jobs, checkpoints, and the result cache here; restart resumes in-flight work (empty = memory only)")
+	budget := flag.Int64("budget", 0, "default per-job cycle budget (0 = unlimited; jobs may set their own)")
+	watchdog := flag.Int64("watchdog", 0, "default forward-progress watchdog window in cycles (0 = simulator default, negative = off)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "checkpoint cadence in cycles for persisted jobs (0 = default 100000)")
+	progressEvery := flag.Int64("progress-interval", 4096, "job progress sampling period in cycles")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for running jobs to checkpoint and stop on shutdown")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		RunWorkers:       *runWorkers,
+		StateDir:         *stateDir,
+		DefaultBudget:    *budget,
+		WatchdogWindow:   *watchdog,
+		CheckpointEvery:  *ckptEvery,
+		ProgressInterval: *progressEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stateDir != "" {
+		st := srv.Snapshot()
+		log.Printf("state dir %s: %d cached results, %d jobs recovered",
+			*stateDir, st.CachedResults, st.QueueDepth)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Report the bound address (with the real port when -addr is :0) on a
+	// line scripts can wait for.
+	log.Printf("listening on %s (queue %d, workers %d)", ln.Addr(), *queueDepth, *workers)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("received %s, draining", s)
+	case err := <-serveErr:
+		log.Fatalf("http server: %v", err)
+	}
+
+	// Drain protocol: stop admitting (new submissions get 503, health goes
+	// unready for load balancers), checkpoint and stop running jobs, then
+	// close the listener and exit 0.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	st := srv.Snapshot()
+	log.Printf("drained: %d done, %d failed, %d canceled, %d results cached; bye",
+		st.Done, st.Failed, st.Canceled, st.CachedResults)
+}

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"crisp"
 	"crisp/internal/stats"
@@ -113,6 +115,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// Ctrl-C / SIGTERM cancel the run context instead of killing the
+	// process: the simulation stops at a cycle boundary and, when
+	// -checkpoint-dir is set, flushes final.crispsnap so the run can be
+	// continued with -resume. A second signal kills the process.
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var res *crisp.Result
 	if *resume != "" {

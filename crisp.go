@@ -57,6 +57,14 @@ func GPUByName(name string) (GPUConfig, error) { return config.ByName(name) }
 // customization workflow.
 func GPUFromFile(path string) (GPUConfig, error) { return config.LoadFile(path) }
 
+// ConfigDigest returns the canonical content hash of a GPU configuration
+// (16 hex digits): field-order-stable, provenance-independent (a config
+// loaded from a file digests identically to the structurally equal
+// preset), and blind to host-execution knobs like Workers. It keys the
+// batch service's content-addressed result cache and stamps snapshot-file
+// headers, so both layers agree on configuration identity.
+func ConfigDigest(cfg GPUConfig) string { return config.Digest(cfg) }
+
 // RenderOptions configure the graphics pipeline (resolution, batch size,
 // LoD, filtering).
 type RenderOptions = render.Options
@@ -156,6 +164,15 @@ func WithTracer(t Tracer) RunOption { return core.WithTracer(t) }
 // WithMetrics samples the interval metrics time series every interval
 // cycles into Result.Metrics.
 func WithMetrics(interval int64) RunOption { return core.WithMetrics(interval) }
+
+// MetricsSample is one interval's per-task metrics points.
+type MetricsSample = obs.Sample
+
+// WithMetricsSink streams each interval metrics sample to fn as it is
+// taken (combine with WithMetrics, which sets the cadence) — live
+// progress for long-running simulations. fn runs on the simulation
+// goroutine and must be cheap and internally synchronized.
+func WithMetricsSink(fn func(MetricsSample)) RunOption { return core.WithMetricsSink(fn) }
 
 // WithTimeline samples the per-task occupancy timeline every interval
 // cycles into Result.Timeline.

@@ -67,6 +67,20 @@ func PolicyKinds() []PolicyKind {
 	return []PolicyKind{PolicySerial, PolicyMPS, PolicyMiG, PolicyEven, PolicyWarpedSlicer, PolicyTAP, PolicyPriority}
 }
 
+// KnownPolicy reports whether k names a supported partitioning policy
+// ("" is accepted as an alias for serial, matching BuildPolicy).
+func KnownPolicy(k PolicyKind) bool {
+	if k == "" {
+		return true
+	}
+	for _, p := range PolicyKinds() {
+		if p == k {
+			return true
+		}
+	}
+	return false
+}
+
 // Job is one simulation: optional graphics frame traces, optional compute
 // workload, a GPU configuration, and a policy.
 type Job struct {
@@ -103,6 +117,12 @@ type Job struct {
 	// occupancy, hit rates, DRAM bandwidth) every so many cycles into
 	// Result.Metrics.
 	MetricsInterval int64
+	// MetricsSink, when non-nil, additionally receives each interval
+	// metrics sample as it is taken (live progress for long runs, e.g. the
+	// batch service's job-status endpoint). It runs on the simulation
+	// goroutine; implementations must synchronize their own publication.
+	// Requires MetricsInterval > 0.
+	MetricsSink func(obs.Sample)
 	// WatchdogWindow configures the forward-progress watchdog: the run
 	// fails with a watchdog SimError when no instruction issues for this
 	// many cycles while warps are resident. 0 = the GPU default window;
@@ -286,7 +306,7 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 		g.SetTracer(j.Tracer)
 	}
 	if j.MetricsInterval > 0 {
-		g.Metrics = &obs.IntervalSeries{Interval: j.MetricsInterval}
+		g.Metrics = &obs.IntervalSeries{Interval: j.MetricsInterval, OnSample: j.MetricsSink}
 	}
 	g.WatchdogWindow = j.WatchdogWindow
 	g.CycleBudget = j.CycleBudget
@@ -458,6 +478,11 @@ func WithTracer(t obs.Tracer) RunOption { return func(j *Job) { j.Tracer = t } }
 // WithMetrics samples the interval metrics time series every interval
 // cycles into Result.Metrics.
 func WithMetrics(interval int64) RunOption { return func(j *Job) { j.MetricsInterval = interval } }
+
+// WithMetricsSink streams each interval metrics sample to fn as it is
+// taken (requires WithMetrics to set the cadence). fn runs on the
+// simulation goroutine and must be cheap and internally synchronized.
+func WithMetricsSink(fn func(obs.Sample)) RunOption { return func(j *Job) { j.MetricsSink = fn } }
 
 // WithTimeline samples the per-task occupancy timeline every interval
 // cycles into Result.Timeline.

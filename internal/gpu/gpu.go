@@ -961,7 +961,7 @@ func (g *GPU) sampleMetrics() {
 			DRAMBytesPerCycle: float64(d.dramBytes-p.dramBytes) / float64(dt),
 		})
 	}
-	g.Metrics.Samples = append(g.Metrics.Samples, sample)
+	g.Metrics.Append(sample)
 	copy(g.mPrev, cur)
 	g.mPrevCycle = g.now
 }

@@ -37,6 +37,19 @@ type Sample struct {
 type IntervalSeries struct {
 	Interval int64
 	Samples  []Sample
+	// OnSample, when non-nil, is invoked with each sample as it is
+	// appended. It runs on the simulation goroutine, so implementations
+	// that publish to other goroutines (e.g. a service's live progress
+	// endpoint) must do their own synchronization and stay cheap.
+	OnSample func(Sample)
+}
+
+// Append records one sample and notifies the OnSample hook, if any.
+func (s *IntervalSeries) Append(smp Sample) {
+	s.Samples = append(s.Samples, smp)
+	if s.OnSample != nil {
+		s.OnSample(smp)
+	}
 }
 
 // WriteCSV renders the series in long format: one row per (cycle,

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"crisp/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (201; 400 invalid; 429 queue
+//	                            full + Retry-After; 503 draining)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + progress (+ result when done)
+//	DELETE /v1/jobs/{id}        cancel a job (409 if already finished)
+//	GET    /v1/results/{digest} fetch a cached result by content digest
+//	GET    /healthz             200 serving / 503 draining
+//	GET    /metrics             Prometheus-style text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// jobView is the wire form of a job's status.
+type jobView struct {
+	ID        string `json:"id"`
+	Digest    string `json:"digest"`
+	State     State  `json:"state"`
+	Cached    bool   `json:"cached,omitempty"`    // served from the result cache at submit
+	Coalesced bool   `json:"coalesced,omitempty"` // attached to an identical in-flight run
+	Error     string `json:"error,omitempty"`
+
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+
+	Progress *progressView `json:"progress,omitempty"`
+	Result   *StoredResult `json:"result,omitempty"`
+}
+
+// progressView summarizes the newest obs interval-metrics sample.
+type progressView struct {
+	Cycle int64          `json:"cycle"`
+	Tasks []taskProgress `json:"tasks,omitempty"`
+}
+
+type taskProgress struct {
+	Stream int     `json:"stream"`
+	Label  string  `json:"label"`
+	IPC    float64 `json:"ipc"`
+	Warps  int     `json:"warps"`
+}
+
+func (s *Server) viewOf(j *Job) jobView {
+	j.mu.Lock()
+	v := jobView{
+		ID:        j.ID,
+		Digest:    j.Digest,
+		State:     j.state,
+		Cached:    j.cacheHit,
+		Coalesced: j.coalesce,
+		Error:     j.errMsg,
+		Created:   stamp(j.created),
+		Started:   stamp(j.started),
+		Finished:  stamp(j.finished),
+	}
+	var prog *obs.Sample
+	if j.state == StateRunning && j.progress != nil {
+		prog = j.progress
+	}
+	j.mu.Unlock()
+
+	if prog != nil {
+		pv := &progressView{Cycle: prog.Cycle}
+		for _, p := range prog.Points {
+			pv.Tasks = append(pv.Tasks, taskProgress{Stream: p.Stream, Label: p.Label, IPC: p.IPC, Warps: p.Warps})
+		}
+		v.Progress = pv
+	}
+	if v.State == StateDone {
+		if sr, ok := s.cache.get(v.Digest); ok {
+			v.Result = sr
+		}
+	}
+	return v
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed job spec: "+err.Error())
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		var ve *ValidationError
+		var qf *QueueFullError
+		switch {
+		case errors.As(err, &ve):
+			httpError(w, http.StatusBadRequest, ve.Error())
+		case errors.As(err, &qf):
+			w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter.Round(time.Second)/time.Second)))
+			httpError(w, http.StatusTooManyRequests, qf.Error())
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.viewOf(job))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]jobView, 0, len(jobs))
+	for _, j := range jobs {
+		v := s.viewOf(j)
+		v.Result = nil // keep the listing light; fetch one job for the payload
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewOf(job))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	okCancel, err := s.Cancel(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if !okCancel {
+		httpError(w, http.StatusConflict, "job "+id+" already finished")
+		return
+	}
+	job, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, s.viewOf(job))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	sr, ok := s.Result(digest)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cached result for digest "+digest)
+		return
+	}
+	writeJSON(w, http.StatusOK, sr)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Snapshot()
+	hitRate := 0.0
+	if lookups := st.CacheHits + st.Executions; lookups > 0 {
+		hitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	jobsPerSec := 0.0
+	if st.UptimeSec > 0 {
+		jobsPerSec = float64(st.Done) / st.UptimeSec
+	}
+	draining := 0
+	if st.Draining {
+		draining = 1
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP crispd_queue_depth Jobs admitted but not yet running.\n")
+	fmt.Fprintf(w, "# TYPE crispd_queue_depth gauge\ncrispd_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "# TYPE crispd_queue_capacity gauge\ncrispd_queue_capacity %d\n", st.QueueCapacity)
+	fmt.Fprintf(w, "# HELP crispd_inflight Distinct job digests queued or running.\n")
+	fmt.Fprintf(w, "# TYPE crispd_inflight gauge\ncrispd_inflight %d\n", st.Inflight)
+	fmt.Fprintf(w, "# TYPE crispd_jobs_total counter\n")
+	fmt.Fprintf(w, "crispd_jobs_total{state=\"done\"} %d\n", st.Done)
+	fmt.Fprintf(w, "crispd_jobs_total{state=\"failed\"} %d\n", st.Failed)
+	fmt.Fprintf(w, "crispd_jobs_total{state=\"canceled\"} %d\n", st.Canceled)
+	fmt.Fprintf(w, "# HELP crispd_executions_total Simulator executions started (cache misses).\n")
+	fmt.Fprintf(w, "# TYPE crispd_executions_total counter\ncrispd_executions_total %d\n", st.Executions)
+	fmt.Fprintf(w, "# TYPE crispd_cache_hits_total counter\ncrispd_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "# TYPE crispd_coalesced_total counter\ncrispd_coalesced_total %d\n", st.Coalesced)
+	fmt.Fprintf(w, "# TYPE crispd_cached_results gauge\ncrispd_cached_results %d\n", st.CachedResults)
+	fmt.Fprintf(w, "# HELP crispd_cache_hit_rate Cache hits over cache lookups (hits + executions).\n")
+	fmt.Fprintf(w, "# TYPE crispd_cache_hit_rate gauge\ncrispd_cache_hit_rate %.6f\n", hitRate)
+	fmt.Fprintf(w, "# TYPE crispd_jobs_per_sec gauge\ncrispd_jobs_per_sec %.6f\n", jobsPerSec)
+	fmt.Fprintf(w, "# TYPE crispd_draining gauge\ncrispd_draining %d\n", draining)
+	fmt.Fprintf(w, "# TYPE crispd_uptime_seconds gauge\ncrispd_uptime_seconds %.3f\n", st.UptimeSec)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,827 @@
+// Package service is crispd's batch-simulation engine: a bounded FIFO job
+// queue with admission control, a worker pool executing simulations
+// through the crisp facade (cycle budgets, watchdogs, cooperative
+// cancellation), a content-addressed result cache keyed by the canonical
+// job digest, and a graceful drain protocol that checkpoints in-flight
+// work through internal/snapshot so a restarted daemon resumes instead of
+// re-simulating.
+//
+// Identical submissions never simulate twice: a submission whose digest is
+// already cached completes instantly as a cache hit, and one whose digest
+// is already queued or running attaches to that execution (coalescing)
+// and completes when it does.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	crisp "crisp"
+	"crisp/internal/obs"
+	"crisp/internal/robust"
+	"crisp/internal/snapshot"
+)
+
+// Config configures a Server. Zero values select the documented defaults.
+type Config struct {
+	// QueueDepth bounds the FIFO queue of admitted-but-not-yet-running
+	// jobs; submissions beyond it receive 429 + Retry-After. Default 64.
+	QueueDepth int
+	// Workers is the worker-pool size: how many simulations run
+	// concurrently. Default 2.
+	Workers int
+	// RunWorkers is the per-simulation SM-stepping parallelism (the -j
+	// knob): 0 = auto, 1 = serial reference engine.
+	RunWorkers int
+	// StateDir enables persistence: job specs, periodic checkpoints,
+	// final snapshots, and the result cache live under it, and a
+	// restarted daemon resumes unfinished jobs from there. "" = memory
+	// only (drain cancels, nothing survives restart).
+	StateDir string
+	// DefaultBudget is the cycle budget applied to jobs that do not set
+	// their own (0 = unlimited).
+	DefaultBudget int64
+	// WatchdogWindow is the default forward-progress watchdog window
+	// (0 = simulator default, negative = off).
+	WatchdogWindow int64
+	// CheckpointEvery is the checkpoint cadence in cycles for persisted
+	// jobs (0 = the core default, 100k cycles).
+	CheckpointEvery int64
+	// ProgressInterval is the obs interval-metrics cadence, which doubles
+	// as the job progress feed. Default 4096 cycles.
+	ProgressInterval int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 4096
+	}
+	return c
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: queued → running → done | failed | canceled.
+// Cache hits and coalesced duplicates move queued → done without running.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Job is one tracked submission.
+type Job struct {
+	ID     string
+	Digest string
+	Spec   JobSpec
+
+	res *resolved
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	cacheHit bool // served from the completed-result cache at submit
+	coalesce bool // attached to an identical in-flight execution
+	userStop bool // canceled via DELETE
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	// followers are coalesced duplicates completed alongside this
+	// (primary) job.
+	followers []*Job
+	// resumeFrom, when non-empty, is a snapshot path/dir the execution
+	// restores from (a restarted daemon's recovered job).
+	resumeFrom string
+	// progress is the latest obs interval-metrics sample.
+	progress *obs.Sample
+}
+
+func (j *Job) setState(st State) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+// noteSample receives interval metrics samples from the simulation
+// goroutine (crisp.WithMetricsSink).
+func (j *Job) noteSample(s obs.Sample) {
+	j.mu.Lock()
+	j.progress = &s
+	j.mu.Unlock()
+}
+
+// Typed submission failures, mapped to HTTP statuses by the handler.
+var (
+	// ErrDraining rejects submissions during graceful shutdown (503).
+	ErrDraining = errors.New("service: draining, not admitting jobs")
+)
+
+// QueueFullError rejects a submission that found the queue at capacity
+// (429); RetryAfter estimates when a slot will free up.
+type QueueFullError struct {
+	Depth      int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: job queue full (%d queued); retry in %v", e.Depth, e.RetryAfter)
+}
+
+// ValidationError marks a malformed or unresolvable job spec (400).
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return "service: invalid job: " + e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// Server is the batch simulation service.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing
+	inflight map[string]*Job // digest → primary job (queued or running)
+	queued   int             // admission counter
+	nextID   int
+	draining bool
+
+	queue chan *Job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	cache *resultCache
+
+	// Counters (atomic: read by /metrics while workers run).
+	execs      atomic.Int64 // simulator executions started
+	hits       atomic.Int64 // submissions served from the completed cache
+	coalesced  atomic.Int64 // submissions attached to an in-flight run
+	done       atomic.Int64 // jobs reaching StateDone
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	avgRunNS   atomic.Int64 // EWMA of execution wall time
+	launchedAt time.Time
+}
+
+// New builds a Server, loading the persisted result cache and recovering
+// unfinished jobs when cfg.StateDir is set. Call Start to launch the
+// worker pool (tests submit against an un-started server to exercise
+// admission control deterministically).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		stop:       make(chan struct{}),
+		cache:      newResultCache(""),
+		launchedAt: time.Now(),
+	}
+	var recovered []*Job
+	if cfg.StateDir != "" {
+		s.cache = newResultCache(filepath.Join(cfg.StateDir, "results"))
+		s.cache.load()
+		var err error
+		recovered, err = s.scanJobs()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Capacity covers the admission bound plus every recovered job, so an
+	// enqueue under the admission counter can never block.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.readmit(j)
+	}
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Submit validates, digests, and admits one job. The returned Job may
+// already be done (cache hit). Errors: *ValidationError, ErrDraining,
+// *QueueFullError.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	r, err := spec.resolve()
+	if err != nil {
+		return nil, &ValidationError{Err: err}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+
+	s.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("j%06d", s.nextID),
+		Digest:  r.digest,
+		Spec:    spec,
+		res:     r,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+
+	// Content-addressed fast path: an identical job already completed.
+	if _, ok := s.cache.get(r.digest); ok {
+		job.state = StateDone
+		job.cacheHit = true
+		job.finished = job.created
+		s.hits.Add(1)
+		s.done.Add(1)
+		s.register(job)
+		return job, nil
+	}
+
+	// Single-flight: an identical job is already queued or running —
+	// attach to it instead of simulating twice.
+	if primary, ok := s.inflight[r.digest]; ok {
+		job.coalesce = true
+		primary.mu.Lock()
+		primary.followers = append(primary.followers, job)
+		primary.mu.Unlock()
+		s.coalesced.Add(1)
+		s.register(job)
+		s.persistJob(job)
+		return job, nil
+	}
+
+	// Admission control: the queue is bounded.
+	if s.queued >= s.cfg.QueueDepth {
+		return nil, &QueueFullError{Depth: s.queued, RetryAfter: s.retryAfter()}
+	}
+	s.queued++
+	s.inflight[r.digest] = job
+	s.register(job)
+	s.persistJob(job)
+	s.queue <- job // never blocks: capacity ≥ admission bound
+	return job, nil
+}
+
+// register indexes the job (caller holds s.mu).
+func (s *Server) register(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+}
+
+// readmit re-enqueues a recovered job at startup (caller is New; no lock
+// contention yet). The digest routing mirrors Submit.
+func (s *Server) readmit(job *Job) {
+	if _, ok := s.cache.get(job.Digest); ok {
+		job.state = StateDone
+		job.cacheHit = true
+		job.finished = time.Now()
+		s.done.Add(1)
+		s.hits.Add(1)
+		s.register(job)
+		s.unpersistJob(job)
+		return
+	}
+	if primary, ok := s.inflight[job.Digest]; ok {
+		job.coalesce = true
+		primary.followers = append(primary.followers, job)
+		s.register(job)
+		return
+	}
+	s.queued++
+	s.inflight[job.Digest] = job
+	s.register(job)
+	s.queue <- job
+}
+
+// Job returns a tracked job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every tracked job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Result returns a cached result by digest.
+func (s *Server) Result(digest string) (*StoredResult, bool) { return s.cache.get(digest) }
+
+// Cancel cancels a job: a queued job is dropped before execution, a
+// running one has its context canceled (the run fails with a canceled
+// SimError and, when persistence is on, leaves a final snapshot).
+// Canceling a primary also cancels its coalesced followers — they were
+// riding the execution that just died. Returns false when the job is
+// already finished.
+func (s *Server) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false, fmt.Errorf("service: unknown job %q", id)
+	}
+	job.mu.Lock()
+	switch job.state {
+	case StateDone, StateFailed, StateCanceled:
+		job.mu.Unlock()
+		s.mu.Unlock()
+		return false, nil
+	case StateRunning:
+		job.userStop = true
+		cancel := job.cancel
+		job.mu.Unlock()
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true, nil
+	}
+	// Queued (or a coalesced follower): finish it here. A queued primary
+	// stays in the channel; the worker skips non-queued jobs.
+	job.userStop = true
+	job.state = StateCanceled
+	job.finished = time.Now()
+	followers := job.followers
+	job.followers = nil
+	job.mu.Unlock()
+	if s.inflight[job.Digest] == job {
+		delete(s.inflight, job.Digest)
+	}
+	s.canceled.Add(1)
+	s.unpersistJob(job)
+	for _, f := range followers {
+		f.mu.Lock()
+		f.state = StateCanceled
+		f.errMsg = "canceled: the execution this job was coalesced with was canceled"
+		f.finished = time.Now()
+		f.mu.Unlock()
+		s.canceled.Add(1)
+		s.unpersistJob(f)
+	}
+	s.mu.Unlock()
+	return true, nil
+}
+
+// worker pulls jobs until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.queue:
+			s.mu.Lock()
+			s.queued--
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				// Leave the job queued on disk; the restarted daemon
+				// re-enqueues it.
+				return
+			}
+			s.execute(job)
+		}
+	}
+}
+
+// execute runs one admitted job through the crisp facade.
+func (s *Server) execute(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued {
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	job.cancel = cancel
+	resumeFrom := job.resumeFrom
+	job.mu.Unlock()
+	defer cancel()
+
+	r := job.res
+	runOpts := []crisp.RunOption{
+		crisp.WithMetrics(s.cfg.ProgressInterval),
+		crisp.WithMetricsSink(job.noteSample),
+	}
+	budget := r.budget
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	if budget > 0 {
+		runOpts = append(runOpts, crisp.WithCycleBudget(budget))
+	}
+	wdog := r.wdog
+	if wdog == 0 {
+		wdog = s.cfg.WatchdogWindow
+	}
+	if wdog != 0 {
+		runOpts = append(runOpts, crisp.WithWatchdog(wdog))
+	}
+	if s.cfg.RunWorkers != 0 {
+		runOpts = append(runOpts, crisp.WithWorkers(s.cfg.RunWorkers))
+	}
+	if dir := s.jobDir(job); dir != "" {
+		runOpts = append(runOpts, crisp.WithCheckpointDir(dir))
+		if s.cfg.CheckpointEvery > 0 {
+			runOpts = append(runOpts, crisp.WithCheckpointEvery(s.cfg.CheckpointEvery))
+		}
+	}
+
+	s.execs.Add(1)
+	t0 := time.Now()
+	var res *crisp.Result
+	var err error
+	if resumeFrom != "" {
+		// A recovered job with an on-disk snapshot continues where the
+		// drained daemon stopped. An unreadable snapshot falls back to a
+		// fresh run — losing progress, never the job.
+		var env *crisp.Snapshot
+		if env, err = crisp.LoadSnapshot(resumeFrom); err == nil {
+			res, err = crisp.Resume(ctx, env, runOpts...)
+		} else {
+			err = nil
+		}
+	}
+	if res == nil && err == nil {
+		res, err = crisp.RunPairContext(ctx, r.cfg, r.scene, r.compute, r.policy, r.opts, runOpts...)
+	}
+	wall := time.Since(t0)
+	s.observeRunTime(wall)
+
+	if err != nil {
+		s.fail(job, err)
+		return
+	}
+	stored, serr := storedFromResult(r, res, float64(wall.Microseconds())/1000)
+	if serr != nil {
+		s.fail(job, serr)
+		return
+	}
+	s.cache.put(stored)
+	s.complete(job)
+}
+
+// complete marks the primary job and every coalesced follower done and
+// clears their persisted state (the result now lives in the cache).
+func (s *Server) complete(job *Job) {
+	s.mu.Lock()
+	if s.inflight[job.Digest] == job {
+		delete(s.inflight, job.Digest)
+	}
+	job.mu.Lock()
+	job.state = StateDone
+	job.finished = time.Now()
+	followers := job.followers
+	job.followers = nil
+	job.mu.Unlock()
+	s.done.Add(1)
+	s.unpersistJob(job)
+	for _, f := range followers {
+		f.mu.Lock()
+		f.state = StateDone
+		f.finished = time.Now()
+		f.mu.Unlock()
+		s.done.Add(1)
+		s.unpersistJob(f)
+	}
+	s.mu.Unlock()
+}
+
+// fail resolves a failed execution. Three cases:
+//   - drain cancellation: the job goes back to queued; its spec and final
+//     snapshot stay on disk for the restarted daemon to resume;
+//   - user cancellation (DELETE): the job is canceled;
+//   - real failure (budget, watchdog, deadlock, panic): the job is failed
+//     and a failure marker keeps a restart from retrying it blindly.
+//
+// Followers share the primary's outcome in every case.
+func (s *Server) fail(job *Job, err error) {
+	se, isSim := robust.AsSimError(err)
+	isCancel := isSim && se.Kind == crisp.ErrCanceled
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	job.mu.Lock()
+	if isCancel && s.draining && !job.userStop {
+		// Graceful drain: the final snapshot was just flushed by the
+		// checkpoint layer. Rewind to queued; disk state survives.
+		job.state = StateQueued
+		job.cancel = nil
+		job.mu.Unlock()
+		return
+	}
+	state := StateFailed
+	if isCancel && job.userStop {
+		state = StateCanceled
+	}
+	job.state = state
+	job.errMsg = err.Error()
+	job.finished = time.Now()
+	followers := job.followers
+	job.followers = nil
+	job.mu.Unlock()
+
+	if s.inflight[job.Digest] == job {
+		delete(s.inflight, job.Digest)
+	}
+	s.noteTerminal(job, state, err)
+	for _, f := range followers {
+		f.mu.Lock()
+		f.state = state
+		f.errMsg = fmt.Sprintf("coalesced execution %s: %v", state, err)
+		f.finished = time.Now()
+		f.mu.Unlock()
+		s.noteTerminal(f, state, err)
+	}
+}
+
+// noteTerminal updates counters and disk state for a terminally failed or
+// canceled job (caller holds s.mu).
+func (s *Server) noteTerminal(job *Job, state State, err error) {
+	if state == StateCanceled {
+		s.canceled.Add(1)
+		s.unpersistJob(job)
+		return
+	}
+	s.failed.Add(1)
+	s.markFailed(job, err)
+}
+
+// Drain gracefully shuts the server down: stop admitting, stop starting
+// queued work, cancel running simulations (each flushes a final snapshot
+// through the checkpoint layer when persistence is on), and wait for the
+// workers to exit. Queued and drained jobs stay on disk for the next
+// daemon. Returns when the pool is idle or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.stop)
+	}
+	var cancels []context.CancelFunc
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	for _, c := range cancels {
+		c()
+	}
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain timed out: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// retryAfter estimates when a queue slot frees (caller holds s.mu): the
+// EWMA execution time times the queue ahead, divided across the pool.
+func (s *Server) retryAfter() time.Duration {
+	avg := time.Duration(s.avgRunNS.Load())
+	if avg <= 0 {
+		avg = 2 * time.Second
+	}
+	est := avg * time.Duration(s.queued) / time.Duration(s.cfg.Workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 2*time.Minute {
+		est = 2 * time.Minute
+	}
+	return est
+}
+
+func (s *Server) observeRunTime(d time.Duration) {
+	prev := s.avgRunNS.Load()
+	if prev == 0 {
+		s.avgRunNS.Store(int64(d))
+		return
+	}
+	s.avgRunNS.Store((3*prev + int64(d)) / 4)
+}
+
+// Stats is a point-in-time counter snapshot (the /metrics payload and the
+// test observables).
+type Stats struct {
+	QueueDepth    int
+	QueueCapacity int
+	Inflight      int
+	Executions    int64
+	CacheHits     int64
+	Coalesced     int64
+	Done          int64
+	Failed        int64
+	Canceled      int64
+	CachedResults int
+	Draining      bool
+	UptimeSec     float64
+}
+
+// Snapshot returns current server statistics.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	queued := s.queued
+	inflight := len(s.inflight)
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		QueueDepth:    queued,
+		QueueCapacity: s.cfg.QueueDepth,
+		Inflight:      inflight,
+		Executions:    s.execs.Load(),
+		CacheHits:     s.hits.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Done:          s.done.Load(),
+		Failed:        s.failed.Load(),
+		Canceled:      s.canceled.Load(),
+		CachedResults: s.cache.len(),
+		Draining:      draining,
+		UptimeSec:     time.Since(s.launchedAt).Seconds(),
+	}
+}
+
+// ---- persistence ----------------------------------------------------
+
+// persistedJob is the on-disk record of an admitted job.
+type persistedJob struct {
+	ID     string  `json:"id"`
+	Digest string  `json:"digest"`
+	Spec   JobSpec `json:"spec"`
+}
+
+// jobDir is the job's private state directory ("" without persistence).
+func (s *Server) jobDir(job *Job) string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.StateDir, "jobs", job.ID)
+}
+
+// persistJob writes the job spec record (best effort).
+func (s *Server) persistJob(job *Job) {
+	dir := s.jobDir(job)
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	b, err := json.MarshalIndent(persistedJob{ID: job.ID, Digest: job.Digest, Spec: job.Spec}, "", "  ")
+	if err != nil {
+		return
+	}
+	os.WriteFile(filepath.Join(dir, "job.json"), b, 0o644)
+}
+
+// unpersistJob removes the job's state directory — its result (if any)
+// lives on in the content-addressed cache (caller holds s.mu or runs at
+// startup).
+func (s *Server) unpersistJob(job *Job) {
+	if dir := s.jobDir(job); dir != "" {
+		os.RemoveAll(dir)
+	}
+}
+
+// markFailed records a terminal failure so a restart reports the job as
+// failed instead of blindly re-running it; the job directory (crash-time
+// snapshot included) is kept for postmortems.
+func (s *Server) markFailed(job *Job, err error) {
+	dir := s.jobDir(job)
+	if dir == "" {
+		return
+	}
+	rec := map[string]string{"error": err.Error()}
+	if se, ok := robust.AsSimError(err); ok {
+		rec["kind"] = se.Kind.String()
+		rec["cycle"] = fmt.Sprint(se.Cycle)
+	}
+	if b, merr := json.MarshalIndent(rec, "", "  "); merr == nil {
+		os.WriteFile(filepath.Join(dir, "failed.json"), b, 0o644)
+	}
+}
+
+// scanJobs recovers persisted jobs at startup, in id order. Jobs with a
+// failure marker are registered failed; the rest are resolved and handed
+// back for readmission (resuming from their snapshot when one exists).
+func (s *Server) scanJobs() ([]*Job, error) {
+	root := filepath.Join(s.cfg.StateDir, "jobs")
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("service: scanning job state: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	var recovered []*Job
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		b, err := os.ReadFile(filepath.Join(dir, "job.json"))
+		if err != nil {
+			continue // not a job dir; leave it alone
+		}
+		var pj persistedJob
+		if err := json.Unmarshal(b, &pj); err != nil || pj.ID == "" {
+			continue
+		}
+		if n := idNumber(pj.ID); n > s.nextID {
+			s.nextID = n
+		}
+		job := &Job{ID: pj.ID, Digest: pj.Digest, Spec: pj.Spec, created: time.Now()}
+
+		if fb, err := os.ReadFile(filepath.Join(dir, "failed.json")); err == nil {
+			var rec map[string]string
+			json.Unmarshal(fb, &rec)
+			job.state = StateFailed
+			job.errMsg = rec["error"]
+			if job.errMsg == "" {
+				job.errMsg = "failed in a previous daemon instance"
+			}
+			job.finished = job.created
+			s.failed.Add(1)
+			s.register(job)
+			continue
+		}
+
+		r, err := pj.Spec.resolve()
+		if err != nil {
+			job.state = StateFailed
+			job.errMsg = "recovered spec no longer resolves: " + err.Error()
+			job.finished = job.created
+			s.failed.Add(1)
+			s.register(job)
+			s.markFailed(job, err)
+			continue
+		}
+		job.res = r
+		job.Digest = r.digest
+		job.state = StateQueued
+		if _, err := snapshot.Resolve(dir); err == nil {
+			job.resumeFrom = dir
+		}
+		recovered = append(recovered, job)
+	}
+	return recovered, nil
+}
+
+func idNumber(id string) int {
+	n := 0
+	fmt.Sscanf(strings.TrimPrefix(id, "j"), "%d", &n)
+	return n
+}

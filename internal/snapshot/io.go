@@ -27,6 +27,9 @@ type Header struct {
 	Policy  string `json:"policy"`
 	Scene   string `json:"scene,omitempty"`
 	Compute string `json:"compute,omitempty"`
+	// SpecDigest is the canonical job digest (Spec.JobDigest): `head -1`
+	// tells which content-addressed result a snapshot belongs to.
+	SpecDigest string `json:"spec_digest,omitempty"`
 	// BodyLen and BodyFNV integrity-check the binary body that follows:
 	// BodyLen bytes of gzip-compressed gob, hashed with FNV-1a-64.
 	BodyLen int64  `json:"body_len"`
@@ -62,14 +65,15 @@ func Encode(w io.Writer, env *Envelope) error {
 	h := fnv.New64a()
 	h.Write(body.Bytes())
 	hdr := Header{
-		Magic:   Magic,
-		Version: env.Version,
-		Cycle:   env.State.Arch.Cycle,
-		Policy:  env.Spec.Policy,
-		Scene:   env.Spec.Scene,
-		Compute: env.Spec.Compute,
-		BodyLen: int64(body.Len()),
-		BodyFNV: h.Sum64(),
+		Magic:      Magic,
+		Version:    env.Version,
+		Cycle:      env.State.Arch.Cycle,
+		Policy:     env.Spec.Policy,
+		Scene:      env.Spec.Scene,
+		Compute:    env.Spec.Compute,
+		SpecDigest: env.Spec.JobDigest(),
+		BodyLen:    int64(body.Len()),
+		BodyFNV:    h.Sum64(),
 	}
 	hb, err := json.Marshal(hdr)
 	if err != nil {
