@@ -27,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,7 +49,9 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "default forward-progress watchdog window in cycles (0 = simulator default, negative = off)")
 	ckptEvery := flag.Int64("checkpoint-every", 0, "checkpoint cadence in cycles for persisted jobs (0 = default 100000)")
 	progressEvery := flag.Int64("progress-interval", 4096, "job progress sampling period in cycles")
+	timelineBuf := flag.Int("timeline-buffer", 0, "per-job telemetry ring capacity in events (0 = default 8192)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for running jobs to checkpoint and stop on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
@@ -60,6 +63,7 @@ func main() {
 		WatchdogWindow:   *watchdog,
 		CheckpointEvery:  *ckptEvery,
 		ProgressInterval: *progressEvery,
+		TimelineBuffer:   *timelineBuf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -70,6 +74,24 @@ func main() {
 			*stateDir, st.CachedResults, st.QueueDepth)
 	}
 	srv.Start()
+
+	// Profiling is opt-in and lives on its own listener + mux so the
+	// default registration in net/http/pprof's init never reaches the
+	// public API mux: without -pprof, /debug/pprof does not exist.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof on %s", pln.Addr())
+		go func() { log.Print(http.Serve(pln, pmux)) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

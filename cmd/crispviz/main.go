@@ -4,18 +4,27 @@
 // (paper Figs. 11/15).
 //
 //	crispviz -scene PT -compute VIO -policy WarpedSlicer -gpu JetsonOrin
+//
+// With -serve it instead points the embedded exploration UI (the same
+// one crispd ships at /ui/) at a local results directory — a crispd
+// state dir's results/ subdirectory — with no daemon required:
+//
+//	crispviz -serve 127.0.0.1:8090 -results /var/lib/crispd/results
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"crisp"
 	"crisp/internal/compute"
 	"crisp/internal/core"
+	"crisp/internal/service"
 	"crisp/internal/trace"
 )
 
@@ -28,7 +37,24 @@ func main() {
 	width := flag.Int("width", 72, "chart width in columns")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 	metricsOut := flag.String("metrics", "", "write an interval metrics CSV time series")
+	serveAddr := flag.String("serve", "", "serve the exploration UI over a results dir at this address instead of simulating")
+	resultsDir := flag.String("results", "", "results directory for -serve (a crispd state dir's results/ subdirectory)")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		if *resultsDir == "" {
+			log.Fatal("-serve requires -results <dir>")
+		}
+		if st, err := os.Stat(*resultsDir); err != nil || !st.IsDir() {
+			log.Fatalf("-results %s: not a directory", *resultsDir)
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s — open http://%s/ui/", *resultsDir, ln.Addr())
+		log.Fatal(http.Serve(ln, service.StaticSite(*resultsDir)))
+	}
 
 	cfg, err := crisp.GPUByName(*gpuName)
 	if err != nil {

@@ -106,11 +106,11 @@ type launch struct {
 }
 
 type streamRT struct {
-	def    StreamDef
-	idx    int // next kernel to launch
-	active bool
-	stat   *stats.Stream
-	start  int64
+	def     StreamDef
+	idx     int // next kernel to launch
+	active  bool
+	stat    *stats.Stream
+	start   int64
 	started bool
 }
 
@@ -228,6 +228,7 @@ type taskSnap struct {
 	l1A, l1M   int64
 	l2A, l2M   int64
 	dramBytes  int64
+	stalls     [obs.NumStallCauses]int64
 	hasStreams bool
 }
 
@@ -922,6 +923,9 @@ func (g *GPU) sampleMetrics() {
 		c := &cur[st.def.Task]
 		c.hasStreams = true
 		c.warpInsts += st.stat.WarpInsts
+		for i, n := range st.stat.Stalls {
+			c.stalls[i] += n
+		}
 		if mc := g.memsys.PeekCounters(st.def.ID); mc != nil {
 			c.l1A += mc.L1Accesses
 			c.l1M += mc.L1Misses
@@ -951,7 +955,7 @@ func (g *GPU) sampleMetrics() {
 		}
 		d := cur[task]
 		p := g.mPrev[task]
-		sample.Points = append(sample.Points, obs.SeriesPoint{
+		pt := obs.SeriesPoint{
 			Stream:            task,
 			Label:             g.taskLabels[task],
 			IPC:               float64(d.warpInsts-p.warpInsts) / float64(dt),
@@ -959,7 +963,11 @@ func (g *GPU) sampleMetrics() {
 			L1Hit:             hit(d.l1A-p.l1A, d.l1M-p.l1M),
 			L2Hit:             hit(d.l2A-p.l2A, d.l2M-p.l2M),
 			DRAMBytesPerCycle: float64(d.dramBytes-p.dramBytes) / float64(dt),
-		})
+		}
+		for i := range pt.Stalls {
+			pt.Stalls[i] = d.stalls[i] - p.stalls[i]
+		}
+		sample.Points = append(sample.Points, pt)
 	}
 	g.Metrics.Append(sample)
 	copy(g.mPrev, cur)

@@ -11,22 +11,26 @@ import (
 // compute workload), i.e. the task id: per-batch hardware streams are
 // folded into their owning task so the series stays readable.
 type SeriesPoint struct {
-	Stream int    // task id (0 = graphics, 1.. = compute workloads)
-	Label  string // task label ("graphics", workload name, or "taskN")
+	Stream int    `json:"stream"` // task id (0 = graphics, 1.. = compute workloads)
+	Label  string `json:"label"`  // task label ("graphics", workload name, or "taskN")
 
-	IPC   float64 // warp instructions per cycle over the interval
-	Warps int     // resident warps at the sample instant (occupancy)
-	L1Hit float64 // L1 hit rate over the interval (0 when no accesses)
-	L2Hit float64 // L2 hit rate over the interval (0 when no accesses)
+	IPC   float64 `json:"ipc"`    // warp instructions per cycle over the interval
+	Warps int     `json:"warps"`  // resident warps at the sample instant (occupancy)
+	L1Hit float64 `json:"l1_hit"` // L1 hit rate over the interval (0 when no accesses)
+	L2Hit float64 `json:"l2_hit"` // L2 hit rate over the interval (0 when no accesses)
 	// DRAMBytesPerCycle is the DRAM bandwidth consumed over the interval
 	// (read + write bytes divided by elapsed cycles).
-	DRAMBytesPerCycle float64
+	DRAMBytesPerCycle float64 `json:"dram_bpc"`
+	// Stalls counts the scheduler issue slots this stream failed to issue
+	// in over the interval, by attributed cause, indexed by StallCause
+	// (the slot-delta companion of stats.Stream.Stalls' cumulative view).
+	Stalls [NumStallCauses]int64 `json:"stalls"`
 }
 
 // Sample is one interval's points for every active task-stream.
 type Sample struct {
-	Cycle  int64 // cycle at which the sample was taken
-	Points []SeriesPoint
+	Cycle  int64         `json:"cycle"` // cycle at which the sample was taken
+	Points []SeriesPoint `json:"points"`
 }
 
 // IntervalSeries accumulates interval metrics samples at a fixed cycle
@@ -57,15 +61,27 @@ func (s *IntervalSeries) Append(smp Sample) {
 // columns.
 func (s *IntervalSeries) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "cycle,stream,label,ipc,occupancy_warps,l1_hit,l2_hit,dram_bytes_per_cycle"); err != nil {
+	if _, err := fmt.Fprint(bw, "cycle,stream,label,ipc,occupancy_warps,l1_hit,l2_hit,dram_bytes_per_cycle"); err != nil {
 		return err
 	}
+	for _, c := range StallCauses() {
+		if _, err := fmt.Fprintf(bw, ",stall_%s", c); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw)
 	for _, smp := range s.Samples {
 		for _, p := range smp.Points {
-			if _, err := fmt.Fprintf(bw, "%d,%d,%s,%.4f,%d,%.4f,%.4f,%.2f\n",
+			if _, err := fmt.Fprintf(bw, "%d,%d,%s,%.4f,%d,%.4f,%.4f,%.2f",
 				smp.Cycle, p.Stream, p.Label, p.IPC, p.Warps, p.L1Hit, p.L2Hit, p.DRAMBytesPerCycle); err != nil {
 				return err
 			}
+			for _, n := range p.Stalls {
+				if _, err := fmt.Fprintf(bw, ",%d", n); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(bw)
 		}
 	}
 	return bw.Flush()

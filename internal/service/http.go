@@ -13,23 +13,35 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs             submit a job (201; 400 invalid; 429 queue
-//	                            full + Retry-After; 503 draining)
-//	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        job status + progress (+ result when done)
-//	DELETE /v1/jobs/{id}        cancel a job (409 if already finished)
-//	GET    /v1/results/{digest} fetch a cached result by content digest
-//	GET    /healthz             200 serving / 503 draining
-//	GET    /metrics             Prometheus-style text metrics
+//	POST   /v1/jobs               submit a job (201; 400 invalid; 429 queue
+//	                              full + Retry-After; 503 draining)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status + progress (+ result when done)
+//	DELETE /v1/jobs/{id}          cancel a job (409 if already finished)
+//	GET    /v1/jobs/{id}/timeline live telemetry stream (SSE: interval
+//	                              samples, stall deltas, lifecycle events;
+//	                              Last-Event-ID resumes)
+//	GET    /v1/jobs/{id}/series   the buffered timeline as JSON, windowed
+//	                              by ?from=&to= (cycle range)
+//	GET    /v1/results/{digest}   fetch a cached result by content digest
+//	GET    /v1/series/{digest}    fetch a completed job's interval series
+//	                              by content digest (the A/B diff source)
+//	GET    /ui/                   embedded exploration UI (vanilla JS+SVG)
+//	GET    /healthz               200 serving / 503 draining
+//	GET    /metrics               Prometheus-style text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /v1/jobs/{id}/series", s.handleJobSeries)
 	mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
+	mux.HandleFunc("GET /v1/series/{digest}", s.handleSeries)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mountUI(mux)
 	return mux
 }
 
@@ -50,10 +62,21 @@ type jobView struct {
 	Result   *StoredResult `json:"result,omitempty"`
 }
 
-// progressView summarizes the newest obs interval-metrics sample.
+// progressView summarizes the job's telemetry ring: the newest interval
+// sample plus how much history is buffered. A poller that missed samples
+// sees the retained window here and fetches /series (or replays the
+// timeline stream from a cursor) instead of losing them.
 type progressView struct {
 	Cycle int64          `json:"cycle"`
 	Tasks []taskProgress `json:"tasks,omitempty"`
+	// Samples is how many interval samples the timeline ring retains;
+	// FirstCycle/LastCycle bound the retained window.
+	Samples    int   `json:"samples"`
+	FirstCycle int64 `json:"first_cycle"`
+	LastCycle  int64 `json:"last_cycle"`
+	// Events is the newest timeline sequence number — pass it as
+	// Last-Event-ID to resume the SSE stream from here.
+	Events uint64 `json:"events"`
 }
 
 type taskProgress struct {
@@ -76,18 +99,26 @@ func (s *Server) viewOf(j *Job) jobView {
 		Started:   stamp(j.started),
 		Finished:  stamp(j.finished),
 	}
-	var prog *obs.Sample
-	if j.state == StateRunning && j.progress != nil {
-		prog = j.progress
-	}
 	j.mu.Unlock()
 
-	if prog != nil {
-		pv := &progressView{Cycle: prog.Cycle}
-		for _, p := range prog.Points {
-			pv.Tasks = append(pv.Tasks, taskProgress{Stream: p.Stream, Label: p.Label, IPC: p.IPC, Warps: p.Warps})
+	if v.State == StateRunning {
+		if ev, ok := j.hub.Latest(obs.TimelineSample); ok {
+			pv := &progressView{Cycle: ev.Cycle, Events: j.hub.Stats().Published}
+			for _, p := range ev.Sample.Points {
+				pv.Tasks = append(pv.Tasks, taskProgress{Stream: p.Stream, Label: p.Label, IPC: p.IPC, Warps: p.Warps})
+			}
+			for _, e := range j.hub.Events(0, 0) {
+				if e.Kind != obs.TimelineSample {
+					continue
+				}
+				if pv.Samples == 0 {
+					pv.FirstCycle = e.Cycle
+				}
+				pv.Samples++
+				pv.LastCycle = e.Cycle
+			}
+			v.Progress = pv
 		}
-		v.Progress = pv
 	}
 	if v.State == StateDone {
 		if sr, ok := s.cache.get(v.Digest); ok {
@@ -209,6 +240,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "crispd_jobs_total{state=\"done\"} %d\n", st.Done)
 	fmt.Fprintf(w, "crispd_jobs_total{state=\"failed\"} %d\n", st.Failed)
 	fmt.Fprintf(w, "crispd_jobs_total{state=\"canceled\"} %d\n", st.Canceled)
+	fmt.Fprintf(w, "# HELP crispd_jobs Tracked jobs by current lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE crispd_jobs gauge\n")
+	for _, state := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "crispd_jobs{state=%q} %d\n", state, st.JobsByState[state])
+	}
+	fmt.Fprintf(w, "# HELP crispd_timeline_subscribers Live timeline (SSE) subscriptions across all job hubs.\n")
+	fmt.Fprintf(w, "# TYPE crispd_timeline_subscribers gauge\ncrispd_timeline_subscribers %d\n", st.Subscribers)
+	fmt.Fprintf(w, "# TYPE crispd_timeline_events_total counter\ncrispd_timeline_events_total %d\n", st.TimelineEvents)
+	fmt.Fprintf(w, "# HELP crispd_timeline_dropped_subscribers_total Subscribers dropped for lagging behind the broadcast.\n")
+	fmt.Fprintf(w, "# TYPE crispd_timeline_dropped_subscribers_total counter\ncrispd_timeline_dropped_subscribers_total %d\n", st.SubsDropped)
+	fmt.Fprintf(w, "# TYPE crispd_timeline_dropped_events_total counter\ncrispd_timeline_dropped_events_total %d\n", st.EvsDropped)
 	fmt.Fprintf(w, "# HELP crispd_executions_total Simulator executions started (cache misses).\n")
 	fmt.Fprintf(w, "# TYPE crispd_executions_total counter\ncrispd_executions_total %d\n", st.Executions)
 	fmt.Fprintf(w, "# TYPE crispd_cache_hits_total counter\ncrispd_cache_hits_total %d\n", st.CacheHits)

@@ -59,6 +59,11 @@ type Config struct {
 	// ProgressInterval is the obs interval-metrics cadence, which doubles
 	// as the job progress feed. Default 4096 cycles.
 	ProgressInterval int64
+	// TimelineBuffer bounds each job's retained telemetry history in
+	// events (samples + lifecycle markers). Late joiners and Last-Event-ID
+	// reconnects replay from this ring; a cursor older than it forces a
+	// full /series refetch. Default obs.DefaultHubCapacity.
+	TimelineBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProgressInterval <= 0 {
 		c.ProgressInterval = 4096
+	}
+	if c.TimelineBuffer <= 0 {
+		c.TimelineBuffer = obs.DefaultHubCapacity
 	}
 	return c
 }
@@ -95,6 +103,12 @@ type Job struct {
 
 	res *resolved
 
+	// hub is the job's telemetry stream: interval samples published from
+	// the simulation goroutine interleaved with lifecycle markers. It
+	// backs the timeline SSE endpoint, the windowed /series view, and the
+	// progress section of the job status — one ring, every reader.
+	hub *obs.Hub
+
 	mu       sync.Mutex
 	state    State
 	errMsg   string
@@ -111,8 +125,6 @@ type Job struct {
 	// resumeFrom, when non-empty, is a snapshot path/dir the execution
 	// restores from (a restarted daemon's recovered job).
 	resumeFrom string
-	// progress is the latest obs interval-metrics sample.
-	progress *obs.Sample
 }
 
 func (j *Job) setState(st State) {
@@ -122,11 +134,34 @@ func (j *Job) setState(st State) {
 }
 
 // noteSample receives interval metrics samples from the simulation
-// goroutine (crisp.WithMetricsSink).
+// goroutine (crisp.WithMetricsSink) and broadcasts them. Publish is one
+// mutex + ring write when nobody is watching, so the simulation never
+// waits on an observer.
 func (j *Job) noteSample(s obs.Sample) {
-	j.mu.Lock()
-	j.progress = &s
-	j.mu.Unlock()
+	j.hub.Publish(obs.TimelineEvent{Cycle: s.Cycle, Kind: obs.TimelineSample, Sample: &s})
+}
+
+// noteLifecycle broadcasts a state transition on the job's timeline,
+// stamped with the last sampled cycle (0 before the first sample).
+func (j *Job) noteLifecycle(state State, detail string) {
+	var cycle int64
+	if ev, ok := j.hub.Latest(""); ok {
+		cycle = ev.Cycle
+	}
+	j.hub.Publish(obs.TimelineEvent{Cycle: cycle, Kind: obs.TimelineLifecycle, State: string(state), Detail: detail})
+}
+
+// samples extracts the retained interval samples from the job's timeline,
+// in cycle order.
+func (j *Job) samples() []obs.Sample {
+	evs := j.hub.Events(0, 0)
+	out := make([]obs.Sample, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Kind == obs.TimelineSample && ev.Sample != nil {
+			out = append(out, *ev.Sample)
+		}
+	}
+	return out
 }
 
 // Typed submission failures, mapped to HTTP statuses by the handler.
@@ -169,6 +204,11 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	cache *resultCache
+	// series holds completed jobs' interval series by job digest (the
+	// retained window of the primary execution's timeline), mirrored to
+	// <stateDir>/results/<digest>.series.json when persistence is on.
+	// Guarded by s.mu.
+	series map[string][]obs.Sample
 
 	// Counters (atomic: read by /metrics while workers run).
 	execs      atomic.Int64 // simulator executions started
@@ -193,6 +233,7 @@ func New(cfg Config) (*Server, error) {
 		inflight:   make(map[string]*Job),
 		stop:       make(chan struct{}),
 		cache:      newResultCache(""),
+		series:     make(map[string][]obs.Sample),
 		launchedAt: time.Now(),
 	}
 	var recovered []*Job
@@ -243,6 +284,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		Digest:  r.digest,
 		Spec:    spec,
 		res:     r,
+		hub:     obs.NewHub(s.cfg.TimelineBuffer),
 		state:   StateQueued,
 		created: time.Now(),
 	}
@@ -255,6 +297,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.hits.Add(1)
 		s.done.Add(1)
 		s.register(job)
+		job.noteLifecycle(StateDone, "cache hit: result "+r.digest)
+		job.hub.Close()
 		return job, nil
 	}
 
@@ -268,6 +312,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.coalesced.Add(1)
 		s.register(job)
 		s.persistJob(job)
+		job.noteLifecycle(StateQueued, "coalesced with "+primary.ID)
 		return job, nil
 	}
 
@@ -279,6 +324,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.inflight[r.digest] = job
 	s.register(job)
 	s.persistJob(job)
+	job.noteLifecycle(StateQueued, "")
 	s.queue <- job // never blocks: capacity ≥ admission bound
 	return job, nil
 }
@@ -299,6 +345,8 @@ func (s *Server) readmit(job *Job) {
 		s.done.Add(1)
 		s.hits.Add(1)
 		s.register(job)
+		job.noteLifecycle(StateDone, "cache hit: result "+job.Digest)
+		job.hub.Close()
 		s.unpersistJob(job)
 		return
 	}
@@ -306,11 +354,13 @@ func (s *Server) readmit(job *Job) {
 		job.coalesce = true
 		primary.followers = append(primary.followers, job)
 		s.register(job)
+		job.noteLifecycle(StateQueued, "recovered; coalesced with "+primary.ID)
 		return
 	}
 	s.queued++
 	s.inflight[job.Digest] = job
 	s.register(job)
+	job.noteLifecycle(StateQueued, "recovered from a previous daemon instance")
 	s.queue <- job
 }
 
@@ -335,6 +385,78 @@ func (s *Server) Jobs() []*Job {
 
 // Result returns a cached result by digest.
 func (s *Server) Result(digest string) (*StoredResult, bool) { return s.cache.get(digest) }
+
+// SeriesFor returns a completed job's retained interval series by job
+// digest — in-memory first, then the persisted mirror next to the cached
+// result (a restarted daemon serves yesterday's timelines too).
+func (s *Server) SeriesFor(digest string) ([]obs.Sample, bool) {
+	s.mu.Lock()
+	samples, ok := s.series[digest]
+	s.mu.Unlock()
+	if ok {
+		return samples, true
+	}
+	if s.cfg.StateDir == "" || !validDigest(digest) {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(s.cfg.StateDir, "results", digest+".series.json"))
+	if err != nil {
+		return nil, false
+	}
+	if err := json.Unmarshal(b, &samples); err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.series[digest] = samples
+	s.mu.Unlock()
+	return samples, true
+}
+
+// persistSeries mirrors a completed series to disk, best effort, atomic
+// (temp + rename), next to the cached result it belongs to (caller holds
+// s.mu).
+func (s *Server) persistSeries(digest string, samples []obs.Sample) {
+	if s.cfg.StateDir == "" || len(samples) == 0 || !validDigest(digest) {
+		return
+	}
+	dir := filepath.Join(s.cfg.StateDir, "results")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(samples)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-series-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, filepath.Join(dir, digest+".series.json")); err != nil {
+		os.Remove(name)
+	}
+}
+
+// validDigest accepts exactly the canonical job-digest shape (16 hex
+// digits), keeping URL path values out of filesystem paths otherwise.
+func validDigest(d string) bool {
+	if len(d) != 16 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // Cancel cancels a job: a queued job is dropped before execution, a
 // running one has its context canceled (the run fails with a canceled
@@ -378,6 +500,8 @@ func (s *Server) Cancel(id string) (bool, error) {
 	}
 	s.canceled.Add(1)
 	s.unpersistJob(job)
+	job.noteLifecycle(StateCanceled, "canceled before execution")
+	job.hub.Close()
 	for _, f := range followers {
 		f.mu.Lock()
 		f.state = StateCanceled
@@ -386,6 +510,8 @@ func (s *Server) Cancel(id string) (bool, error) {
 		f.mu.Unlock()
 		s.canceled.Add(1)
 		s.unpersistJob(f)
+		f.noteLifecycle(StateCanceled, f.errMsg)
+		f.hub.Close()
 	}
 	s.mu.Unlock()
 	return true, nil
@@ -427,6 +553,11 @@ func (s *Server) execute(job *Job) {
 	resumeFrom := job.resumeFrom
 	job.mu.Unlock()
 	defer cancel()
+	if resumeFrom != "" {
+		job.noteLifecycle(StateRunning, "resuming from snapshot")
+	} else {
+		job.noteLifecycle(StateRunning, "")
+	}
 
 	r := job.res
 	runOpts := []crisp.RunOption{
@@ -488,13 +619,18 @@ func (s *Server) execute(job *Job) {
 		return
 	}
 	s.cache.put(stored)
-	s.complete(job)
+	s.complete(job, stored)
 }
 
-// complete marks the primary job and every coalesced follower done and
-// clears their persisted state (the result now lives in the cache).
-func (s *Server) complete(job *Job) {
+// complete marks the primary job and every coalesced follower done,
+// retains the job's interval series under its digest (the A/B-diff and
+// crispviz-serve data source), and clears persisted per-job state (the
+// result now lives in the cache).
+func (s *Server) complete(job *Job, stored *StoredResult) {
+	samples := job.samples()
 	s.mu.Lock()
+	s.series[job.Digest] = samples
+	s.persistSeries(job.Digest, samples)
 	if s.inflight[job.Digest] == job {
 		delete(s.inflight, job.Digest)
 	}
@@ -506,6 +642,10 @@ func (s *Server) complete(job *Job) {
 	job.mu.Unlock()
 	s.done.Add(1)
 	s.unpersistJob(job)
+	done := fmt.Sprintf("stats_digest=%s samples=%d series_digest=%016x",
+		stored.StatsDigest, len(samples), obs.SamplesDigest(samples))
+	job.noteLifecycle(StateDone, done)
+	job.hub.Close()
 	for _, f := range followers {
 		f.mu.Lock()
 		f.state = StateDone
@@ -513,6 +653,8 @@ func (s *Server) complete(job *Job) {
 		f.mu.Unlock()
 		s.done.Add(1)
 		s.unpersistJob(f)
+		f.noteLifecycle(StateDone, "coalesced execution "+job.ID+" done; "+done)
+		f.hub.Close()
 	}
 	s.mu.Unlock()
 }
@@ -539,6 +681,7 @@ func (s *Server) fail(job *Job, err error) {
 		job.state = StateQueued
 		job.cancel = nil
 		job.mu.Unlock()
+		job.noteLifecycle(StateQueued, "drained; checkpointed for the next daemon")
 		return
 	}
 	state := StateFailed
@@ -556,6 +699,8 @@ func (s *Server) fail(job *Job, err error) {
 		delete(s.inflight, job.Digest)
 	}
 	s.noteTerminal(job, state, err)
+	job.noteLifecycle(state, err.Error())
+	job.hub.Close()
 	for _, f := range followers {
 		f.mu.Lock()
 		f.state = state
@@ -563,6 +708,8 @@ func (s *Server) fail(job *Job, err error) {
 		f.finished = time.Now()
 		f.mu.Unlock()
 		s.noteTerminal(f, state, err)
+		f.noteLifecycle(state, fmt.Sprintf("coalesced execution %s: %v", state, err))
+		f.hub.Close()
 	}
 }
 
@@ -664,29 +811,48 @@ type Stats struct {
 	CachedResults int
 	Draining      bool
 	UptimeSec     float64
+
+	// JobsByState counts every tracked job by current lifecycle state.
+	JobsByState map[State]int
+	// Telemetry aggregates every job hub's counters: live timeline
+	// subscribers, events published, and the slow-subscriber drop
+	// counters.
+	Subscribers    int
+	TimelineEvents uint64
+	SubsDropped    uint64
+	EvsDropped     uint64
 }
 
 // Snapshot returns current server statistics.
 func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
-	queued := s.queued
-	inflight := len(s.inflight)
-	draining := s.draining
-	s.mu.Unlock()
-	return Stats{
-		QueueDepth:    queued,
+	st := Stats{
+		QueueDepth:    s.queued,
 		QueueCapacity: s.cfg.QueueDepth,
-		Inflight:      inflight,
-		Executions:    s.execs.Load(),
-		CacheHits:     s.hits.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Done:          s.done.Load(),
-		Failed:        s.failed.Load(),
-		Canceled:      s.canceled.Load(),
-		CachedResults: s.cache.len(),
-		Draining:      draining,
-		UptimeSec:     time.Since(s.launchedAt).Seconds(),
+		Inflight:      len(s.inflight),
+		Draining:      s.draining,
+		JobsByState:   make(map[State]int),
 	}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		st.JobsByState[j.state]++
+		j.mu.Unlock()
+		hs := j.hub.Stats()
+		st.Subscribers += hs.Subscribers
+		st.TimelineEvents += hs.Published
+		st.SubsDropped += hs.SubsDropped
+		st.EvsDropped += hs.EvsDropped
+	}
+	s.mu.Unlock()
+	st.Executions = s.execs.Load()
+	st.CacheHits = s.hits.Load()
+	st.Coalesced = s.coalesced.Load()
+	st.Done = s.done.Load()
+	st.Failed = s.failed.Load()
+	st.Canceled = s.canceled.Load()
+	st.CachedResults = s.cache.len()
+	st.UptimeSec = time.Since(s.launchedAt).Seconds()
+	return st
 }
 
 // ---- persistence ----------------------------------------------------
@@ -783,7 +949,7 @@ func (s *Server) scanJobs() ([]*Job, error) {
 		if n := idNumber(pj.ID); n > s.nextID {
 			s.nextID = n
 		}
-		job := &Job{ID: pj.ID, Digest: pj.Digest, Spec: pj.Spec, created: time.Now()}
+		job := &Job{ID: pj.ID, Digest: pj.Digest, Spec: pj.Spec, hub: obs.NewHub(s.cfg.TimelineBuffer), created: time.Now()}
 
 		if fb, err := os.ReadFile(filepath.Join(dir, "failed.json")); err == nil {
 			var rec map[string]string
@@ -796,6 +962,8 @@ func (s *Server) scanJobs() ([]*Job, error) {
 			job.finished = job.created
 			s.failed.Add(1)
 			s.register(job)
+			job.noteLifecycle(StateFailed, job.errMsg)
+			job.hub.Close()
 			continue
 		}
 
@@ -807,6 +975,8 @@ func (s *Server) scanJobs() ([]*Job, error) {
 			s.failed.Add(1)
 			s.register(job)
 			s.markFailed(job, err)
+			job.noteLifecycle(StateFailed, job.errMsg)
+			job.hub.Close()
 			continue
 		}
 		job.res = r

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	crisp "crisp"
+	"crisp/internal/obs"
 )
 
 // tinySpec is a fast job: the 128×72 resolution the core tests use.
@@ -228,8 +229,8 @@ func TestDrainAndResume(t *testing.T) {
 	for {
 		job.mu.Lock()
 		cycle := int64(0)
-		if job.progress != nil {
-			cycle = job.progress.Cycle
+		if ev, ok := job.hub.Latest(obs.TimelineSample); ok {
+			cycle = ev.Cycle
 		}
 		st := job.state
 		job.mu.Unlock()

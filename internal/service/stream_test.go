@@ -1,0 +1,382 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crisp/internal/obs"
+)
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	ID    uint64
+	Event string
+	Data  string
+}
+
+// readSSE parses SSE frames off r, invoking fn per frame; it returns when
+// fn returns false or the stream ends.
+func readSSE(r *bufio.Reader, fn func(sseEvent) bool) error {
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.Event != "" || ev.Data != "" {
+				if !fn(ev) {
+					return nil
+				}
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &ev.ID)
+		case strings.HasPrefix(line, "event: "):
+			ev.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+func terminal(ev sseEvent) bool {
+	if ev.Event != obs.TimelineLifecycle {
+		return false
+	}
+	var tev obs.TimelineEvent
+	json.Unmarshal([]byte(ev.Data), &tev)
+	switch State(tev.State) {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// streamServer boots a service behind a real HTTP listener (SSE needs
+// honest flushing, which httptest.NewServer provides).
+func streamServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestTimelineStreamBitConsistent streams a full job timeline over SSE and
+// checks it against the buffered /series view: same sample count, same
+// canonical digest, dense sequence ids — the streamed and buffered views
+// are the same history.
+func TestTimelineStreamBitConsistent(t *testing.T) {
+	s, ts := streamServer(t, Config{Workers: 1, ProgressInterval: 256})
+	job, err := s.Submit(tinySpec("SPL", "VIO", "EVEN"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/timeline")
+	if err != nil {
+		t.Fatalf("GET timeline: %v", err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	var streamed []obs.Sample
+	var lastSeq uint64
+	var doneDetail string
+	err = readSSE(bufio.NewReader(res.Body), func(ev sseEvent) bool {
+		if ev.Event == "gap" || ev.Event == "lagged" {
+			t.Fatalf("unexpected control event %q on a fresh stream", ev.Event)
+		}
+		if ev.ID != lastSeq+1 {
+			t.Fatalf("sequence jump: id %d after %d", ev.ID, lastSeq)
+		}
+		lastSeq = ev.ID
+		var tev obs.TimelineEvent
+		if err := json.Unmarshal([]byte(ev.Data), &tev); err != nil {
+			t.Fatalf("bad event payload %q: %v", ev.Data, err)
+		}
+		if tev.Kind == obs.TimelineSample {
+			streamed = append(streamed, *tev.Sample)
+		}
+		if terminal(ev) {
+			doneDetail = tev.Detail
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("no samples streamed; lower ProgressInterval")
+	}
+
+	var v seriesView
+	getJSON(t, ts, "/v1/jobs/"+job.ID+"/series", &v)
+	if len(v.Samples) != len(streamed) {
+		t.Fatalf("streamed %d samples, series has %d", len(streamed), len(v.Samples))
+	}
+	dig := fmt.Sprintf("%016x", obs.SamplesDigest(streamed))
+	if dig != v.SeriesDigest {
+		t.Fatalf("streamed digest %s != series digest %s", dig, v.SeriesDigest)
+	}
+	if !strings.Contains(doneDetail, "series_digest="+dig) {
+		t.Fatalf("done detail %q lacks series_digest=%s", doneDetail, dig)
+	}
+	if v.Events != lastSeq {
+		t.Fatalf("series high-water mark %d, stream ended at %d", v.Events, lastSeq)
+	}
+
+	// The by-digest route serves the same series (the A/B diff source).
+	var byDigest seriesView
+	getJSON(t, ts, "/v1/series/"+job.Digest, &byDigest)
+	if byDigest.SeriesDigest != v.SeriesDigest {
+		t.Fatalf("by-digest view digest %s != per-job %s", byDigest.SeriesDigest, v.SeriesDigest)
+	}
+
+	// Cycle windowing trims to the requested range.
+	mid := v.Samples[len(v.Samples)/2].Cycle
+	var windowed seriesView
+	getJSON(t, ts, fmt.Sprintf("/v1/jobs/%s/series?from=%d", job.ID, mid), &windowed)
+	if len(windowed.Samples) >= len(v.Samples) || len(windowed.Samples) == 0 {
+		t.Fatalf("window [%d,∞) kept %d of %d samples", mid, len(windowed.Samples), len(v.Samples))
+	}
+	for _, smp := range windowed.Samples {
+		if smp.Cycle < mid {
+			t.Fatalf("windowed sample at cycle %d < from=%d", smp.Cycle, mid)
+		}
+	}
+}
+
+// TestTimelineResume disconnects mid-stream and reconnects with
+// Last-Event-ID: the spliced event log must be gap-free and
+// duplicate-free all the way to the terminal event.
+func TestTimelineResume(t *testing.T) {
+	s, ts := streamServer(t, Config{Workers: 1, ProgressInterval: 256})
+	job, err := s.Submit(tinySpec("SPL", "VIO", "EVEN"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Leg 1: read a handful of events, then hang up mid-job.
+	res, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/timeline")
+	if err != nil {
+		t.Fatalf("GET timeline: %v", err)
+	}
+	var cursor uint64
+	n := 0
+	readSSE(bufio.NewReader(res.Body), func(ev sseEvent) bool {
+		cursor = ev.ID
+		n++
+		return n < 3 && !terminal(ev)
+	})
+	res.Body.Close()
+	if cursor == 0 {
+		t.Fatal("leg 1 saw no events")
+	}
+
+	// Leg 2: resume from the cursor; ids must continue at cursor+1.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+job.ID+"/timeline", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(cursor))
+	res2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("resume GET: %v", err)
+	}
+	defer res2.Body.Close()
+	last := cursor
+	err = readSSE(bufio.NewReader(res2.Body), func(ev sseEvent) bool {
+		if ev.Event == "gap" {
+			t.Fatal("gap on a fresh resume cursor")
+		}
+		if ev.ID != last+1 {
+			t.Fatalf("resume splice: id %d after %d", ev.ID, last)
+		}
+		last = ev.ID
+		return !terminal(ev)
+	})
+	if err != nil {
+		t.Fatalf("resume stream: %v", err)
+	}
+	if last <= cursor {
+		t.Fatalf("resume made no progress past %d", cursor)
+	}
+
+	// A cursor beyond the retained ring must announce the gap.
+	_, sub, gapped := job.hub.Subscribe(1, 1)
+	sub.Cancel()
+	_ = gapped // the full ring is retained here; the gap path is covered in obs
+}
+
+// TestTimelineNotFound covers the error paths.
+func TestTimelineNotFound(t *testing.T) {
+	_, ts := streamServer(t, Config{Workers: 1})
+	for _, path := range []string{"/v1/jobs/nope/timeline", "/v1/jobs/nope/series", "/v1/series/0123456789abcdef"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", path, res.StatusCode)
+		}
+	}
+	res, _ := http.Get(ts.URL + "/v1/series/" + strings.Repeat("../", 4) + "etc/passwd")
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("traversal digest: status %d, want 404", res.StatusCode)
+	}
+}
+
+// TestUIServed checks the embedded exploration UI ships with the daemon.
+func TestUIServed(t *testing.T) {
+	_, ts := streamServer(t, Config{Workers: 1})
+	for _, path := range []string{"/ui/", "/ui/app.js", "/ui/style.css"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, res.StatusCode)
+		}
+	}
+	// The bare root redirects into the UI.
+	res, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatalf("GET /: %v", err)
+	}
+	res.Body.Close()
+	if res.Request.URL.Path != "/ui/" {
+		t.Fatalf("GET / landed on %s, want /ui/", res.Request.URL.Path)
+	}
+}
+
+// TestStaticSite exercises crispviz's serve mode: a completed, persisted
+// run browsed straight off the results directory with no daemon.
+func TestStaticSite(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := streamServer(t, Config{Workers: 1, ProgressInterval: 256, StateDir: dir})
+	job, err := s.Submit(tinySpec("SPL", "VIO", "EVEN"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, s, job)
+	ts.Close()
+
+	resultsDir := filepath.Join(dir, "results")
+	if _, err := os.Stat(filepath.Join(resultsDir, job.Digest+".series.json")); err != nil {
+		t.Fatalf("series not persisted: %v", err)
+	}
+
+	static := httptest.NewServer(StaticSite(resultsDir))
+	defer static.Close()
+
+	var list struct {
+		Jobs []jobView `json:"jobs"`
+		Mode string    `json:"mode"`
+	}
+	getJSONFrom(t, static.URL+"/v1/jobs", &list)
+	if list.Mode != "static" || len(list.Jobs) != 1 || list.Jobs[0].Digest != job.Digest {
+		t.Fatalf("static listing: %+v", list)
+	}
+
+	var v seriesView
+	getJSONFrom(t, static.URL+"/v1/series/"+job.Digest, &v)
+	if len(v.Samples) == 0 {
+		t.Fatal("static series is empty")
+	}
+
+	// The timeline replay ends with a done lifecycle event carrying the
+	// same digest as the series view.
+	res, err := http.Get(static.URL + "/v1/jobs/" + job.Digest + "/timeline")
+	if err != nil {
+		t.Fatalf("static timeline: %v", err)
+	}
+	defer res.Body.Close()
+	samples, lastDetail := 0, ""
+	readSSE(bufio.NewReader(res.Body), func(ev sseEvent) bool {
+		var tev obs.TimelineEvent
+		json.Unmarshal([]byte(ev.Data), &tev)
+		if tev.Kind == obs.TimelineSample {
+			samples++
+		}
+		if terminal(ev) {
+			lastDetail = tev.Detail
+			return false
+		}
+		return true
+	})
+	if samples != len(v.Samples) {
+		t.Fatalf("static replay streamed %d samples, series has %d", samples, len(v.Samples))
+	}
+	if !strings.Contains(lastDetail, "series_digest="+v.SeriesDigest) {
+		t.Fatalf("static done detail %q lacks series digest %s", lastDetail, v.SeriesDigest)
+	}
+
+	// The UI ships in static mode too.
+	ui, err := http.Get(static.URL + "/ui/")
+	if err != nil {
+		t.Fatalf("static UI: %v", err)
+	}
+	ui.Body.Close()
+	if ui.StatusCode != http.StatusOK {
+		t.Fatalf("static /ui/: status %d", ui.StatusCode)
+	}
+}
+
+func waitDone(t *testing.T, s *Server, job *Job) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		job.mu.Lock()
+		st := job.state
+		job.mu.Unlock()
+		switch st {
+		case StateDone:
+			return
+		case StateFailed, StateCanceled:
+			t.Fatalf("job finished %s", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	getJSONFrom(t, ts.URL+path, v)
+}
+
+func getJSONFrom(t *testing.T, url string, v any) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

@@ -1,0 +1,28 @@
+package service
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+// The exploration UI is embedded in the binary — no build step, no node
+// toolchain, no external assets: vanilla JS + SVG served from the same
+// process (crispd, or crispviz in serve mode). See ui/app.js for the
+// client side of the timeline SSE protocol.
+//
+//go:embed ui
+var uiAssets embed.FS
+
+// mountUI serves the embedded exploration UI at /ui/ and redirects the
+// bare root there.
+func mountUI(mux *http.ServeMux) {
+	sub, err := fs.Sub(uiAssets, "ui")
+	if err != nil {
+		return // embed is static; unreachable in a correct build
+	}
+	mux.Handle("GET /ui/", http.StripPrefix("/ui/", http.FileServerFS(sub)))
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/ui/", http.StatusTemporaryRedirect)
+	})
+}

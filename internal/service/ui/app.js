@@ -1,0 +1,547 @@
+/* CRISP exploration UI.
+ *
+ * Data flow: poll /v1/jobs for the sidebar; stream the selected job's
+ * /v1/jobs/{id}/timeline over SSE (the browser's EventSource resends
+ * Last-Event-ID on reconnect, which the hub turns into a gap-free
+ * cursor replay); fall back to the buffered /series endpoint when the
+ * stream reports a gap. The A/B view fetches /v1/series/{digest} twice.
+ */
+"use strict";
+
+const STALL_NAMES = ["scoreboard", "mem-pending", "pipe-busy", "barrier", "empty-slot"];
+const SERIES_VARS = ["--series-1", "--series-2", "--series-3", "--series-4", "--series-5"];
+const LANE_W = 860, LANE_H = 110, PAD_L = 46, PAD_R = 10, PAD_T = 6, PAD_B = 16;
+
+const $ = (id) => document.getElementById(id);
+const css = (v) => getComputedStyle(document.body).getPropertyValue(v).trim();
+const fmt = (n) => n >= 1e6 ? (n / 1e6).toFixed(2) + "M" : n >= 1e3 ? (n / 1e3).toFixed(1) + "k" : String(Math.round(n * 100) / 100);
+
+const state = {
+  jobs: [],
+  sel: null,        // selected job id
+  samples: [],      // obs.Sample objects, cycle-ascending
+  lifecycle: [],    // lifecycle TimelineEvents
+  lastSeq: 0,
+  es: null,         // EventSource
+  zoom: null,       // [c0, c1] cycle window, null = fit
+  streams: [],      // [{stream, label}] discovered from samples
+  raf: 0,
+};
+
+/* ---- job list ------------------------------------------------------- */
+
+async function refreshJobs() {
+  try {
+    const res = await fetch("/v1/jobs");
+    const body = await res.json();
+    state.jobs = body.jobs || [];
+    $("conn").textContent = body.mode === "static" ? "static results dir" : "connected";
+    $("conn").classList.add("live");
+  } catch {
+    $("conn").textContent = "unreachable";
+    $("conn").classList.remove("live");
+  }
+  renderJobList();
+}
+
+function renderJobList() {
+  const ul = $("joblist");
+  ul.textContent = "";
+  for (const j of state.jobs) {
+    const li = document.createElement("li");
+    li.className = j.id === state.sel ? "sel" : "";
+    const st = document.createElement("span");
+    st.className = "state";
+    st.textContent = j.state;
+    li.append(j.id, st);
+    const dig = document.createElement("span");
+    dig.className = "dig";
+    dig.textContent = j.digest;
+    li.append(dig);
+    li.onclick = () => selectJob(j.id);
+    ul.append(li);
+  }
+  if (!state.jobs.length) {
+    const li = document.createElement("li");
+    li.textContent = "no jobs yet — POST /v1/jobs to submit one";
+    ul.append(li);
+  }
+}
+
+/* ---- timeline streaming --------------------------------------------- */
+
+function selectJob(id) {
+  if (state.es) { state.es.close(); state.es = null; }
+  state.sel = id;
+  state.samples = [];
+  state.lifecycle = [];
+  state.lastSeq = 0;
+  state.zoom = null;
+  state.streams = [];
+  renderJobList();
+  renderHead();
+  $("zoomctl").hidden = false;
+  connect(id);
+}
+
+function connect(id) {
+  const es = new EventSource(`/v1/jobs/${id}/timeline`);
+  state.es = es;
+  es.addEventListener("sample", (ev) => { ingest(JSON.parse(ev.data)); });
+  es.addEventListener("lifecycle", (ev) => {
+    const tev = JSON.parse(ev.data);
+    ingest(tev);
+    if (["done", "failed", "canceled"].includes(tev.state)) es.close();
+  });
+  es.addEventListener("gap", async () => {
+    // History scrolled out of the ring: replace with the buffered series.
+    const res = await fetch(`/v1/jobs/${id}/series`);
+    if (res.ok) {
+      const v = await res.json();
+      state.samples = v.samples || [];
+      state.lifecycle = v.lifecycle || [];
+      scheduleRender();
+    }
+  });
+  es.onerror = () => { /* EventSource retries with Last-Event-ID on its own */ };
+}
+
+function ingest(tev) {
+  if (tev.seq && tev.seq <= state.lastSeq) return; // reconnect duplicate
+  if (tev.seq) state.lastSeq = tev.seq;
+  if (tev.kind === "sample" && tev.sample) {
+    state.samples.push(tev.sample);
+    for (const p of tev.sample.points) {
+      if (!state.streams.some((s) => s.stream === p.stream)) {
+        state.streams.push({ stream: p.stream, label: p.label });
+        state.streams.sort((a, b) => a.stream - b.stream);
+      }
+    }
+  } else if (tev.kind === "lifecycle") {
+    state.lifecycle.push(tev);
+  }
+  scheduleRender();
+}
+
+function scheduleRender() {
+  if (state.raf) return;
+  state.raf = requestAnimationFrame(() => { state.raf = 0; renderHead(); renderLanes(); });
+}
+
+/* ---- header --------------------------------------------------------- */
+
+function renderHead() {
+  const el = $("jobhead");
+  if (!state.sel) return;
+  el.textContent = "";
+  const id = document.createElement("span");
+  id.className = "id";
+  id.textContent = state.sel;
+  const last = state.lifecycle[state.lifecycle.length - 1];
+  const meta = document.createElement("span");
+  meta.className = "meta";
+  const cyc = state.samples.length ? state.samples[state.samples.length - 1].cycle : 0;
+  meta.textContent = ` · ${last ? last.state : "…"} · ${state.samples.length} samples · cycle ${fmt(cyc)}` +
+    (last && last.detail ? ` · ${last.detail}` : "");
+  el.append(id, meta);
+}
+
+/* ---- lane rendering -------------------------------------------------- */
+
+function domain() {
+  if (state.zoom) return state.zoom;
+  const s = state.samples;
+  if (!s.length) return [0, 1];
+  return [s[0].cycle, Math.max(s[s.length - 1].cycle, s[0].cycle + 1)];
+}
+
+function visible() {
+  const [c0, c1] = domain();
+  return state.samples.filter((s) => s.cycle >= c0 && s.cycle <= c1);
+}
+
+function laneBox(title, legendItems) {
+  const div = document.createElement("div");
+  div.className = "lane";
+  const h = document.createElement("h3");
+  h.textContent = title;
+  div.append(h);
+  if (legendItems && legendItems.length > 1) {
+    const lg = document.createElement("div");
+    lg.className = "legend";
+    for (const it of legendItems) {
+      const sp = document.createElement("span");
+      const k = document.createElement("span");
+      k.className = "key";
+      k.style.background = it.color;
+      sp.append(k, it.label);
+      lg.append(sp);
+    }
+    div.append(lg);
+  }
+  return div;
+}
+
+function newSVG() {
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("viewBox", `0 0 ${LANE_W} ${LANE_H}`);
+  svg.setAttribute("preserveAspectRatio", "none");
+  svg.style.height = LANE_H + "px";
+  return svg;
+}
+
+function scales(c0, c1, yMax) {
+  const x = (c) => PAD_L + (c - c0) / Math.max(1, c1 - c0) * (LANE_W - PAD_L - PAD_R);
+  const y = (v) => LANE_H - PAD_B - v / Math.max(1e-9, yMax) * (LANE_H - PAD_T - PAD_B);
+  return { x, y };
+}
+
+function gridAndAxis(svg, c0, c1, yMax, yFmt) {
+  const g = document.createElementNS("http://www.w3.org/2000/svg", "g");
+  for (let i = 0; i <= 2; i++) {
+    const v = yMax * i / 2;
+    const yy = LANE_H - PAD_B - (LANE_H - PAD_T - PAD_B) * i / 2;
+    const ln = document.createElementNS("http://www.w3.org/2000/svg", "line");
+    ln.setAttribute("x1", PAD_L); ln.setAttribute("x2", LANE_W - PAD_R);
+    ln.setAttribute("y1", yy); ln.setAttribute("y2", yy);
+    ln.setAttribute("stroke", css("--grid"));
+    ln.setAttribute("stroke-width", i === 0 ? "0" : "1");
+    g.append(ln);
+    const tx = document.createElementNS("http://www.w3.org/2000/svg", "text");
+    tx.setAttribute("x", PAD_L - 5); tx.setAttribute("y", yy + 3.5);
+    tx.setAttribute("text-anchor", "end");
+    tx.setAttribute("font-size", "9");
+    tx.setAttribute("fill", css("--muted"));
+    tx.textContent = (yFmt || fmt)(v);
+    g.append(tx);
+  }
+  const base = document.createElementNS("http://www.w3.org/2000/svg", "line");
+  base.setAttribute("x1", PAD_L); base.setAttribute("x2", LANE_W - PAD_R);
+  base.setAttribute("y1", LANE_H - PAD_B); base.setAttribute("y2", LANE_H - PAD_B);
+  base.setAttribute("stroke", css("--baseline"));
+  g.append(base);
+  for (const c of [c0, (c0 + c1) / 2, c1]) {
+    const tx = document.createElementNS("http://www.w3.org/2000/svg", "text");
+    const xx = PAD_L + (c - c0) / Math.max(1, c1 - c0) * (LANE_W - PAD_L - PAD_R);
+    tx.setAttribute("x", Math.min(xx, LANE_W - PAD_R - 2));
+    tx.setAttribute("y", LANE_H - 4);
+    tx.setAttribute("text-anchor", c === c0 ? "start" : c === c1 ? "end" : "middle");
+    tx.setAttribute("font-size", "9");
+    tx.setAttribute("fill", css("--muted"));
+    tx.textContent = fmt(c);
+    g.append(tx);
+  }
+  svg.append(g);
+}
+
+function pathOf(pts) {
+  return pts.map((p, i) => (i ? "L" : "M") + p[0].toFixed(1) + " " + p[1].toFixed(1)).join("");
+}
+
+// lineLane draws one polyline per series: rows(sample) -> [v0, v1, ...].
+function lineLane(title, rows, labels, yFmt) {
+  const colors = labels.map((_, i) => css(SERIES_VARS[i % SERIES_VARS.length]));
+  const box = laneBox(title, labels.map((l, i) => ({ label: l, color: colors[i] })));
+  const svg = newSVG();
+  const data = visible();
+  const [c0, c1] = domain();
+  let yMax = 1e-9;
+  for (const s of data) for (const v of rows(s)) yMax = Math.max(yMax, v || 0);
+  gridAndAxis(svg, c0, c1, yMax, yFmt);
+  const { x, y } = scales(c0, c1, yMax);
+  labels.forEach((_, si) => {
+    const pts = data.map((s) => [x(s.cycle), y(rows(s)[si] || 0)]);
+    if (!pts.length) return;
+    const p = document.createElementNS("http://www.w3.org/2000/svg", "path");
+    p.setAttribute("d", pathOf(pts));
+    p.setAttribute("fill", "none");
+    p.setAttribute("stroke", colors[si]);
+    p.setAttribute("stroke-width", "2");
+    p.setAttribute("stroke-linejoin", "round");
+    svg.append(p);
+  });
+  box.append(svg);
+  attachHover(svg, box, (s) => labels.map((l, i) => ({ label: l, color: colors[i], value: (yFmt || fmt)(rows(s)[i] || 0) })));
+  return box;
+}
+
+// stackLane draws a stacked area: rows(sample) -> [v0, v1, ...] stacked
+// bottom-up with a 1px surface gap between bands.
+function stackLane(title, rows, labels, yFmt) {
+  const colors = labels.map((_, i) => css(SERIES_VARS[i % SERIES_VARS.length]));
+  const box = laneBox(title, labels.map((l, i) => ({ label: l, color: colors[i] })));
+  const svg = newSVG();
+  const data = visible();
+  const [c0, c1] = domain();
+  let yMax = 1e-9;
+  for (const s of data) yMax = Math.max(yMax, rows(s).reduce((a, b) => a + (b || 0), 0));
+  gridAndAxis(svg, c0, c1, yMax, yFmt);
+  const { x, y } = scales(c0, c1, yMax);
+  const cum = data.map(() => 0);
+  labels.forEach((_, si) => {
+    const top = [], bot = [];
+    data.forEach((s, di) => {
+      const v = rows(s)[si] || 0;
+      bot.push([x(s.cycle), y(cum[di])]);
+      cum[di] += v;
+      top.push([x(s.cycle), y(cum[di])]);
+    });
+    if (!top.length) return;
+    const p = document.createElementNS("http://www.w3.org/2000/svg", "path");
+    p.setAttribute("d", pathOf(top) + bot.slice().reverse().map((q) => "L" + q[0].toFixed(1) + " " + q[1].toFixed(1)).join("") + "Z");
+    p.setAttribute("fill", colors[si]);
+    p.setAttribute("stroke", css("--surface-1"));
+    p.setAttribute("stroke-width", "1"); // surface gap between stacked bands
+    svg.append(p);
+  });
+  box.append(svg);
+  attachHover(svg, box, (s) => labels.map((l, i) => ({ label: l, color: colors[i], value: (yFmt || fmt)(rows(s)[i] || 0) })));
+  return box;
+}
+
+function renderLanes() {
+  const root = $("lanes");
+  root.textContent = "";
+  if (!state.samples.length) {
+    const p = document.createElement("p");
+    p.className = "hint";
+    p.textContent = state.sel ? "waiting for samples…" : "";
+    root.append(p);
+    return;
+  }
+  const streams = state.streams;
+  const byStream = (field) => (s) => streams.map((st) => {
+    const p = s.points.find((q) => q.stream === st.stream);
+    return p ? p[field] : 0;
+  });
+  const labels = streams.map((s) => s.label);
+
+  root.append(stackLane("Occupancy — resident warps by stream", byStream("warps"), labels));
+  root.append(lineLane("IPC — warp instructions / cycle by stream", byStream("ipc"), labels, (v) => v.toFixed(2)));
+  for (const st of streams) {
+    root.append(stackLane(
+      `Stall attribution — ${st.label} (issue slots lost per interval)`,
+      (s) => {
+        const p = s.points.find((q) => q.stream === st.stream);
+        return p && p.stalls ? p.stalls : STALL_NAMES.map(() => 0);
+      },
+      STALL_NAMES));
+  }
+  root.append(lineLane("DRAM bandwidth — bytes / cycle by stream", byStream("dram_bpc"), labels, (v) => v.toFixed(1)));
+  if (!$("tableview").hidden) renderTable();
+}
+
+/* ---- hover, zoom, pan ------------------------------------------------ */
+
+function cycleAt(svg, clientX) {
+  const r = svg.getBoundingClientRect();
+  const [c0, c1] = domain();
+  const fx = (clientX - r.left) / r.width * LANE_W;
+  return c0 + Math.max(0, Math.min(1, (fx - PAD_L) / (LANE_W - PAD_L - PAD_R))) * (c1 - c0);
+}
+
+function attachHover(svg, box, describe) {
+  const cross = document.createElementNS("http://www.w3.org/2000/svg", "line");
+  cross.setAttribute("y1", PAD_T); cross.setAttribute("y2", LANE_H - PAD_B);
+  cross.setAttribute("stroke", css("--muted"));
+  cross.setAttribute("stroke-dasharray", "3 3");
+  cross.setAttribute("visibility", "hidden");
+  svg.append(cross);
+  const tip = $("tooltip");
+  let dragFrom = null;
+
+  svg.addEventListener("mousemove", (ev) => {
+    const data = visible();
+    if (!data.length) return;
+    const c = cycleAt(svg, ev.clientX);
+    if (dragFrom !== null) {
+      const [c0, c1] = domain();
+      const shift = dragFrom - c;
+      state.zoom = [c0 + shift, c1 + shift];
+      scheduleRender();
+      return;
+    }
+    let best = data[0];
+    for (const s of data) if (Math.abs(s.cycle - c) < Math.abs(best.cycle - c)) best = s;
+    const [c0, c1] = domain();
+    cross.setAttribute("x1", scales(c0, c1, 1).x(best.cycle));
+    cross.setAttribute("x2", scales(c0, c1, 1).x(best.cycle));
+    cross.setAttribute("visibility", "visible");
+    tip.hidden = false;
+    tip.textContent = "";
+    const head = document.createElement("div");
+    head.className = "t-cycle";
+    head.textContent = "cycle " + fmt(best.cycle);
+    tip.append(head);
+    for (const row of describe(best)) {
+      const d = document.createElement("div");
+      const k = document.createElement("span");
+      k.className = "key";
+      k.style.background = row.color;
+      d.append(k, `${row.label}: ${row.value}`);
+      tip.append(d);
+    }
+    tip.style.left = Math.min(ev.clientX + 14, window.innerWidth - 330) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+  });
+  svg.addEventListener("mouseleave", () => { cross.setAttribute("visibility", "hidden"); tip.hidden = true; dragFrom = null; });
+  svg.addEventListener("mousedown", (ev) => { dragFrom = cycleAt(svg, ev.clientX); ev.preventDefault(); });
+  window.addEventListener("mouseup", () => { dragFrom = null; });
+  svg.addEventListener("dblclick", () => { state.zoom = null; scheduleRender(); });
+  svg.addEventListener("wheel", (ev) => {
+    ev.preventDefault();
+    const [c0, c1] = domain();
+    const c = cycleAt(svg, ev.clientX);
+    const f = ev.deltaY > 0 ? 1.25 : 0.8;
+    let n0 = c - (c - c0) * f, n1 = c + (c1 - c) * f;
+    if (n1 - n0 < 1) return;
+    state.zoom = [n0, n1];
+    scheduleRender();
+  }, { passive: false });
+}
+
+/* ---- table view ------------------------------------------------------ */
+
+function renderTable() {
+  const root = $("tableview");
+  root.textContent = "";
+  const data = visible();
+  const step = Math.max(1, Math.floor(data.length / 200));
+  const tbl = document.createElement("table");
+  tbl.className = "series";
+  const hdr = document.createElement("tr");
+  for (const h of ["cycle", "stream", "ipc", "warps", "l1 hit", "l2 hit", "dram b/c", ...STALL_NAMES]) {
+    const th = document.createElement("th");
+    th.textContent = h;
+    hdr.append(th);
+  }
+  tbl.append(hdr);
+  for (let i = 0; i < data.length; i += step) {
+    for (const p of data[i].points) {
+      const tr = document.createElement("tr");
+      const cells = [data[i].cycle, p.label, p.ipc.toFixed(3), p.warps,
+        p.l1_hit.toFixed(3), p.l2_hit.toFixed(3), p.dram_bpc.toFixed(1),
+        ...(p.stalls || STALL_NAMES.map(() => 0))];
+      for (const c of cells) {
+        const td = document.createElement("td");
+        td.textContent = c;
+        tr.append(td);
+      }
+      tbl.append(tr);
+    }
+  }
+  root.append(tbl);
+}
+
+/* ---- A/B diff -------------------------------------------------------- */
+
+async function runDiff(a, b) {
+  $("differr").textContent = "";
+  const load = async (d) => {
+    const res = await fetch(`/v1/series/${d}`);
+    if (!res.ok) throw new Error(`no series for ${d}`);
+    return res.json();
+  };
+  let va, vb;
+  try {
+    [va, vb] = await Promise.all([load(a), load(b)]);
+  } catch (e) {
+    $("differr").textContent = e.message;
+    return;
+  }
+  const root = $("difflanes");
+  root.textContent = "";
+  const colA = css("--series-1"), colB = css("--series-2");
+  const streamsOf = (v) => {
+    const out = [];
+    for (const s of v.samples) for (const p of s.points)
+      if (!out.some((q) => q.stream === p.stream)) out.push({ stream: p.stream, label: p.label });
+    return out.sort((x, y) => x.stream - y.stream);
+  };
+  const streams = streamsOf(va);
+  for (const st of streams) {
+    const box = laneBox(`IPC — ${st.label}`, [
+      { label: `A ${a.slice(0, 6)}…`, color: colA },
+      { label: `B ${b.slice(0, 6)}…`, color: colB },
+    ]);
+    const svg = newSVG();
+    const seriesOf = (v) => v.samples.map((s) => {
+      const p = s.points.find((q) => q.stream === st.stream);
+      return [s.cycle, p ? p.ipc : 0];
+    });
+    const sa = seriesOf(va), sb = seriesOf(vb);
+    const cMax = Math.max(sa.length ? sa[sa.length - 1][0] : 1, sb.length ? sb[sb.length - 1][0] : 1);
+    const cMin = Math.min(sa.length ? sa[0][0] : 0, sb.length ? sb[0][0] : 0);
+    let yMax = 1e-9;
+    for (const [, v] of [...sa, ...sb]) yMax = Math.max(yMax, v);
+    gridAndAxis(svg, cMin, cMax, yMax, (v) => v.toFixed(2));
+    const { x, y } = scales(cMin, cMax, yMax);
+    for (const [pts, col] of [[sa, colA], [sb, colB]]) {
+      if (!pts.length) continue;
+      const p = document.createElementNS("http://www.w3.org/2000/svg", "path");
+      p.setAttribute("d", pathOf(pts.map(([c, v]) => [x(c), y(v)])));
+      p.setAttribute("fill", "none");
+      p.setAttribute("stroke", col);
+      p.setAttribute("stroke-width", "2");
+      svg.append(p);
+    }
+    box.append(svg);
+    root.append(box);
+  }
+
+  const sum = $("diffsummary");
+  sum.textContent = "";
+  const tbl = document.createElement("table");
+  tbl.className = "series";
+  const mk = (cells, th) => {
+    const tr = document.createElement("tr");
+    for (const c of cells) {
+      const td = document.createElement(th ? "th" : "td");
+      td.textContent = c;
+      tr.append(td);
+    }
+    tbl.append(tr);
+  };
+  const agg = (v) => {
+    const by = {};
+    for (const s of v.samples) for (const p of s.points) {
+      const e = (by[p.label] = by[p.label] || { ipc: 0, warps: 0, n: 0, stalls: 0 });
+      e.ipc += p.ipc; e.warps += p.warps; e.n++;
+      e.stalls += (p.stalls || []).reduce((x, y) => x + y, 0);
+    }
+    return by;
+  };
+  const aa = agg(va), ab = agg(vb);
+  mk(["stream", "mean IPC A", "mean IPC B", "Δ%", "mean warps A", "mean warps B", "stall slots A", "stall slots B"], true);
+  for (const label of Object.keys(aa)) {
+    const x = aa[label], y = ab[label] || { ipc: 0, warps: 0, n: 1, stalls: 0 };
+    const ia = x.ipc / Math.max(1, x.n), ib = y.ipc / Math.max(1, y.n);
+    mk([label, ia.toFixed(3), ib.toFixed(3), ia ? (100 * (ib - ia) / ia).toFixed(1) + "%" : "—",
+      (x.warps / Math.max(1, x.n)).toFixed(0), (y.warps / Math.max(1, y.n)).toFixed(0),
+      fmt(x.stalls), fmt(y.stalls)]);
+  }
+  mk([`A ${a}: ${va.samples.length} samples, series ${va.series_digest}` +
+      (va.stats_digest ? `, stats ${va.stats_digest}` : "")], false);
+  mk([`B ${b}: ${vb.samples.length} samples, series ${vb.series_digest}` +
+      (vb.stats_digest ? `, stats ${vb.stats_digest}` : "")], false);
+  sum.append(tbl);
+}
+
+/* ---- wiring ---------------------------------------------------------- */
+
+$("resetzoom").onclick = () => { state.zoom = null; scheduleRender(); };
+$("tablebtn").onclick = () => {
+  const tv = $("tableview");
+  tv.hidden = !tv.hidden;
+  $("tablebtn").setAttribute("aria-pressed", String(!tv.hidden));
+  if (!tv.hidden) renderTable();
+};
+$("diffform").onsubmit = (ev) => {
+  ev.preventDefault();
+  const a = $("digA").value.trim(), b = $("digB").value.trim();
+  if (/^[0-9a-f]{16}$/.test(a) && /^[0-9a-f]{16}$/.test(b)) runDiff(a, b);
+  else $("differr").textContent = "digests are 16 hex digits (see the job list)";
+};
+
+refreshJobs();
+setInterval(refreshJobs, 2000);
