@@ -1,0 +1,19 @@
+// Command crispd-worker is the isolated job executor spawned by crispd
+// when it runs with -isolate. It reads a single job request as JSON on
+// stdin, streams progress samples and a final result (or a classified
+// error) as newline-delimited JSON events on stdout, and exits.
+//
+// crispd normally re-executes its own binary as the worker; this thin
+// standalone build exists for deployments that want a separate,
+// minimal worker image (point crispd at it with -worker-bin).
+package main
+
+import (
+	"os"
+
+	"crisp/internal/service"
+)
+
+func main() {
+	os.Exit(service.WorkerMain())
+}

@@ -17,6 +17,13 @@
 // -state-dir resumes the interrupted jobs from their snapshots and serves
 // previously computed results from the persisted cache.
 //
+// Execution is supervised: retryable failures are retried from the job's
+// newest checkpoint with backoff (-max-attempts bounds the budget; a job
+// beyond it is quarantined), and -isolate runs each attempt in a child
+// worker process so a hard crash kills one job, not the daemon. -chaos
+// plants seeded faults (kill@cycle, checkpoint corruption, delays) to
+// exercise exactly that machinery.
+//
 // See docs/SERVICE.md for the API reference and lifecycle details.
 package main
 
@@ -33,10 +40,17 @@ import (
 	"syscall"
 	"time"
 
+	"crisp/internal/robust/chaos"
 	"crisp/internal/service"
 )
 
 func main() {
+	// Re-exec interception: when the supervisor spawned this process as an
+	// isolated worker, run the worker protocol instead of the daemon.
+	if os.Getenv(service.WorkerEnv) == "1" {
+		os.Exit(service.WorkerMain())
+	}
+
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 	log.SetPrefix("crispd: ")
 
@@ -52,7 +66,28 @@ func main() {
 	timelineBuf := flag.Int("timeline-buffer", 0, "per-job telemetry ring capacity in events (0 = default 8192)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for running jobs to checkpoint and stop on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
+	maxAttempts := flag.Int("max-attempts", 0, "attempts per job before quarantine (0 = default 3)")
+	retryBase := flag.Duration("retry-base", 0, "base retry backoff delay (0 = default 100ms)")
+	retryMax := flag.Duration("retry-max", 0, "retry backoff cap (0 = default 30s)")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for deterministic backoff jitter")
+	isolate := flag.Bool("isolate", false, "run each job attempt in a child worker process so a hard crash kills one job, not the daemon")
+	workerBin := flag.String("worker-bin", "", "worker executable for -isolate (empty = re-exec this binary)")
+	chaosSpec := flag.String("chaos", "", "seeded fault injection spec, e.g. 'seed=7,kill@9000,corrupt=truncate,delay=20ms' (testing only)")
 	flag.Parse()
+
+	var cspec chaos.Spec
+	if *chaosSpec != "" {
+		var err error
+		cspec, err = chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+		log.Printf("chaos enabled: %s", cspec.String())
+	}
+	var workerCmd []string
+	if *workerBin != "" {
+		workerCmd = []string{*workerBin}
+	}
 
 	srv, err := service.New(service.Config{
 		QueueDepth:       *queueDepth,
@@ -64,6 +99,13 @@ func main() {
 		CheckpointEvery:  *ckptEvery,
 		ProgressInterval: *progressEvery,
 		TimelineBuffer:   *timelineBuf,
+		MaxAttempts:      *maxAttempts,
+		RetryBase:        *retryBase,
+		RetryMax:         *retryMax,
+		RetrySeed:        *retrySeed,
+		Isolate:          *isolate,
+		WorkerCommand:    workerCmd,
+		Chaos:            cspec,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,10 @@ const (
 	TimelineSample = "sample"
 	// TimelineLifecycle marks a state transition (State/Detail set).
 	TimelineLifecycle = "lifecycle"
+	// TimelineAttempt marks a supervised execution attempt starting
+	// (Attempt/Detail set): attempt 1 is the first run, higher numbers are
+	// retries resuming from a checkpoint.
+	TimelineAttempt = "attempt"
 )
 
 // TimelineEvent is one entry in a telemetry Hub's history.
@@ -31,6 +35,9 @@ type TimelineEvent struct {
 	// State and Detail describe TimelineLifecycle events.
 	State  string `json:"state,omitempty"`
 	Detail string `json:"detail,omitempty"`
+	// Attempt is the 1-based execution attempt number for
+	// TimelineAttempt events (retries under the supervised run loop).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // DefaultHubCapacity bounds a hub's retained history when NewHub is given

@@ -26,6 +26,17 @@
 //   - KindSnapshot — a checkpoint could not be written, or a snapshot
 //     file was corrupt, truncated, version-mismatched, or inconsistent
 //     with the simulator it was being restored into.
+//   - KindInjected — a chaos-harness fault deliberately killed the run
+//     (supervision and recovery testing; see internal/robust/chaos).
+//   - KindCrash — an isolated worker process died without reporting a
+//     result (SIGKILL, OOM kill, runtime fault): the supervisor only
+//     knows the process is gone.
+//
+// The taxonomy doubles as the retry policy's classification: Kind.Retryable
+// partitions failures into those a supervisor should retry from the latest
+// checkpoint (transient or environmental: watchdog, budget, panic,
+// snapshot, injected, crash) and those that are deterministic properties
+// of the job itself (validation, deadlock), which retrying can never fix.
 package robust
 
 import (
@@ -56,6 +67,13 @@ const (
 	// truncated, or version-mismatched snapshot file, or a snapshot whose
 	// state is inconsistent with the simulator it is being restored into.
 	KindSnapshot
+	// KindInjected marks a fault deliberately planted by the chaos
+	// harness (internal/robust/chaos) to exercise supervision paths.
+	KindInjected
+	// KindCrash marks an isolated worker process that died without
+	// reporting a result: the supervisor saw the process exit (signal,
+	// OOM kill, nonzero status) with the protocol stream incomplete.
+	KindCrash
 )
 
 var kindNames = [...]string{
@@ -66,6 +84,8 @@ var kindNames = [...]string{
 	KindCanceled:   "canceled",
 	KindPanic:      "panic",
 	KindSnapshot:   "snapshot",
+	KindInjected:   "injected",
+	KindCrash:      "crash",
 }
 
 func (k Kind) String() string {
@@ -73,6 +93,60 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindFromString inverts Kind.String — the worker wire protocol sends kinds
+// by name. Unknown names report ok=false.
+func KindFromString(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Retryable reports whether a failure of this kind is worth retrying from
+// a checkpoint. Watchdog trips, budget overruns, panics, snapshot damage,
+// injected chaos faults, and worker crashes are transient or environmental
+// — a retry from the latest checkpoint can complete. Validation and
+// deadlock failures are deterministic properties of the job: every retry
+// reproduces them, so a supervisor must fail such jobs permanently.
+// Cancellation is not a failure and is never retried.
+func (k Kind) Retryable() bool {
+	switch k {
+	case KindWatchdog, KindBudget, KindPanic, KindSnapshot, KindInjected, KindCrash:
+		return true
+	}
+	return false
+}
+
+// RetryableError classifies an error chain: true iff it carries a SimError
+// whose deepest SimError kind is retryable. The deepest kind wins because
+// the panic firewall wraps an injected chaos fault in a KindPanic envelope
+// — the inner kind is the real cause.
+func RetryableError(err error) bool {
+	se, ok := AsSimError(err)
+	if !ok {
+		return false
+	}
+	return DeepestKind(se).Retryable()
+}
+
+// DeepestKind walks the wrapped-cause chain of a SimError and returns the
+// innermost SimError's kind — the original failure, before any wrapping by
+// recovery layers.
+func DeepestKind(se *SimError) Kind {
+	kind := se.Kind
+	for se.Err != nil {
+		var inner *SimError
+		if !errors.As(se.Err, &inner) {
+			break
+		}
+		se = inner
+		kind = se.Kind
+	}
+	return kind
 }
 
 // SimError is the structured error for every abnormal simulation outcome.

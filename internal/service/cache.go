@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -138,24 +139,12 @@ func (c *resultCache) put(sr *StoredResult) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, ".tmp-result-*")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(b)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	if err := os.Rename(name, filepath.Join(c.dir, sr.Digest+".json")); err != nil {
-		os.Remove(name)
-	}
+	writeFileAtomic(filepath.Join(c.dir, sr.Digest+".json"), b)
 }
 
-// load reads every persisted result into memory (startup). Unreadable
-// files are skipped: a corrupt cache entry costs one re-simulation.
+// load reads every persisted result into memory (startup). A corrupt
+// entry is set aside (renamed *.corrupt, logged) and costs one
+// re-simulation — it never aborts the boot.
 func (c *resultCache) load() {
 	if c.dir == "" {
 		return
@@ -165,15 +154,20 @@ func (c *resultCache) load() {
 		return
 	}
 	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".series.json") {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(c.dir, e.Name()))
+		path := filepath.Join(c.dir, name)
+		b, err := os.ReadFile(path)
 		if err != nil {
 			continue
 		}
 		var sr StoredResult
 		if err := json.Unmarshal(b, &sr); err != nil || sr.Digest == "" {
+			if aside := quarantineFile(path); aside != "" {
+				log.Printf("crispd: corrupt cached result %s set aside as %s", path, aside)
+			}
 			continue
 		}
 		c.mu.Lock()

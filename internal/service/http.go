@@ -27,7 +27,9 @@ import (
 //	GET    /v1/series/{digest}    fetch a completed job's interval series
 //	                              by content digest (the A/B diff source)
 //	GET    /ui/                   embedded exploration UI (vanilla JS+SVG)
-//	GET    /healthz               200 serving / 503 draining
+//	GET    /healthz               liveness: 200 while the process serves
+//	GET    /readyz                readiness: 200 accepting work / 503 while
+//	                              starting up or draining (route traffic away)
 //	GET    /metrics               Prometheus-style text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -40,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
 	mux.HandleFunc("GET /v1/series/{digest}", s.handleSeries)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mountUI(mux)
 	return mux
@@ -208,12 +211,25 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sr)
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP. It stays
+// 200 through a drain — a draining daemon is still alive and must not be
+// restarted by an orchestrator's liveness probe while it checkpoints.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 until startup recovery finished and the
+// pool launched, and again once draining — the router-level "stop sending
+// me work" signal.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.Draining():
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case !s.Ready():
+		httpError(w, http.StatusServiceUnavailable, "starting: recovery in progress")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -240,11 +256,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "crispd_jobs_total{state=\"done\"} %d\n", st.Done)
 	fmt.Fprintf(w, "crispd_jobs_total{state=\"failed\"} %d\n", st.Failed)
 	fmt.Fprintf(w, "crispd_jobs_total{state=\"canceled\"} %d\n", st.Canceled)
+	fmt.Fprintf(w, "crispd_jobs_total{state=\"quarantined\"} %d\n", st.Quarantined)
 	fmt.Fprintf(w, "# HELP crispd_jobs Tracked jobs by current lifecycle state.\n")
 	fmt.Fprintf(w, "# TYPE crispd_jobs gauge\n")
-	for _, state := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+	for _, state := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateQuarantined} {
 		fmt.Fprintf(w, "crispd_jobs{state=%q} %d\n", state, st.JobsByState[state])
 	}
+	fmt.Fprintf(w, "# HELP crispd_attempts_total Supervised execution attempts started (>= executions).\n")
+	fmt.Fprintf(w, "# TYPE crispd_attempts_total counter\ncrispd_attempts_total %d\n", st.Attempts)
+	fmt.Fprintf(w, "# HELP crispd_retries_total Retry attempts: checkpoint-resumed re-executions after a retryable failure.\n")
+	fmt.Fprintf(w, "# TYPE crispd_retries_total counter\ncrispd_retries_total %d\n", st.Retries)
+	fmt.Fprintf(w, "# HELP crispd_quarantined_total Jobs quarantined after exhausting their retry budget.\n")
+	fmt.Fprintf(w, "# TYPE crispd_quarantined_total counter\ncrispd_quarantined_total %d\n", st.Quarantined)
+	fmt.Fprintf(w, "# HELP crispd_worker_crashes_total Isolated worker processes that died without reporting a result.\n")
+	fmt.Fprintf(w, "# TYPE crispd_worker_crashes_total counter\ncrispd_worker_crashes_total %d\n", st.WorkerCrashes)
+	fmt.Fprintf(w, "# HELP crispd_checkpoint_fallbacks_total Resumes that skipped at least one corrupt checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE crispd_checkpoint_fallbacks_total counter\ncrispd_checkpoint_fallbacks_total %d\n", st.CheckpointFallbacks)
+	fmt.Fprintf(w, "# TYPE crispd_chaos_kills_total counter\ncrispd_chaos_kills_total %d\n", st.ChaosKills)
+	fmt.Fprintf(w, "# TYPE crispd_chaos_corruptions_total counter\ncrispd_chaos_corruptions_total %d\n", st.ChaosCorruptions)
 	fmt.Fprintf(w, "# HELP crispd_timeline_subscribers Live timeline (SSE) subscriptions across all job hubs.\n")
 	fmt.Fprintf(w, "# TYPE crispd_timeline_subscribers gauge\ncrispd_timeline_subscribers %d\n", st.Subscribers)
 	fmt.Fprintf(w, "# TYPE crispd_timeline_events_total counter\ncrispd_timeline_events_total %d\n", st.TimelineEvents)
@@ -260,6 +289,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE crispd_cache_hit_rate gauge\ncrispd_cache_hit_rate %.6f\n", hitRate)
 	fmt.Fprintf(w, "# TYPE crispd_jobs_per_sec gauge\ncrispd_jobs_per_sec %.6f\n", jobsPerSec)
 	fmt.Fprintf(w, "# TYPE crispd_draining gauge\ncrispd_draining %d\n", draining)
+	ready := 0
+	if st.Ready {
+		ready = 1
+	}
+	fmt.Fprintf(w, "# TYPE crispd_ready gauge\ncrispd_ready %d\n", ready)
 	fmt.Fprintf(w, "# TYPE crispd_uptime_seconds gauge\ncrispd_uptime_seconds %.3f\n", st.UptimeSec)
 }
 

@@ -214,7 +214,8 @@ func TestHTTPBadRequests(t *testing.T) {
 }
 
 // TestHTTPDrainRejects asserts a draining server refuses new work with 503
-// on both submission and health.
+// and goes unready — while liveness stays 200: a draining daemon is alive,
+// just not accepting traffic, and restarting it would lose the drain.
 func TestHTTPDrainRejects(t *testing.T) {
 	s, err := New(Config{Workers: 1})
 	if err != nil {
@@ -224,6 +225,9 @@ func TestHTTPDrainRejects(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusOK {
+		t.Errorf("readyz before drain status %d, want 200", r.StatusCode)
+	}
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatalf("Drain: %v", err)
 	}
@@ -231,7 +235,33 @@ func TestHTTPDrainRejects(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining status %d, want 503", resp.StatusCode)
 	}
-	if h, _ := http.Get(ts.URL + "/healthz"); h.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining status %d, want 503", h.StatusCode)
+	if h, _ := http.Get(ts.URL + "/healthz"); h.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining status %d, want 200 (liveness is not readiness)", h.StatusCode)
+	}
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining status %d, want 503", r.StatusCode)
+	}
+}
+
+// TestHTTPReadyzBeforeStart: a constructed-but-not-started server (startup
+// recovery still pending) is alive but unready.
+func TestHTTPReadyzBeforeStart(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if h, _ := http.Get(ts.URL + "/healthz"); h.StatusCode != http.StatusOK {
+		t.Errorf("healthz before Start status %d, want 200", h.StatusCode)
+	}
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz before Start status %d, want 503", r.StatusCode)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	if r, _ := http.Get(ts.URL + "/readyz"); r.StatusCode != http.StatusOK {
+		t.Errorf("readyz after Start status %d, want 200", r.StatusCode)
 	}
 }

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"crisp/internal/obs"
+	"crisp/internal/robust/chaos"
+)
+
+// TestMain doubles the test binary as the crispd worker: runIsolated
+// re-execs os.Executable() with WorkerEnv set, and that lands here before
+// any test runs — exactly the interception cmd/crispd performs.
+func TestMain(m *testing.M) {
+	if os.Getenv(WorkerEnv) == "1" {
+		os.Exit(WorkerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// TestIsolatedRunMatchesInProcess: process isolation must be invisible to
+// results — a job executed in a child worker process produces the same
+// bit-identical digest as the direct in-process run, and its telemetry
+// still flows to the job's timeline hub.
+func TestIsolatedRunMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("isolated round trip is not short")
+	}
+	spec := tinySpec("SPL", "VIO", "EVEN")
+	direct := directRun(t, spec)
+	dd, err := direct.StatsDigest()
+	if err != nil {
+		t.Fatalf("StatsDigest: %v", err)
+	}
+
+	s, err := New(Config{Workers: 1, ProgressInterval: 256, Isolate: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, s, job.ID, StateDone, 2*time.Minute)
+
+	sr, ok := s.Result(job.Digest)
+	if !ok {
+		t.Fatalf("no cached result from isolated run")
+	}
+	if want := fmt.Sprintf("%016x", dd); sr.Cycles != direct.Cycles || sr.StatsDigest != want {
+		t.Errorf("isolated result (cycles %d, digest %s) != direct (cycles %d, digest %s)",
+			sr.Cycles, sr.StatsDigest, direct.Cycles, want)
+	}
+	// The child's samples were forwarded through the stdio protocol onto
+	// the job's hub: the timeline must hold interval telemetry.
+	if _, ok := job.hub.Latest(obs.TimelineSample); !ok {
+		t.Errorf("isolated run produced no timeline samples; the worker protocol dropped them")
+	}
+	if n := s.Snapshot().WorkerCrashes; n != 0 {
+		t.Errorf("worker crashes = %d on a clean isolated run", n)
+	}
+}
+
+// TestIsolatedCrashRecovery is the hard-crash drill: the chaos fault makes
+// the worker SIGKILL itself mid-run — no final snapshot, no goodbye — and
+// the supervisor must classify the crash, retry from the last periodic
+// checkpoint, and still converge to the bit-identical digest, all without
+// the daemon itself dying.
+func TestIsolatedCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash recovery round trip is not short")
+	}
+	spec := tinySpec("SPL", "VIO", "EVEN")
+	killAt, wantCycles, wantDigest := chaosKillAt(t, spec)
+
+	s, err := New(Config{
+		Workers:          1,
+		StateDir:         t.TempDir(),
+		ProgressInterval: 256,
+		CheckpointEvery:  512,
+		RetryBase:        time.Millisecond,
+		Isolate:          true,
+		Chaos:            chaos.Spec{Seed: 13, KillCycle: killAt, Kills: 1},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, s, job.ID, StateDone, 3*time.Minute)
+
+	st := s.Snapshot()
+	if st.WorkerCrashes < 1 {
+		t.Errorf("worker crashes = %d, want >= 1 (the SIGKILL must register as a crash)", st.WorkerCrashes)
+	}
+	if st.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1", st.Retries)
+	}
+	sr, ok := s.Result(job.Digest)
+	if !ok {
+		t.Fatalf("no cached result after crash recovery")
+	}
+	if !sr.Resumed {
+		t.Errorf("crash-recovered result not marked resumed; progress to the last checkpoint was thrown away")
+	}
+	if sr.Cycles != wantCycles || sr.StatsDigest != wantDigest {
+		t.Errorf("crash-recovered result (cycles %d, digest %s) != uninterrupted (cycles %d, digest %s)",
+			sr.Cycles, sr.StatsDigest, wantCycles, wantDigest)
+	}
+
+	// The daemon survived its worker's death: it still accepts and
+	// completes new work.
+	after, err := s.Submit(tinySpec("SPL", "", "serial"))
+	if err != nil {
+		t.Fatalf("Submit after crash: %v", err)
+	}
+	waitState(t, s, after.ID, StateDone, 2*time.Minute)
+}
+
+// TestCancelIsolatedRun: DELETE on a job running in a child process must
+// SIGTERM the worker, reap it, and land the job in canceled — the cancel
+// path must not leak the child or misclassify its exit as a crash.
+func TestCancelIsolatedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("isolated cancel round trip is not short")
+	}
+	s, err := New(Config{Workers: 1, ProgressInterval: 256, Isolate: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	job, err := s.Submit(tinySpec("SPL", "VIO", "EVEN"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Cancel once the child demonstrably runs (samples flowing), so the
+	// SIGTERM interrupts a live worker rather than a spawning one...
+	deadline := time.Now().Add(time.Minute)
+	for {
+		job.mu.Lock()
+		st := job.state
+		_, sampled := job.hub.Latest(obs.TimelineSample)
+		job.mu.Unlock()
+		if st == StateRunning && sampled {
+			break
+		}
+		if st == StateDone {
+			t.Skip("job finished before it could be canceled")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("isolated job never produced samples (state %s)", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ok, err := s.Cancel(job.ID); err != nil || !ok {
+		t.Fatalf("Cancel(isolated) = %v, %v", ok, err)
+	}
+	waitState(t, s, job.ID, StateCanceled, time.Minute)
+	if n := s.Snapshot().Retries; n != 0 {
+		t.Errorf("retries = %d after cancel, want 0", n)
+	}
+}
+
+// TestCancelDuringIsolatedSpawn races DELETE against worker startup: the
+// job is canceled the instant it leaves the queue, so the cancel lands
+// while the child is being spawned or barely alive. Cancel must win and
+// the child must be reaped.
+func TestCancelDuringIsolatedSpawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawn race round trip is not short")
+	}
+	s, err := New(Config{Workers: 1, ProgressInterval: 256, Isolate: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	job, err := s.Submit(tinySpec("SPL", "VIO", "EVEN"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	// Fire the cancel as soon as the job turns running — before the child
+	// has produced any sample.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		job.mu.Lock()
+		st := job.state
+		job.mu.Unlock()
+		if st == StateRunning {
+			break
+		}
+		if st != StateQueued {
+			t.Fatalf("job reached %s before the cancel race", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started")
+		}
+	}
+	if ok, err := s.Cancel(job.ID); err != nil || !ok {
+		t.Fatalf("Cancel(spawning) = %v, %v", ok, err)
+	}
+	waitState(t, s, job.ID, StateCanceled, time.Minute)
+	if n := s.Snapshot().Retries; n != 0 {
+		t.Errorf("retries = %d after spawn-race cancel, want 0 (cancel must never be retried)", n)
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"crisp/internal/robust"
+	"crisp/internal/snapshot"
+)
+
+// Supervised-retry defaults (Config.MaxAttempts / RetryBase / RetryMax).
+const (
+	// DefaultMaxAttempts is how many execution attempts a job gets before
+	// quarantine, counted across daemon restarts via attempts.json.
+	DefaultMaxAttempts = 3
+	// DefaultRetryBase and DefaultRetryMax bound the exponential backoff
+	// between attempts: base·2^(n-1), capped at max, plus seeded jitter.
+	DefaultRetryBase = 100 * time.Millisecond
+	DefaultRetryMax  = 30 * time.Second
+)
+
+// backoffDelay is the pause before retry attempt `attempt` (2-based: the
+// first retry is attempt 2): exponential in the number of prior failures,
+// capped, plus deterministic jitter in [0, delay/2) keyed on (seed, digest,
+// attempt) — jitter de-synchronizes a fleet of retrying jobs without
+// sacrificing reproducibility, which the chaos suite depends on.
+func (s *Server) backoffDelay(digest string, attempt int) time.Duration {
+	base := s.cfg.RetryBase
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	maxd := s.cfg.RetryMax
+	if maxd <= 0 {
+		maxd = DefaultRetryMax
+	}
+	delay := base
+	for i := 2; i < attempt && delay < maxd; i++ {
+		delay *= 2
+	}
+	if delay > maxd {
+		delay = maxd
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", s.cfg.RetrySeed, digest, attempt)
+	jitter := time.Duration(h.Sum64() % uint64(delay/2+1))
+	return delay + jitter
+}
+
+// sleepBackoff waits out the retry delay; false when ctx is canceled first
+// (user cancel or drain), in which case no retry may fire.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// maxAttempts is the quarantine threshold K.
+func (s *Server) maxAttempts() int {
+	if s.cfg.MaxAttempts > 0 {
+		return s.cfg.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// ---- failure markers --------------------------------------------------
+//
+// Two small JSON files in the job directory persist supervision state
+// across daemon restarts: attempts.json counts failed attempts (so a
+// crash-looping daemon cannot reset a poison job's budget), and
+// quarantined.json marks the terminal quarantine decision. Both are
+// written atomically with a directory fsync — they are the ground truth
+// the next daemon instance recovers from.
+
+// attemptRecord is the on-disk failed-attempt counter.
+type attemptRecord struct {
+	Attempts  int    `json:"attempts"`
+	LastError string `json:"last_error"`
+	Kind      string `json:"kind,omitempty"`
+	Cycle     int64  `json:"cycle,omitempty"`
+}
+
+// quarantineRecord is the on-disk quarantine marker.
+type quarantineRecord struct {
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+	Kind     string `json:"kind,omitempty"`
+	Cycle    int64  `json:"cycle,omitempty"`
+}
+
+// recordAttempt persists the failed-attempt counter after attempt n failed
+// with err (best effort; memory-only servers count in-process only).
+func (s *Server) recordAttempt(job *Job, n int, err error) {
+	dir := s.jobDir(job)
+	if dir == "" {
+		return
+	}
+	rec := attemptRecord{Attempts: n, LastError: err.Error()}
+	if se, ok := robust.AsSimError(err); ok {
+		rec.Kind = robust.DeepestKind(se).String()
+		rec.Cycle = se.Cycle
+	}
+	if b, merr := json.MarshalIndent(rec, "", "  "); merr == nil {
+		writeFileAtomic(filepath.Join(dir, "attempts.json"), b)
+	}
+}
+
+// markQuarantined persists the quarantine decision and a crash dump for
+// postmortems; the job directory (checkpoints included) is kept.
+func (s *Server) markQuarantined(job *Job, err error, attempts int) {
+	dir := s.jobDir(job)
+	if dir == "" {
+		return
+	}
+	rec := quarantineRecord{Attempts: attempts, Error: err.Error()}
+	if se, ok := robust.AsSimError(err); ok {
+		rec.Kind = robust.DeepestKind(se).String()
+		rec.Cycle = se.Cycle
+		if se.Dump != nil {
+			if f, cerr := os.Create(filepath.Join(dir, "crash.json")); cerr == nil {
+				se.Dump.WriteJSON(f)
+				f.Close()
+			}
+		}
+	}
+	if b, merr := json.MarshalIndent(rec, "", "  "); merr == nil {
+		writeFileAtomic(filepath.Join(dir, "quarantined.json"), b)
+	}
+}
+
+// writeFileAtomic writes b to path via temp + rename + directory fsync, so
+// a host crash can neither expose a partial file nor lose the rename. Best
+// effort: persistence failures never fail the in-memory state change.
+func writeFileAtomic(path string, b []byte) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return
+	}
+	snapshot.SyncDir(dir)
+}
+
+// quarantineSuffix marks a job directory or persisted file set aside at
+// startup because its contents no longer parse.
+const quarantineSuffix = ".corrupt"
+
+// quarantineFile renames a corrupt persisted file aside (best effort) and
+// returns the new name for logging.
+func quarantineFile(path string) string {
+	aside := path + quarantineSuffix
+	if err := os.Rename(path, aside); err != nil {
+		return ""
+	}
+	return aside
+}

@@ -1,0 +1,359 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crisp/internal/robust/chaos"
+)
+
+// chaosKillAt picks a kill cycle roughly halfway through the job, derived
+// from an uninterrupted direct run so the fault lands mid-simulation
+// regardless of how long the workload happens to be.
+func chaosKillAt(t *testing.T, spec JobSpec) (killAt int64, directCycles int64, directDigest string) {
+	t.Helper()
+	direct := directRun(t, spec)
+	dd, err := direct.StatsDigest()
+	if err != nil {
+		t.Fatalf("StatsDigest: %v", err)
+	}
+	killAt = direct.Cycles / 2
+	if killAt < 1024 {
+		t.Skipf("run too short to interrupt meaningfully (%d cycles)", direct.Cycles)
+	}
+	return killAt, direct.Cycles, fmt.Sprintf("%016x", dd)
+}
+
+// TestRetryResumesFromCheckpoint is the tentpole determinism audit: a job
+// killed mid-run by an injected fault is retried from its snapshot and the
+// recovered result is bit-identical to an uninterrupted run.
+func TestRetryResumesFromCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos recovery round trip is not short")
+	}
+	spec := tinySpec("SPL", "VIO", "EVEN")
+	killAt, wantCycles, wantDigest := chaosKillAt(t, spec)
+
+	s, err := New(Config{
+		Workers:          1,
+		StateDir:         t.TempDir(),
+		ProgressInterval: 256,
+		CheckpointEvery:  512,
+		RetryBase:        time.Millisecond,
+		Chaos:            chaos.Spec{Seed: 7, KillCycle: killAt, Kills: 1},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, s, job.ID, StateDone, 2*time.Minute)
+
+	st := s.Snapshot()
+	if st.ChaosKills != 1 {
+		t.Errorf("chaos kills = %d, want 1", st.ChaosKills)
+	}
+	if st.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1 (the kill must have forced a retry)", st.Retries)
+	}
+	sr, ok := s.Result(job.Digest)
+	if !ok {
+		t.Fatalf("no cached result after recovery")
+	}
+	if !sr.Resumed {
+		t.Errorf("recovered result not marked resumed; the retry re-simulated from scratch")
+	}
+	if sr.Cycles != wantCycles || sr.StatsDigest != wantDigest {
+		t.Errorf("recovered result (cycles %d, digest %s) != uninterrupted (cycles %d, digest %s)",
+			sr.Cycles, sr.StatsDigest, wantCycles, wantDigest)
+	}
+}
+
+// TestChaosCorruptFallsBack layers checkpoint corruption on top of the
+// kill: the newest snapshot is truncated before the retry resumes, forcing
+// the fallback to the previous checkpoint — and the result must STILL be
+// bit-identical.
+func TestChaosCorruptFallsBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos recovery round trip is not short")
+	}
+	spec := tinySpec("SPL", "VIO", "EVEN")
+	killAt, wantCycles, wantDigest := chaosKillAt(t, spec)
+
+	s, err := New(Config{
+		Workers:          1,
+		StateDir:         t.TempDir(),
+		ProgressInterval: 256,
+		CheckpointEvery:  512,
+		RetryBase:        time.Millisecond,
+		Chaos:            chaos.Spec{Seed: 11, KillCycle: killAt, Kills: 1, CorruptLatest: "truncate"},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, s, job.ID, StateDone, 2*time.Minute)
+
+	st := s.Snapshot()
+	if st.ChaosCorruptions != 1 {
+		t.Errorf("chaos corruptions = %d, want 1", st.ChaosCorruptions)
+	}
+	if st.CheckpointFallbacks < 1 {
+		t.Errorf("checkpoint fallbacks = %d, want >= 1 (the corrupt snapshot must have been skipped)", st.CheckpointFallbacks)
+	}
+	sr, ok := s.Result(job.Digest)
+	if !ok {
+		t.Fatalf("no cached result after corrupt-fallback recovery")
+	}
+	if sr.Cycles != wantCycles || sr.StatsDigest != wantDigest {
+		t.Errorf("fallback result (cycles %d, digest %s) != uninterrupted (cycles %d, digest %s)",
+			sr.Cycles, sr.StatsDigest, wantCycles, wantDigest)
+	}
+}
+
+// TestQuarantineAfterAttemptBudget kills every attempt: the job must land
+// in quarantine (not a hot retry loop), persist the decision, and stay
+// quarantined across a daemon restart.
+func TestQuarantineAfterAttemptBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos quarantine round trip is not short")
+	}
+	spec := tinySpec("SPL", "VIO", "EVEN")
+	killAt, _, _ := chaosKillAt(t, spec)
+	dir := t.TempDir()
+
+	s1, err := New(Config{
+		Workers:          1,
+		StateDir:         dir,
+		ProgressInterval: 256,
+		CheckpointEvery:  512,
+		MaxAttempts:      3,
+		RetryBase:        time.Millisecond,
+		Chaos:            chaos.Spec{Seed: 3, KillCycle: killAt, Kills: 3},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s1.Start()
+	job, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, s1, job.ID, StateQuarantined, 2*time.Minute)
+
+	st := s1.Snapshot()
+	if st.Quarantined != 1 {
+		t.Errorf("quarantined counter = %d, want 1", st.Quarantined)
+	}
+	if st.Attempts != 3 {
+		t.Errorf("attempts = %d, want exactly 3 (the budget)", st.Attempts)
+	}
+	job.mu.Lock()
+	errMsg := job.errMsg
+	job.mu.Unlock()
+	if !strings.Contains(errMsg, "quarantined after 3 failed attempts") {
+		t.Errorf("quarantine message %q lacks the attempt count", errMsg)
+	}
+	if ok, _ := s1.Cancel(job.ID); ok {
+		t.Errorf("Cancel succeeded on a quarantined job; quarantine must be terminal")
+	}
+	qpath := filepath.Join(dir, "jobs", job.ID, "quarantined.json")
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("quarantine marker not persisted: %v", err)
+	}
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// A restarted daemon must honor the marker: the job comes back
+	// quarantined and is never re-executed.
+	s2, err := New(Config{Workers: 1, StateDir: dir, MaxAttempts: 3})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	s2.Start()
+	defer s2.Drain(context.Background())
+	rec, ok := s2.Job(job.ID)
+	if !ok {
+		t.Fatalf("restarted server lost quarantined job %s", job.ID)
+	}
+	rec.mu.Lock()
+	recState := rec.state
+	rec.mu.Unlock()
+	if recState != StateQuarantined {
+		t.Errorf("recovered job state = %s, want quarantined", recState)
+	}
+	if n := s2.Snapshot().Executions; n != 0 {
+		t.Errorf("restarted server re-executed a quarantined job %d times", n)
+	}
+}
+
+// TestAttemptCountSurvivesRestart plants a persisted attempts.json at the
+// budget: the booting daemon must quarantine the job instead of handing a
+// crash-looping poison job a fresh retry budget.
+func TestAttemptCountSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec("SPL", "", "serial")
+	r, err := spec.resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	jdir := filepath.Join(dir, "jobs", "j000001")
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pj, _ := json.Marshal(persistedJob{ID: "j000001", Digest: r.digest, Spec: spec})
+	if err := os.WriteFile(filepath.Join(jdir, "job.json"), pj, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ar, _ := json.Marshal(attemptRecord{Attempts: 3, LastError: "simulated watchdog stall", Kind: "watchdog"})
+	if err := os.WriteFile(filepath.Join(jdir, "attempts.json"), ar, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Workers: 1, StateDir: dir, MaxAttempts: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	job, ok := s.Job("j000001")
+	if !ok {
+		t.Fatalf("planted job not recovered")
+	}
+	job.mu.Lock()
+	st, errMsg := job.state, job.errMsg
+	job.mu.Unlock()
+	if st != StateQuarantined {
+		t.Fatalf("job at the attempt limit recovered as %s, want quarantined", st)
+	}
+	if !strings.Contains(errMsg, "watchdog stall") {
+		t.Errorf("quarantine message %q lost the last error", errMsg)
+	}
+	if _, err := os.Stat(filepath.Join(jdir, "quarantined.json")); err != nil {
+		t.Errorf("at-boot quarantine not persisted: %v", err)
+	}
+	if n := s.Snapshot().Quarantined; n != 1 {
+		t.Errorf("quarantined counter = %d, want 1", n)
+	}
+}
+
+// TestCancelDuringBackoff races DELETE against a pending retry: the cancel
+// must win — the job goes canceled, and no retry attempt ever starts.
+func TestCancelDuringBackoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos cancel race is not short")
+	}
+	spec := tinySpec("SPL", "VIO", "EVEN")
+	killAt, _, _ := chaosKillAt(t, spec)
+
+	s, err := New(Config{
+		Workers:          1,
+		StateDir:         t.TempDir(),
+		ProgressInterval: 256,
+		CheckpointEvery:  512,
+		RetryBase:        time.Hour, // park the retry: the test must cancel it
+		Chaos:            chaos.Spec{Seed: 5, KillCycle: killAt, Kills: 1},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait until attempt 1 has failed — the job is now inside its one-hour
+	// backoff sleep.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		job.mu.Lock()
+		failed, st := job.failedAttempts, job.state
+		job.mu.Unlock()
+		if failed >= 1 {
+			break
+		}
+		if st != StateQueued && st != StateRunning {
+			t.Fatalf("job reached %s before the injected kill", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("injected kill never fired (state %s)", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if ok, err := s.Cancel(job.ID); err != nil || !ok {
+		t.Fatalf("Cancel(mid-backoff) = %v, %v", ok, err)
+	}
+	waitState(t, s, job.ID, StateCanceled, time.Minute)
+
+	st := s.Snapshot()
+	if st.Retries != 0 {
+		t.Errorf("retries = %d after cancel-during-backoff, want 0 (no retry may fire after cancel)", st.Retries)
+	}
+	if st.Canceled != 1 {
+		t.Errorf("canceled counter = %d, want 1", st.Canceled)
+	}
+	job.mu.Lock()
+	errMsg := job.errMsg
+	job.mu.Unlock()
+	if !strings.Contains(errMsg, "canceled during retry backoff") {
+		t.Errorf("cancel-during-backoff error %q lacks the backoff marker", errMsg)
+	}
+}
+
+// TestScanJobsQuarantinesCorruptEntries plants a corrupt persisted job next
+// to a valid one: boot must succeed, set the damaged entry aside as
+// *.corrupt, and recover the healthy job untouched.
+func TestScanJobsQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec("SPL", "", "serial")
+	r, err := spec.resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+
+	good := filepath.Join(dir, "jobs", "j000001")
+	os.MkdirAll(good, 0o755)
+	pj, _ := json.Marshal(persistedJob{ID: "j000001", Digest: r.digest, Spec: spec})
+	os.WriteFile(filepath.Join(good, "job.json"), pj, 0o644)
+
+	bad := filepath.Join(dir, "jobs", "j000002")
+	os.MkdirAll(bad, 0o755)
+	os.WriteFile(filepath.Join(bad, "job.json"), []byte("{truncated garbag"), 0o644)
+
+	s, err := New(Config{Workers: 1, StateDir: dir})
+	if err != nil {
+		t.Fatalf("New must survive a corrupt persisted job: %v", err)
+	}
+	if _, ok := s.Job("j000001"); !ok {
+		t.Errorf("healthy job not recovered alongside the corrupt one")
+	}
+	if _, ok := s.Job("j000002"); ok {
+		t.Errorf("corrupt job recovered as if valid")
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Errorf("corrupt job dir not set aside: %v", err)
+	}
+	// A second boot must not trip over the quarantined leftovers.
+	if _, err := New(Config{Workers: 1, StateDir: dir}); err != nil {
+		t.Errorf("reboot over quarantined leftovers: %v", err)
+	}
+}

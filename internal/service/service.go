@@ -10,6 +10,16 @@
 // already cached completes instantly as a cache hit, and one whose digest
 // is already queued or running attaches to that execution (coalescing)
 // and completes when it does.
+//
+// Execution is supervised: a retryable failure (watchdog, budget, panic,
+// injected chaos fault, worker crash — robust.Kind.Retryable) is retried
+// with exponential backoff and seeded jitter, resuming from the job's
+// newest readable checkpoint instead of cycle 0; determinism makes the
+// recovered run bit-identical to an uninterrupted one. A job that fails
+// MaxAttempts times — counted across daemon restarts via persisted
+// attempt markers — is quarantined with its crash dumps, never
+// hot-looped. With Config.Isolate, each attempt runs in a child worker
+// process (worker.go), so a hard crash kills one job, not the daemon.
 package service
 
 import (
@@ -17,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,6 +39,7 @@ import (
 	crisp "crisp"
 	"crisp/internal/obs"
 	"crisp/internal/robust"
+	"crisp/internal/robust/chaos"
 	"crisp/internal/snapshot"
 )
 
@@ -64,6 +76,30 @@ type Config struct {
 	// reconnects replay from this ring; a cursor older than it forces a
 	// full /series refetch. Default obs.DefaultHubCapacity.
 	TimelineBuffer int
+
+	// MaxAttempts is the supervised-retry budget per job: a job whose
+	// execution fails retryably this many times (counted across daemon
+	// restarts) is quarantined. Default DefaultMaxAttempts.
+	MaxAttempts int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// attempts (base·2^(n-1) capped at max, plus seeded jitter). Defaults
+	// DefaultRetryBase / DefaultRetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed keys the deterministic backoff jitter.
+	RetrySeed int64
+	// Isolate runs each execution attempt in a child worker process
+	// speaking the stdio/JSON protocol in worker.go, so a hard crash
+	// (SIGKILL, OOM, runtime fault) kills one job instead of the daemon.
+	Isolate bool
+	// WorkerCommand overrides the isolated worker command line. Empty =
+	// re-exec this binary with CRISPD_WORKER=1 in the environment (both
+	// cmd/crispd and the test binary intercept that and run WorkerMain).
+	WorkerCommand []string
+	// Chaos plants seeded faults into the execution path (kill at cycle N,
+	// corrupt the newest checkpoint before a resume, delay completion) —
+	// the recovery machinery's test harness. Zero = no faults.
+	Chaos chaos.Spec
 }
 
 func (c Config) withDefaults() Config {
@@ -85,14 +121,18 @@ func (c Config) withDefaults() Config {
 // State is a job's lifecycle state.
 type State string
 
-// The job lifecycle: queued → running → done | failed | canceled.
-// Cache hits and coalesced duplicates move queued → done without running.
+// The job lifecycle: queued → running → done | failed | canceled |
+// quarantined. Cache hits and coalesced duplicates move queued → done
+// without running. Quarantined is the poison-job terminal state: the job
+// exhausted its retry budget; its directory (crash dumps, checkpoints,
+// attempt markers) is kept for postmortems and survives restarts.
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateQuarantined State = "quarantined"
 )
 
 // Job is one tracked submission.
@@ -125,6 +165,10 @@ type Job struct {
 	// resumeFrom, when non-empty, is a snapshot path/dir the execution
 	// restores from (a restarted daemon's recovered job).
 	resumeFrom string
+	// failedAttempts counts execution attempts that failed retryably,
+	// including ones recorded by previous daemon instances (attempts.json)
+	// — the quarantine threshold compares against this.
+	failedAttempts int
 }
 
 func (j *Job) setState(st State) {
@@ -149,6 +193,16 @@ func (j *Job) noteLifecycle(state State, detail string) {
 		cycle = ev.Cycle
 	}
 	j.hub.Publish(obs.TimelineEvent{Cycle: cycle, Kind: obs.TimelineLifecycle, State: string(state), Detail: detail})
+}
+
+// noteAttempt broadcasts a supervised execution attempt starting: attempt
+// 1 is the first run, higher numbers are retries.
+func (j *Job) noteAttempt(attempt int, detail string) {
+	var cycle int64
+	if ev, ok := j.hub.Latest(""); ok {
+		cycle = ev.Cycle
+	}
+	j.hub.Publish(obs.TimelineEvent{Cycle: cycle, Kind: obs.TimelineAttempt, Attempt: attempt, Detail: detail})
 }
 
 // samples extracts the retained interval samples from the job's timeline,
@@ -210,6 +264,13 @@ type Server struct {
 	// Guarded by s.mu.
 	series map[string][]obs.Sample
 
+	// chaosCtrl plants Config.Chaos's faults (nil = no chaos).
+	chaosCtrl *chaos.Controller
+	// ready flips true once startup recovery finished and the worker pool
+	// is launched; /readyz serves 503 until then (and again while
+	// draining).
+	ready atomic.Bool
+
 	// Counters (atomic: read by /metrics while workers run).
 	execs      atomic.Int64 // simulator executions started
 	hits       atomic.Int64 // submissions served from the completed cache
@@ -217,6 +278,11 @@ type Server struct {
 	done       atomic.Int64 // jobs reaching StateDone
 	failed     atomic.Int64
 	canceled   atomic.Int64
+	quarantine atomic.Int64 // jobs quarantined after exhausting retries
+	attempts   atomic.Int64 // execution attempts started (≥ execs)
+	retries    atomic.Int64 // retry attempts (attempt number > 1)
+	crashes    atomic.Int64 // isolated workers that died without a result
+	fallbacks  atomic.Int64 // resumes that skipped ≥1 corrupt checkpoint
 	avgRunNS   atomic.Int64 // EWMA of execution wall time
 	launchedAt time.Time
 }
@@ -234,6 +300,7 @@ func New(cfg Config) (*Server, error) {
 		stop:       make(chan struct{}),
 		cache:      newResultCache(""),
 		series:     make(map[string][]obs.Sample),
+		chaosCtrl:  chaos.NewController(cfg.Chaos),
 		launchedAt: time.Now(),
 	}
 	var recovered []*Job
@@ -255,12 +322,21 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and marks the server ready: startup
+// recovery (New's scanJobs pass) has finished by the time Start is called.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.ready.Store(true)
+}
+
+// Ready reports readiness for /readyz: recovery finished, pool launched,
+// not draining. Liveness (/healthz) is unconditional by contrast — a
+// draining daemon is still alive.
+func (s *Server) Ready() bool {
+	return s.ready.Load() && !s.Draining()
 }
 
 // Submit validates, digests, and admits one job. The returned Job may
@@ -399,11 +475,17 @@ func (s *Server) SeriesFor(digest string) ([]obs.Sample, bool) {
 	if s.cfg.StateDir == "" || !validDigest(digest) {
 		return nil, false
 	}
-	b, err := os.ReadFile(filepath.Join(s.cfg.StateDir, "results", digest+".series.json"))
+	path := filepath.Join(s.cfg.StateDir, "results", digest+".series.json")
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	if err := json.Unmarshal(b, &samples); err != nil {
+		// Corrupt persisted series: set it aside so it is not re-parsed on
+		// every request. The job's result is unaffected.
+		if aside := quarantineFile(path); aside != "" {
+			log.Printf("crispd: corrupt persisted series %s set aside as %s", path, aside)
+		}
 		return nil, false
 	}
 	s.mu.Lock()
@@ -427,20 +509,7 @@ func (s *Server) persistSeries(digest string, samples []obs.Sample) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-series-*")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(b)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	if err := os.Rename(name, filepath.Join(dir, digest+".series.json")); err != nil {
-		os.Remove(name)
-	}
+	writeFileAtomic(filepath.Join(dir, digest+".series.json"), b)
 }
 
 // validDigest accepts exactly the canonical job-digest shape (16 hex
@@ -473,7 +542,7 @@ func (s *Server) Cancel(id string) (bool, error) {
 	}
 	job.mu.Lock()
 	switch job.state {
-	case StateDone, StateFailed, StateCanceled:
+	case StateDone, StateFailed, StateCanceled, StateQuarantined:
 		job.mu.Unlock()
 		s.mu.Unlock()
 		return false, nil
@@ -539,7 +608,12 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one admitted job through the crisp facade.
+// execute runs one admitted job under supervision: execution attempts
+// (in-process through the crisp facade, or in an isolated worker process)
+// with retryable failures retried after a backoff, resuming from the
+// job's newest readable checkpoint; a job that exhausts its attempt
+// budget is quarantined. Cancellation — user DELETE or drain — always
+// wins over a pending retry.
 func (s *Server) execute(job *Job) {
 	job.mu.Lock()
 	if job.state != StateQueued {
@@ -548,9 +622,13 @@ func (s *Server) execute(job *Job) {
 	}
 	job.state = StateRunning
 	job.started = time.Now()
-	ctx, cancel := context.WithCancel(context.Background())
+	// lctx is the job's lifecycle context: Cancel and Drain both cancel it
+	// through job.cancel, which covers a running simulation, a backoff
+	// sleep, and a spawning worker process alike.
+	lctx, cancel := context.WithCancel(context.Background())
 	job.cancel = cancel
 	resumeFrom := job.resumeFrom
+	failed := job.failedAttempts
 	job.mu.Unlock()
 	defer cancel()
 	if resumeFrom != "" {
@@ -559,10 +637,110 @@ func (s *Server) execute(job *Job) {
 		job.noteLifecycle(StateRunning, "")
 	}
 
+	maxAtt := s.maxAttempts()
+	for {
+		attempt := failed + 1
+		s.attempts.Add(1)
+		if attempt > 1 {
+			s.retries.Add(1)
+		} else {
+			s.execs.Add(1)
+		}
+		detail := "fresh run"
+		if resumeFrom != "" {
+			detail = "resuming from " + resumeFrom
+		}
+		job.noteAttempt(attempt, detail)
+
+		stored, err := s.runAttempt(lctx, job, resumeFrom)
+		if err == nil {
+			if d := s.chaosCtrl.CompletionDelay(); d > 0 {
+				sleepBackoff(lctx, d)
+			}
+			s.cache.put(stored)
+			s.complete(job, stored)
+			return
+		}
+
+		// Cancellation and permanent failures (validation, deadlock) end
+		// the job now; fail() distinguishes drain-rewind / user cancel /
+		// terminal failure.
+		if se, ok := robust.AsSimError(err); ok && robust.DeepestKind(se) == robust.KindCanceled {
+			s.fail(job, err)
+			return
+		}
+		if !robust.RetryableError(err) {
+			s.fail(job, err)
+			return
+		}
+
+		failed = attempt
+		job.mu.Lock()
+		job.failedAttempts = failed
+		job.mu.Unlock()
+		s.recordAttempt(job, failed, err)
+		if failed >= maxAtt {
+			s.quarantineJob(job, err, failed)
+			return
+		}
+
+		// Chaos: damage the newest checkpoint before the resume, forcing
+		// the fallback-to-previous path.
+		if mode, ok := s.chaosCtrl.TakeCorrupt(job.Digest); ok {
+			if dir := s.jobDir(job); dir != "" {
+				if p, cerr := chaos.Corrupt(dir, mode, s.cfg.Chaos.Seed); cerr == nil {
+					log.Printf("crispd: chaos: %s-corrupted checkpoint %s (job %s)", mode, p, job.ID)
+				}
+			}
+		}
+
+		delay := s.backoffDelay(job.Digest, attempt+1)
+		log.Printf("crispd: job %s attempt %d/%d failed, retrying in %v: %v", job.ID, failed, maxAtt, delay, err)
+		if !sleepBackoff(lctx, delay) {
+			s.fail(job, &robust.SimError{Kind: robust.KindCanceled, Msg: "canceled during retry backoff", Err: err})
+			return
+		}
+		// Retry from the newest checkpoint when one exists — the failed
+		// attempt's progress up to its last checkpoint is never re-simulated.
+		resumeFrom = ""
+		if dir := s.jobDir(job); dir != "" && len(snapshot.Candidates(dir)) > 0 {
+			resumeFrom = dir
+		}
+	}
+}
+
+// runAttempt executes one attempt and summarizes the result for the
+// cache. With Config.Isolate the attempt runs in a child worker process
+// (worker.go); otherwise in-process through the crisp facade.
+func (s *Server) runAttempt(ctx context.Context, job *Job, resumeFrom string) (*StoredResult, error) {
+	killAt, killArmed := s.chaosCtrl.TakeKill(job.Digest)
+	if !killArmed {
+		killAt = 0
+	}
+	if s.cfg.Isolate {
+		return s.runIsolated(ctx, job, resumeFrom, killAt)
+	}
+	return s.runInProcess(ctx, job, resumeFrom, killAt)
+}
+
+// runInProcess is the direct execution path. A chaos kill (killAt > 0)
+// panics with a KindInjected SimError from the metrics sink on the sim
+// goroutine: the core's deferred recovery flushes a final snapshot first,
+// so the retry has the kill-time state to resume from.
+func (s *Server) runInProcess(ctx context.Context, job *Job, resumeFrom string, killAt int64) (*StoredResult, error) {
 	r := job.res
+	sink := job.noteSample
+	if killAt > 0 {
+		sink = func(smp obs.Sample) {
+			job.noteSample(smp)
+			if smp.Cycle >= killAt {
+				panic(chaos.Injected(smp.Cycle))
+			}
+		}
+	}
 	runOpts := []crisp.RunOption{
 		crisp.WithMetrics(s.cfg.ProgressInterval),
-		crisp.WithMetricsSink(job.noteSample),
+		crisp.WithMetricsSink(sink),
 	}
 	budget := r.budget
 	if budget == 0 {
@@ -588,19 +766,23 @@ func (s *Server) execute(job *Job) {
 		}
 	}
 
-	s.execs.Add(1)
 	t0 := time.Now()
 	var res *crisp.Result
 	var err error
 	if resumeFrom != "" {
-		// A recovered job with an on-disk snapshot continues where the
-		// drained daemon stopped. An unreadable snapshot falls back to a
-		// fresh run — losing progress, never the job.
-		var env *crisp.Snapshot
-		if env, err = crisp.LoadSnapshot(resumeFrom); err == nil {
+		// Resume from the newest readable snapshot; corrupt ones are
+		// renamed aside and skipped (fallback-to-previous). A directory
+		// with nothing readable falls back to a fresh run — losing
+		// progress, never the job.
+		env, corrupt, lerr := loadResume(resumeFrom)
+		for _, c := range corrupt {
+			log.Printf("crispd: job %s: corrupt checkpoint %s renamed aside", job.ID, c)
+		}
+		if len(corrupt) > 0 {
+			s.fallbacks.Add(1)
+		}
+		if lerr == nil {
 			res, err = crisp.Resume(ctx, env, runOpts...)
-		} else {
-			err = nil
 		}
 	}
 	if res == nil && err == nil {
@@ -608,18 +790,61 @@ func (s *Server) execute(job *Job) {
 	}
 	wall := time.Since(t0)
 	s.observeRunTime(wall)
-
 	if err != nil {
-		s.fail(job, err)
-		return
+		return nil, err
 	}
-	stored, serr := storedFromResult(r, res, float64(wall.Microseconds())/1000)
-	if serr != nil {
-		s.fail(job, serr)
-		return
+	return storedFromResult(r, res, float64(wall.Microseconds())/1000)
+}
+
+// loadResume loads the snapshot a retry resumes from: a directory loads
+// its newest readable checkpoint (corrupt ones renamed aside and reported
+// in corrupt), a file path loads directly.
+func loadResume(arg string) (*crisp.Snapshot, []string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, nil, err
 	}
-	s.cache.put(stored)
-	s.complete(job, stored)
+	if info.IsDir() {
+		return snapshot.LoadNewest(arg)
+	}
+	env, err := crisp.LoadSnapshot(arg)
+	return env, nil, err
+}
+
+// quarantineJob parks a poison job: its retry budget is exhausted, so it
+// goes terminal with its crash dumps and checkpoints kept on disk and is
+// never retried again — not even by a restarted daemon (quarantined.json).
+// Followers fail: they were riding an execution that will never finish.
+func (s *Server) quarantineJob(job *Job, err error, attempts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.mu.Lock()
+	msg := fmt.Sprintf("quarantined after %d failed attempts: %v", attempts, err)
+	job.state = StateQuarantined
+	job.errMsg = msg
+	job.finished = time.Now()
+	followers := job.followers
+	job.followers = nil
+	job.mu.Unlock()
+	if s.inflight[job.Digest] == job {
+		delete(s.inflight, job.Digest)
+	}
+	s.quarantine.Add(1)
+	s.markQuarantined(job, err, attempts)
+	log.Printf("crispd: job %s %s", job.ID, msg)
+	job.noteLifecycle(StateQuarantined, msg)
+	job.hub.Close()
+	for _, f := range followers {
+		f.mu.Lock()
+		f.state = StateFailed
+		f.errMsg = "coalesced execution " + job.ID + " " + msg
+		f.finished = time.Now()
+		f.mu.Unlock()
+		s.failed.Add(1)
+		s.markFailed(f, err)
+		f.noteLifecycle(StateFailed, f.errMsg)
+		f.hub.Close()
+	}
 }
 
 // complete marks the primary job and every coalesced follower done,
@@ -810,7 +1035,17 @@ type Stats struct {
 	Canceled      int64
 	CachedResults int
 	Draining      bool
+	Ready         bool
 	UptimeSec     float64
+
+	// Supervision counters.
+	Attempts            int64 // execution attempts started (≥ Executions)
+	Retries             int64 // attempts beyond each job's first
+	Quarantined         int64 // jobs quarantined after exhausting retries
+	WorkerCrashes       int64 // isolated workers dead without a result
+	CheckpointFallbacks int64 // resumes that skipped ≥1 corrupt checkpoint
+	ChaosKills          int64 // chaos faults fired: injected kills
+	ChaosCorruptions    int64 // chaos faults fired: checkpoint corruptions
 
 	// JobsByState counts every tracked job by current lifecycle state.
 	JobsByState map[State]int
@@ -850,7 +1085,14 @@ func (s *Server) Snapshot() Stats {
 	st.Done = s.done.Load()
 	st.Failed = s.failed.Load()
 	st.Canceled = s.canceled.Load()
+	st.Attempts = s.attempts.Load()
+	st.Retries = s.retries.Load()
+	st.Quarantined = s.quarantine.Load()
+	st.WorkerCrashes = s.crashes.Load()
+	st.CheckpointFallbacks = s.fallbacks.Load()
+	st.ChaosKills, st.ChaosCorruptions = s.chaosCtrl.Stats()
 	st.CachedResults = s.cache.len()
+	st.Ready = s.Ready()
 	st.UptimeSec = time.Since(s.launchedAt).Seconds()
 	return st
 }
@@ -885,7 +1127,7 @@ func (s *Server) persistJob(job *Job) {
 	if err != nil {
 		return
 	}
-	os.WriteFile(filepath.Join(dir, "job.json"), b, 0o644)
+	writeFileAtomic(filepath.Join(dir, "job.json"), b)
 }
 
 // unpersistJob removes the job's state directory — its result (if any)
@@ -907,17 +1149,21 @@ func (s *Server) markFailed(job *Job, err error) {
 	}
 	rec := map[string]string{"error": err.Error()}
 	if se, ok := robust.AsSimError(err); ok {
-		rec["kind"] = se.Kind.String()
+		rec["kind"] = robust.DeepestKind(se).String()
 		rec["cycle"] = fmt.Sprint(se.Cycle)
 	}
 	if b, merr := json.MarshalIndent(rec, "", "  "); merr == nil {
-		os.WriteFile(filepath.Join(dir, "failed.json"), b, 0o644)
+		writeFileAtomic(filepath.Join(dir, "failed.json"), b)
 	}
 }
 
 // scanJobs recovers persisted jobs at startup, in id order. Jobs with a
-// failure marker are registered failed; the rest are resolved and handed
-// back for readmission (resuming from their snapshot when one exists).
+// quarantine or failure marker are registered in that terminal state; the
+// rest are resolved and handed back for readmission (resuming from their
+// snapshot when one exists), carrying their persisted failed-attempt
+// count so a crash-looping daemon cannot reset a poison job's retry
+// budget. A corrupt persisted entry is set aside (renamed *.corrupt,
+// logged) and never aborts the boot — one damaged file costs one job.
 func (s *Server) scanJobs() ([]*Job, error) {
 	root := filepath.Join(s.cfg.StateDir, "jobs")
 	ents, err := os.ReadDir(root)
@@ -929,7 +1175,7 @@ func (s *Server) scanJobs() ([]*Job, error) {
 	}
 	var names []string
 	for _, e := range ents {
-		if e.IsDir() {
+		if e.IsDir() && !strings.HasSuffix(e.Name(), quarantineSuffix) {
 			names = append(names, e.Name())
 		}
 	}
@@ -940,16 +1186,38 @@ func (s *Server) scanJobs() ([]*Job, error) {
 		dir := filepath.Join(root, name)
 		b, err := os.ReadFile(filepath.Join(dir, "job.json"))
 		if err != nil {
-			continue // not a job dir; leave it alone
+			if os.IsNotExist(err) {
+				continue // not a job dir; leave it alone
+			}
+			if aside := quarantineFile(dir); aside != "" {
+				log.Printf("crispd: unreadable persisted job %s set aside as %s: %v", dir, aside, err)
+			}
+			continue
 		}
 		var pj persistedJob
 		if err := json.Unmarshal(b, &pj); err != nil || pj.ID == "" {
+			if aside := quarantineFile(dir); aside != "" {
+				log.Printf("crispd: corrupt persisted job %s set aside as %s", dir, aside)
+			}
 			continue
 		}
 		if n := idNumber(pj.ID); n > s.nextID {
 			s.nextID = n
 		}
 		job := &Job{ID: pj.ID, Digest: pj.Digest, Spec: pj.Spec, hub: obs.NewHub(s.cfg.TimelineBuffer), created: time.Now()}
+
+		if qb, err := os.ReadFile(filepath.Join(dir, "quarantined.json")); err == nil {
+			var rec quarantineRecord
+			json.Unmarshal(qb, &rec)
+			job.state = StateQuarantined
+			job.errMsg = fmt.Sprintf("quarantined after %d failed attempts: %s", rec.Attempts, rec.Error)
+			job.finished = job.created
+			s.quarantine.Add(1)
+			s.register(job)
+			job.noteLifecycle(StateQuarantined, job.errMsg)
+			job.hub.Close()
+			continue
+		}
 
 		if fb, err := os.ReadFile(filepath.Join(dir, "failed.json")); err == nil {
 			var rec map[string]string
@@ -981,8 +1249,31 @@ func (s *Server) scanJobs() ([]*Job, error) {
 		}
 		job.res = r
 		job.Digest = r.digest
+
+		// Failed attempts persist across restarts; a job already at the
+		// quarantine threshold goes terminal here instead of re-running.
+		if ab, err := os.ReadFile(filepath.Join(dir, "attempts.json")); err == nil {
+			var rec attemptRecord
+			if json.Unmarshal(ab, &rec) == nil && rec.Attempts > 0 {
+				job.failedAttempts = rec.Attempts
+				if rec.Attempts >= s.maxAttempts() {
+					qerr := fmt.Errorf("%s (recovered at the attempt limit)", rec.LastError)
+					job.state = StateQuarantined
+					job.errMsg = fmt.Sprintf("quarantined after %d failed attempts: %v", rec.Attempts, qerr)
+					job.finished = job.created
+					s.quarantine.Add(1)
+					s.markQuarantined(job, qerr, rec.Attempts)
+					s.register(job)
+					log.Printf("crispd: recovered job %s %s", job.ID, job.errMsg)
+					job.noteLifecycle(StateQuarantined, job.errMsg)
+					job.hub.Close()
+					continue
+				}
+			}
+		}
+
 		job.state = StateQueued
-		if _, err := snapshot.Resolve(dir); err == nil {
+		if len(snapshot.Candidates(dir)) > 0 {
 			job.resumeFrom = dir
 		}
 		recovered = append(recovered, job)

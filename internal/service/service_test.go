@@ -46,7 +46,7 @@ func waitState(t *testing.T, s *Server, id string, want State, timeout time.Dura
 			return job
 		}
 		switch st {
-		case StateFailed, StateCanceled, StateDone:
+		case StateFailed, StateCanceled, StateDone, StateQuarantined:
 			t.Fatalf("job %s reached %s (want %s): %s", id, st, want, errMsg)
 		}
 		if time.Now().After(deadline) {

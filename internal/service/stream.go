@@ -169,7 +169,7 @@ func (s *Server) handleJobSeries(w http.ResponseWriter, r *http.Request) {
 		switch ev.Kind {
 		case obs.TimelineSample:
 			v.Samples = append(v.Samples, *ev.Sample)
-		case obs.TimelineLifecycle:
+		case obs.TimelineLifecycle, obs.TimelineAttempt:
 			v.Lifecycle = append(v.Lifecycle, ev)
 		}
 	}

@@ -91,8 +91,9 @@ function connect(id) {
   es.addEventListener("lifecycle", (ev) => {
     const tev = JSON.parse(ev.data);
     ingest(tev);
-    if (["done", "failed", "canceled"].includes(tev.state)) es.close();
+    if (["done", "failed", "canceled", "quarantined"].includes(tev.state)) es.close();
   });
+  es.addEventListener("attempt", (ev) => { ingest(JSON.parse(ev.data)); });
   es.addEventListener("gap", async () => {
     // History scrolled out of the ring: replace with the buffered series.
     const res = await fetch(`/v1/jobs/${id}/series`);
@@ -117,7 +118,7 @@ function ingest(tev) {
         state.streams.sort((a, b) => a.stream - b.stream);
       }
     }
-  } else if (tev.kind === "lifecycle") {
+  } else if (tev.kind === "lifecycle" || tev.kind === "attempt") {
     state.lifecycle.push(tev);
   }
   scheduleRender();
@@ -137,7 +138,10 @@ function renderHead() {
   const id = document.createElement("span");
   id.className = "id";
   id.textContent = state.sel;
-  const last = state.lifecycle[state.lifecycle.length - 1];
+  let last = null;
+  for (let i = state.lifecycle.length - 1; i >= 0 && !last; i--) {
+    if (state.lifecycle[i].state) last = state.lifecycle[i];
+  }
   const meta = document.createElement("span");
   meta.className = "meta";
   const cyc = state.samples.length ? state.samples[state.samples.length - 1].cycle : 0;

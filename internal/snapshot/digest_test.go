@@ -1,0 +1,143 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func sampleArch() *ArchState {
+	return &ArchState{
+		Cycle:       8113,
+		TotalIssued: 123456,
+		MaxTask:     1,
+		PolicyName:  "EVEN",
+		PolicyBlob:  []byte{1, 2, 3},
+		Streams: []StreamState{
+			{ID: 0, NextKernel: 2, Active: true, Started: true, StartCycle: 17,
+				Stat: StreamCounters{Cycles: 100, WarpInsts: 200, ThreadInsts: 6400,
+					TexAccesses: 3, KernelsLaunched: 2, CTAsLaunched: 4, Stalls: []int64{1, 2, 3, 0, 0}}},
+			{ID: 1 << 20, NextKernel: 1, Active: true, StartCycle: 0,
+				Stat: StreamCounters{Cycles: 90, WarpInsts: 150, Stalls: []int64{0, 0, 0, 0, 0}}},
+		},
+		Running:       []LaunchState{{StreamID: 0, KernelIdx: 1, Task: 0, NextCTA: 3, DoneCTAs: 1, Started: 40, LastDone: 80}},
+		Kernels:       []KernelStatState{{Name: "k0", Stream: 0, Task: 0, Launched: 17, Done: 39, CTAs: 2}},
+		InstsBySMTask: [][]int64{{10, 20}, {30, 40}},
+		Cores: []CoreState{{
+			ID: 0, ArrivalSeq: 9, SchedSlots: 400, EmptySlots: 13,
+			CTAs: []CTAState{{Ref: 0, StreamID: 0, KernelIdx: 1, CTAIdx: 2, Task: 0,
+				WarpsLeft: 3, BarArrived: 1, BarWaiting: []int{0}}},
+			Scheds: []SchedState{{LastWarp: 0, RR: 1, UnitFree: []int64{100, 101},
+				Warps: []WarpState{{Ref: 0, CTA: 0, WarpIdx: 0, PC: 5, BlockedUntil: 110,
+					Arrival: 3, PendingRegs: []RegState{{Reg: 7, Ready: 120, FromMem: true}}}}}},
+		}},
+		Mem: MemState{
+			L1:           []CacheState{{Lines: []LineState{{Idx: 0, Tag: 0xabc, Dirty: true, LastUse: 99, Class: 2, Stream: 0, Sectors: 0xF}}}},
+			L1Pending:    []PendingFills{{Fills: []Fill{{Granule: 0x1000, Ready: 130}}}},
+			L2:           []CacheState{{}},
+			L2Pending:    []PendingFills{{}},
+			L2NextFree:   []int64{105},
+			DRAMNextFree: []int64{106, 107},
+			Counters:     []StreamCounterState{{Stream: 0, L1Accesses: 345, L1Misses: 203, L2Accesses: 203, L2Misses: 67, DRAMReadB: 8576}},
+		},
+	}
+}
+
+// TestArchDigestHistoryIndependent pins the property the original
+// gob-based digest silently violated: the digest of a given state must
+// not depend on what else the process has serialized. gob's wire format
+// embeds process-globally allocated type ids, so a process that had
+// gob-encoded other types (a checkpoint envelope, a result summary)
+// before digesting produced different digest bytes for the same machine
+// state — exactly the cross-process comparison the determinism auditor
+// exists to make.
+func TestArchDigestHistoryIndependent(t *testing.T) {
+	a := sampleArch()
+	before, err := ArchDigest(a)
+	if err != nil {
+		t.Fatalf("ArchDigest: %v", err)
+	}
+
+	// Pollute the process's gob type registry the way a checkpoint write
+	// or an unrelated serialization would.
+	type noise struct {
+		A int
+		B string
+		C []float64
+		D map[string]int
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&noise{A: 1, B: "x", C: []float64{1.5}, D: map[string]int{"k": 1}}); err != nil {
+		t.Fatalf("noise encode: %v", err)
+	}
+	if err := gob.NewEncoder(&buf).Encode(&Envelope{Version: FormatVersion, State: GPUState{Arch: *sampleArch()}}); err != nil {
+		t.Fatalf("envelope encode: %v", err)
+	}
+
+	after, err := ArchDigest(a)
+	if err != nil {
+		t.Fatalf("ArchDigest after gob noise: %v", err)
+	}
+	if before != after {
+		t.Fatalf("ArchDigest changed after unrelated gob encodes: %016x -> %016x; the digest must be a pure function of the state", before, after)
+	}
+}
+
+// TestArchDigestSensitivity: the canonical encoder must still see every
+// field — a digest that never changes is as useless as one that changes
+// for the wrong reasons. Flip a scattering of fields across the schema
+// and assert each flip moves the digest.
+func TestArchDigestSensitivity(t *testing.T) {
+	base, err := ArchDigest(sampleArch())
+	if err != nil {
+		t.Fatalf("ArchDigest: %v", err)
+	}
+	mutations := map[string]func(a *ArchState){
+		"cycle":         func(a *ArchState) { a.Cycle++ },
+		"policy name":   func(a *ArchState) { a.PolicyName = "MPS" },
+		"policy blob":   func(a *ArchState) { a.PolicyBlob[0] ^= 0xFF },
+		"stream stat":   func(a *ArchState) { a.Streams[0].Stat.WarpInsts++ },
+		"stall vector":  func(a *ArchState) { a.Streams[1].Stat.Stalls[2]++ },
+		"launch cursor": func(a *ArchState) { a.Running[0].NextCTA++ },
+		"kernel record": func(a *ArchState) { a.Kernels[0].Done++ },
+		"warp pc":       func(a *ArchState) { a.Cores[0].Scheds[0].Warps[0].PC++ },
+		"scoreboard":    func(a *ArchState) { a.Cores[0].Scheds[0].Warps[0].PendingRegs[0].FromMem = false },
+		"cache line":    func(a *ArchState) { a.Mem.L1[0].Lines[0].Tag ^= 1 },
+		"mshr fill":     func(a *ArchState) { a.Mem.L1Pending[0].Fills[0].Ready++ },
+		"mem counter":   func(a *ArchState) { a.Mem.Counters[0].DRAMReadB++ },
+	}
+	for name, mutate := range mutations {
+		a := sampleArch()
+		mutate(a)
+		d, err := ArchDigest(a)
+		if err != nil {
+			t.Fatalf("%s: ArchDigest: %v", name, err)
+		}
+		if d == base {
+			t.Errorf("%s: mutation did not change the digest; the canonical encoder is skipping this field", name)
+		}
+	}
+}
+
+// TestHasherFraming: length prefixes must keep adjacent variable-length
+// fields from colliding by concatenation.
+func TestHasherFraming(t *testing.T) {
+	h1 := NewHasher()
+	h1.PutStr("ab")
+	h1.PutStr("c")
+	h2 := NewHasher()
+	h2.PutStr("a")
+	h2.PutStr("bc")
+	if h1.Sum64() == h2.Sum64() {
+		t.Error(`("ab","c") and ("a","bc") hash identically; string framing is broken`)
+	}
+	h3 := NewHasher()
+	h3.PutI64s([]int64{1, 2})
+	h3.PutI64s(nil)
+	h4 := NewHasher()
+	h4.PutI64s([]int64{1})
+	h4.PutI64s([]int64{2})
+	if h3.Sum64() == h4.Sum64() {
+		t.Error("([1,2],[]) and ([1],[2]) hash identically; slice framing is broken")
+	}
+}

@@ -153,6 +153,28 @@ func LoadFile(path string) (*Envelope, error) {
 	return Decode(f)
 }
 
+// PeekHeader reads only the JSON header line of the snapshot at path —
+// enough to learn its cycle and spec digest without decoding the body.
+func PeekHeader(path string) (*Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, snapErr("opening snapshot", err)
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(f).ReadString('\n')
+	if err != nil {
+		return nil, snapErr("reading snapshot header", err)
+	}
+	if !strings.HasPrefix(line, `{"magic":"`+Magic+`"`) {
+		return nil, snapErr("not a CRISP snapshot (bad magic)", nil)
+	}
+	var hdr Header
+	if err := json.Unmarshal([]byte(line), &hdr); err != nil {
+		return nil, snapErr("parsing snapshot header", err)
+	}
+	return &hdr, nil
+}
+
 // Ext is the snapshot file extension.
 const Ext = ".crispsnap"
 
@@ -217,6 +239,13 @@ func writeAtomic(final string, env *Envelope) error {
 		os.Remove(tmpName)
 		return err
 	}
+	// fsync before the rename: the rename must never publish a checkpoint
+	// name whose bytes are still only in the page cache.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return snapErr("syncing checkpoint temp file", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return snapErr("closing checkpoint temp file", err)
@@ -225,7 +254,22 @@ func writeAtomic(final string, env *Envelope) error {
 		os.Remove(tmpName)
 		return snapErr("publishing checkpoint", err)
 	}
+	// fsync the directory so the rename itself survives a host crash: an
+	// unsynced rename can be lost, leaving the previous (or no) entry.
+	SyncDir(dir)
 	return nil
+}
+
+// SyncDir fsyncs a directory, making recently renamed entries durable.
+// Best effort: filesystems without directory fsync (or a racing removal)
+// must not fail a write that already succeeded.
+func SyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // prune removes periodic checkpoints beyond the retention bound,
@@ -282,6 +326,62 @@ func Latest(dir string) (string, error) {
 		return "", snapErr(fmt.Sprintf("no snapshots in %s", dir), nil)
 	}
 	return best, nil
+}
+
+// Candidates returns every snapshot path in dir ordered newest-first by
+// header cycle — the resume preference order. final.crispsnap participates
+// like any periodic checkpoint (it is normally the newest). Files whose
+// header cannot even be read sort last: they will fail a full load anyway,
+// but a caller walking the list still visits them before giving up.
+func Candidates(dir string) []string {
+	names := listCheckpoints(dir)
+	if _, err := os.Stat(filepath.Join(dir, "final"+Ext)); err == nil {
+		names = append(names, "final"+Ext)
+	}
+	type cand struct {
+		path  string
+		cycle int64
+	}
+	cands := make([]cand, 0, len(names))
+	for _, n := range names {
+		p := filepath.Join(dir, n)
+		c := cand{path: p, cycle: -1}
+		if hdr, err := PeekHeader(p); err == nil {
+			c.cycle = hdr.Cycle
+		}
+		cands = append(cands, c)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].cycle > cands[j].cycle })
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.path
+	}
+	return out
+}
+
+// LoadNewest loads the newest decodable snapshot in dir, falling back to
+// progressively older checkpoints when the newest is corrupt or truncated
+// — the supervised-retry recovery path. Each undecodable file is renamed
+// aside to <name>.corrupt (so the next attempt does not re-try it) and
+// reported in corrupt. When no snapshot in dir decodes, env is nil and err
+// carries the last failure (KindSnapshot); the caller falls back to a
+// fresh run.
+func LoadNewest(dir string) (env *Envelope, corrupt []string, err error) {
+	cands := Candidates(dir)
+	if len(cands) == 0 {
+		return nil, nil, snapErr(fmt.Sprintf("no snapshots in %s", dir), nil)
+	}
+	for _, path := range cands {
+		env, lerr := LoadFile(path)
+		if lerr == nil {
+			return env, corrupt, nil
+		}
+		err = lerr
+		if renameErr := os.Rename(path, path+".corrupt"); renameErr == nil {
+			corrupt = append(corrupt, path)
+		}
+	}
+	return nil, corrupt, err
 }
 
 // Resolve turns a -resume argument into a snapshot path: a file path is

@@ -1,0 +1,103 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCandidatesNewestFirst(t *testing.T) {
+	dir := t.TempDir()
+	st := &Store{Dir: dir}
+	for _, c := range []int64{100, 300} {
+		if _, err := st.Save(sampleEnvelope(c)); err != nil {
+			t.Fatalf("save %d: %v", c, err)
+		}
+	}
+	// A final snapshot that is OLDER than the newest periodic checkpoint:
+	// Candidates must order by header cycle, not by name or kind.
+	if _, err := st.SaveFinal(sampleEnvelope(200)); err != nil {
+		t.Fatalf("save final: %v", err)
+	}
+	cands := Candidates(dir)
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3: %v", len(cands), cands)
+	}
+	wantOrder := []int64{300, 200, 100}
+	for i, p := range cands {
+		hdr, err := PeekHeader(p)
+		if err != nil {
+			t.Fatalf("peek %s: %v", p, err)
+		}
+		if hdr.Cycle != wantOrder[i] {
+			t.Fatalf("candidate %d = cycle %d, want %d (order %v)", i, hdr.Cycle, wantOrder[i], cands)
+		}
+	}
+	if filepath.Base(cands[1]) != "final"+Ext {
+		t.Fatalf("middle candidate = %s, want final%s", cands[1], Ext)
+	}
+}
+
+func TestLoadNewestFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st := &Store{Dir: dir}
+	for _, c := range []int64{100, 200} {
+		if _, err := st.Save(sampleEnvelope(c)); err != nil {
+			t.Fatalf("save %d: %v", c, err)
+		}
+	}
+	newest := filepath.Join(dir, fileName(200))
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	env, corrupt, err := LoadNewest(dir)
+	if err != nil {
+		t.Fatalf("LoadNewest: %v", err)
+	}
+	if env.State.Arch.Cycle != 100 {
+		t.Fatalf("resumed from cycle %d, want fallback to 100", env.State.Arch.Cycle)
+	}
+	if len(corrupt) != 1 || corrupt[0] != newest {
+		t.Fatalf("corrupt = %v, want [%s]", corrupt, newest)
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Fatalf("damaged file not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(newest); !os.IsNotExist(err) {
+		t.Fatalf("damaged file still under its checkpoint name: %v", err)
+	}
+}
+
+func TestLoadNewestAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st := &Store{Dir: dir}
+	if _, err := st.Save(sampleEnvelope(100)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileName(100))
+	if err := os.WriteFile(path, []byte("not a snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env, corrupt, err := LoadNewest(dir)
+	if env != nil || err == nil {
+		t.Fatalf("LoadNewest on all-corrupt dir: env=%v err=%v", env, err)
+	}
+	if len(corrupt) != 1 {
+		t.Fatalf("corrupt = %v, want exactly the one damaged file", corrupt)
+	}
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("error should be a snapshot error: %v", err)
+	}
+}
+
+func TestLoadNewestEmptyDir(t *testing.T) {
+	if env, _, err := LoadNewest(t.TempDir()); env != nil || err == nil {
+		t.Fatalf("LoadNewest on empty dir: env=%v err=%v", env, err)
+	}
+}

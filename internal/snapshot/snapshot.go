@@ -15,18 +15,19 @@
 //
 //   - The schema is map-free. Everything that lives in a Go map inside
 //     the simulator is serialized as a slice sorted by its key, so the
-//     gob encoding of a given simulator state is byte-identical no matter
+//     serialized form of a given simulator state is identical no matter
 //     which process produced it.
 //   - Architectural state (ArchState) is separated from observability
-//     state (ObsState). The digest covers only ArchState, so enabling
-//     tracing, metrics, or checkpointing itself never perturbs a digest —
-//     any digest mismatch is a real simulation divergence.
+//     state (ObsState). The digest covers only ArchState, and it is
+//     computed with the canonical field-by-field encoder in digest.go —
+//     never from a self-describing serialization format, whose bytes can
+//     depend on process encode history — so enabling tracing, metrics, or
+//     checkpointing itself never perturbs a digest: any digest mismatch
+//     is a real simulation divergence.
 package snapshot
 
 import (
-	"encoding/gob"
 	"encoding/json"
-	"hash/fnv"
 
 	"crisp/internal/config"
 )
@@ -83,7 +84,7 @@ type GPUState struct {
 }
 
 // ArchState is everything that determines future simulated behavior. The
-// determinism digest is the FNV-1a hash of its gob encoding.
+// determinism digest is the canonical FNV-1a hash computed by ArchDigest.
 type ArchState struct {
 	Cycle       int64
 	TotalIssued int64
@@ -300,17 +301,6 @@ type UMONState struct {
 type UMONStack struct {
 	Key  uint64
 	Tags []uint64
-}
-
-// ArchDigest is the determinism digest: FNV-1a over the gob encoding of
-// the architectural state. The schema is map-free, so the encoding — and
-// with it the digest — is identical across processes for identical state.
-func ArchDigest(a *ArchState) (uint64, error) {
-	h := fnv.New64a()
-	if err := gob.NewEncoder(h).Encode(a); err != nil {
-		return 0, err
-	}
-	return h.Sum64(), nil
 }
 
 // DigestEntry is one sampled architectural digest.
