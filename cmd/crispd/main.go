@@ -24,6 +24,14 @@
 // plants seeded faults (kill@cycle, checkpoint corruption, delays) to
 // exercise exactly that machinery.
 //
+// Sweeps (POST /v1/sweeps) shard a policy × workload × config grid across
+// a fleet of -fleet shards under lease-based supervision: each shard
+// renews a time-bounded lease by heartbeat while it runs its task, a
+// missed heartbeat or crash revokes the lease, and the task is reassigned
+// to resume from the newest shipped checkpoint. -worker-mode runs the
+// bare worker protocol (one NDJSON request on stdin, events on stdout)
+// for use as a -worker-bin peer.
+//
 // See docs/SERVICE.md for the API reference and lifecycle details.
 package main
 
@@ -73,7 +81,18 @@ func main() {
 	isolate := flag.Bool("isolate", false, "run each job attempt in a child worker process so a hard crash kills one job, not the daemon")
 	workerBin := flag.String("worker-bin", "", "worker executable for -isolate (empty = re-exec this binary)")
 	chaosSpec := flag.String("chaos", "", "seeded fault injection spec, e.g. 'seed=7,kill@9000,corrupt=truncate,delay=20ms' (testing only)")
+	fleet := flag.Int("fleet", 0, "sweep-tier shard count: concurrent sweep tasks (0 = same as -workers)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "sweep task lease duration; a lease not renewed within it is revoked and the task reassigned (0 = default 10s)")
+	hbEvery := flag.Duration("heartbeat-every", 0, "sweep lease renewal cadence (0 = lease-ttl/4)")
+	maxSweeps := flag.Int("max-sweeps", 0, "max concurrently live sweeps; beyond it submissions get 429 (0 = default 16)")
+	maxSweepTasks := flag.Int("max-sweep-tasks", 0, "max grid cells one sweep may expand to (0 = default 512)")
+	timelineSubs := flag.Int("timeline-subs", 0, "max live SSE subscribers per timeline; beyond it requests get 503 (0 = default 256, negative = unlimited)")
+	workerMode := flag.Bool("worker-mode", false, "run as a bare fleet worker: read one job request from stdin, stream NDJSON events to stdout, exit (for -worker-bin peers)")
 	flag.Parse()
+
+	if *workerMode {
+		os.Exit(service.WorkerMain())
+	}
 
 	var cspec chaos.Spec
 	if *chaosSpec != "" {
@@ -106,6 +125,12 @@ func main() {
 		Isolate:          *isolate,
 		WorkerCommand:    workerCmd,
 		Chaos:            cspec,
+		MaxTimelineSubs:  *timelineSubs,
+		FleetWorkers:     *fleet,
+		LeaseTTL:         *leaseTTL,
+		HeartbeatEvery:   *hbEvery,
+		MaxSweeps:        *maxSweeps,
+		MaxSweepTasks:    *maxSweepTasks,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -120,19 +145,13 @@ func main() {
 	// Profiling is opt-in and lives on its own listener + mux so the
 	// default registration in net/http/pprof's init never reaches the
 	// public API mux: without -pprof, /debug/pprof does not exist.
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
-		pln, err := net.Listen("tcp", *pprofAddr)
+		var err error
+		pprofSrv, err = startPprof(*pprofAddr)
 		if err != nil {
 			log.Fatalf("pprof listen: %v", err)
 		}
-		pmux := http.NewServeMux()
-		pmux.HandleFunc("/debug/pprof/", pprof.Index)
-		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		log.Printf("pprof on %s", pln.Addr())
-		go func() { log.Print(http.Serve(pln, pmux)) }()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -158,18 +177,67 @@ func main() {
 
 	// Drain protocol: stop admitting (new submissions get 503, health goes
 	// unready for load balancers), checkpoint and stop running jobs, then
-	// close the listener and exit 0.
+	// close the listeners — pprof included — and exit 0.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
+	if err := drainAndShutdown(ctx, srv.Drain, pprofSrv, httpSrv); err != nil {
 		log.Printf("drain incomplete: %v", err)
-		httpSrv.Close()
 		os.Exit(1)
-	}
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
 	}
 	st := srv.Snapshot()
 	log.Printf("drained: %d done, %d failed, %d canceled, %d results cached; bye",
 		st.Done, st.Failed, st.Canceled, st.CachedResults)
+}
+
+// startPprof serves net/http/pprof on its own listener and returns the
+// server so the drain path can shut it down — before this, the pprof
+// listener was fire-and-forget and outlived the drain, holding the port
+// (and any in-flight profile) past the point the daemon claimed to be
+// stopped.
+func startPprof(addr string) (*http.Server, error) {
+	pln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pmux := http.NewServeMux()
+	pmux.HandleFunc("/debug/pprof/", pprof.Index)
+	pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof on %s", pln.Addr())
+	psrv := &http.Server{Addr: pln.Addr().String(), Handler: pmux}
+	go func() {
+		if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	return psrv, nil
+}
+
+// drainAndShutdown runs the shutdown sequence in its required order:
+// drain the service first — the pprof listener stays up throughout, so a
+// drain that hangs can still be profiled — then shut down pprof, then the
+// public API listener last (readyz keeps answering 503 until the very
+// end, which is what load balancers key off). A failed drain still closes
+// both listeners before the error propagates.
+func drainAndShutdown(ctx context.Context, drain func(context.Context) error, pprofSrv, apiSrv *http.Server) error {
+	drainErr := drain(ctx)
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("pprof shutdown: %v", err)
+		}
+	}
+	if drainErr != nil {
+		if apiSrv != nil {
+			apiSrv.Close()
+		}
+		return drainErr
+	}
+	if apiSrv != nil {
+		if err := apiSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("http shutdown: %v", err)
+		}
+	}
+	return nil
 }

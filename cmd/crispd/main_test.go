@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func httpGet(t *testing.T, addr, path string) (int, error) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// TestDrainAndShutdownOrdering pins the shutdown sequence: the pprof and
+// API listeners must both still answer while the drain runs (a stuck
+// drain is exactly when an operator wants a goroutine profile, and load
+// balancers watch readyz until the end), and both must be closed once
+// drainAndShutdown returns.
+func TestDrainAndShutdownOrdering(t *testing.T) {
+	pprofSrv, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("startPprof: %v", err)
+	}
+
+	apiLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("api listen: %v", err)
+	}
+	apiSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go apiSrv.Serve(apiLn)
+	apiAddr := apiLn.Addr().String()
+
+	var pprofUpDuringDrain, apiUpDuringDrain bool
+	drain := func(ctx context.Context) error {
+		if code, err := httpGet(t, pprofSrv.Addr, "/debug/pprof/cmdline"); err == nil && code == http.StatusOK {
+			pprofUpDuringDrain = true
+		}
+		if _, err := httpGet(t, apiAddr, "/"); err == nil {
+			apiUpDuringDrain = true
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := drainAndShutdown(ctx, drain, pprofSrv, apiSrv); err != nil {
+		t.Fatalf("drainAndShutdown: %v", err)
+	}
+
+	if !pprofUpDuringDrain {
+		t.Error("pprof listener was down during drain; it must outlive the drain so a stuck drain can be profiled")
+	}
+	if !apiUpDuringDrain {
+		t.Error("API listener was down during drain; it must keep serving readyz until the drain completes")
+	}
+	if _, err := httpGet(t, pprofSrv.Addr, "/debug/pprof/cmdline"); err == nil {
+		t.Error("pprof listener still serving after drainAndShutdown returned")
+	}
+	if _, err := httpGet(t, apiAddr, "/"); err == nil {
+		t.Error("API listener still serving after drainAndShutdown returned")
+	}
+}
+
+// TestDrainAndShutdownFailedDrain pins the failure path: a drain error
+// still closes both listeners before propagating, so a botched drain
+// never leaves a half-alive daemon holding ports.
+func TestDrainAndShutdownFailedDrain(t *testing.T) {
+	pprofSrv, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("startPprof: %v", err)
+	}
+	apiLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("api listen: %v", err)
+	}
+	apiSrv := &http.Server{Handler: http.NotFoundHandler()}
+	go apiSrv.Serve(apiLn)
+
+	boom := errors.New("jobs still running")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = drainAndShutdown(ctx, func(context.Context) error { return boom }, pprofSrv, apiSrv)
+	if !errors.Is(err, boom) {
+		t.Fatalf("drainAndShutdown error = %v, want %v", err, boom)
+	}
+	if _, err := httpGet(t, pprofSrv.Addr, "/debug/pprof/cmdline"); err == nil {
+		t.Error("pprof listener still serving after failed drain")
+	}
+	if _, err := httpGet(t, apiLn.Addr().String(), "/"); err == nil {
+		t.Error("API listener still serving after failed drain")
+	}
+}
+
+// TestDrainAndShutdownNoPprof covers the default deployment (-pprof
+// unset): a nil pprof server is skipped, not dereferenced.
+func TestDrainAndShutdownNoPprof(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := drainAndShutdown(ctx, func(context.Context) error { return nil }, nil, nil); err != nil {
+		t.Fatalf("drainAndShutdown: %v", err)
+	}
+}

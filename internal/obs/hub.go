@@ -207,11 +207,27 @@ func (h *Hub) Closed() bool {
 // chanCap sizes the live channel (<= 0 selects 64); an SSE handler that
 // flushes promptly rarely needs more.
 func (h *Hub) Subscribe(fromSeq uint64, chanCap int) (backlog []TimelineEvent, sub *Subscription, gapped bool) {
+	backlog, sub, gapped, _ = h.SubscribeLimited(fromSeq, chanCap, 0)
+	return backlog, sub, gapped
+}
+
+// SubscribeLimited is Subscribe with an admission bound: when maxSubs > 0
+// and that many subscriptions are already live, no subscription is created
+// and ok is false — the check and the registration happen under one lock,
+// so a flood of concurrent subscribers can never overshoot the cap. A
+// closed hub always admits (the subscription is born closed and only the
+// backlog is replayed; it holds no resources). maxSubs <= 0 means
+// unlimited.
+func (h *Hub) SubscribeLimited(fromSeq uint64, chanCap, maxSubs int) (backlog []TimelineEvent, sub *Subscription, gapped, ok bool) {
 	if chanCap <= 0 {
 		chanCap = 64
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+
+	if maxSubs > 0 && !h.closed && len(h.subs) >= maxSubs {
+		return nil, nil, false, false
+	}
 
 	oldest := h.next - uint64(h.n) // seq of the oldest retained event
 	if fromSeq < 1 {
@@ -236,7 +252,7 @@ func (h *Hub) Subscribe(fromSeq uint64, chanCap int) (backlog []TimelineEvent, s
 	} else {
 		h.subs[s] = struct{}{}
 	}
-	return backlog, s, gapped
+	return backlog, s, gapped, true
 }
 
 // Events returns a copy of the retained events whose cycle lies in

@@ -53,6 +53,15 @@ type Spec struct {
 	CorruptLatest string
 	// Delay postpones every job completion by this duration.
 	Delay time.Duration
+	// HBDrop strikes this many fleet leases deaf: renewals for a deaf
+	// lease are swallowed (at most one lease per task digest, HBDrop
+	// digests total), so the lease expires mid-run and the coordinator
+	// must revoke it and reassign the task to a healthy worker.
+	HBDrop int
+	// HBDelay postpones every heartbeat renewal's delivery to the lease
+	// table by this duration — slow-RPC emulation on the
+	// coordinator↔worker supervision path.
+	HBDelay time.Duration
 }
 
 // ParseSpec parses the `-chaos` flag syntax: comma-separated tokens
@@ -98,6 +107,18 @@ func ParseSpec(s string) (Spec, error) {
 				return Spec{}, fmt.Errorf("chaos: bad delay %q", tok)
 			}
 			spec.Delay = d
+		case strings.HasPrefix(tok, "hbdrop="):
+			n, err := strconv.Atoi(tok[len("hbdrop="):])
+			if err != nil || n < 0 {
+				return Spec{}, fmt.Errorf("chaos: bad heartbeat-drop count %q", tok)
+			}
+			spec.HBDrop = n
+		case strings.HasPrefix(tok, "hbdelay="):
+			d, err := time.ParseDuration(tok[len("hbdelay="):])
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("chaos: bad heartbeat delay %q", tok)
+			}
+			spec.HBDelay = d
 		default:
 			return Spec{}, fmt.Errorf("chaos: unknown token %q", tok)
 		}
@@ -126,12 +147,19 @@ func (s Spec) String() string {
 	if s.Delay > 0 {
 		parts = append(parts, "delay="+s.Delay.String())
 	}
+	if s.HBDrop > 0 {
+		parts = append(parts, fmt.Sprintf("hbdrop=%d", s.HBDrop))
+	}
+	if s.HBDelay > 0 {
+		parts = append(parts, "hbdelay="+s.HBDelay.String())
+	}
 	return strings.Join(parts, ",")
 }
 
 // Enabled reports whether the spec plants any fault at all.
 func (s Spec) Enabled() bool {
-	return s.KillCycle > 0 || s.CorruptLatest != "" || s.Delay > 0
+	return s.KillCycle > 0 || s.CorruptLatest != "" || s.Delay > 0 ||
+		s.HBDrop > 0 || s.HBDelay > 0
 }
 
 // Controller budgets a Spec's faults across job attempts. All methods are
@@ -143,9 +171,11 @@ type Controller struct {
 	mu        sync.Mutex
 	kills     map[string]int  // digest → kills already fired
 	corrupted map[string]bool // digest → corruption already fired
+	hbDropped map[string]bool // digest → a lease was already struck deaf
 
 	killsFired       atomic.Int64
 	corruptionsFired atomic.Int64
+	hbDropsFired     atomic.Int64
 }
 
 // NewController builds a Controller for spec; nil when the spec is empty,
@@ -158,6 +188,7 @@ func NewController(spec Spec) *Controller {
 		spec:      spec,
 		kills:     make(map[string]int),
 		corrupted: make(map[string]bool),
+		hbDropped: make(map[string]bool),
 	}
 }
 
@@ -211,6 +242,41 @@ func (c *Controller) CompletionDelay() time.Duration {
 		return 0
 	}
 	return c.spec.Delay
+}
+
+// TakeHBDrop reserves one deaf lease for this task digest: when it
+// reports true, the lease granted for the starting attempt must swallow
+// its renewals so it expires mid-run. At most one lease per digest and
+// HBDrop digests total go deaf — the reassigned attempt's lease renews
+// normally, so every chaos schedule converges.
+func (c *Controller) TakeHBDrop(digest string) bool {
+	if c == nil || c.spec.HBDrop <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hbDropped[digest] || int(c.hbDropsFired.Load()) >= c.spec.HBDrop {
+		return false
+	}
+	c.hbDropped[digest] = true
+	c.hbDropsFired.Add(1)
+	return true
+}
+
+// HeartbeatDelay is the scheduled per-renewal delivery delay (0 on nil).
+func (c *Controller) HeartbeatDelay() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.spec.HBDelay
+}
+
+// HeartbeatDrops reports how many leases were struck deaf, for /metrics.
+func (c *Controller) HeartbeatDrops() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hbDropsFired.Load()
 }
 
 // Stats reports total faults fired, for /metrics.

@@ -26,6 +26,14 @@ import (
 //	GET    /v1/results/{digest}   fetch a cached result by content digest
 //	GET    /v1/series/{digest}    fetch a completed job's interval series
 //	                              by content digest (the A/B diff source)
+//	POST   /v1/sweeps             submit a sweep: a policy × workload ×
+//	                              config grid sharded across the fleet
+//	                              (201; 400 invalid; 429 too many sweeps)
+//	GET    /v1/sweeps             list sweeps
+//	GET    /v1/sweeps/{id}        sweep status: per-task states, lease
+//	                              accounting, merged digest when done
+//	DELETE /v1/sweeps/{id}        cancel a sweep (409 if finished)
+//	GET    /v1/sweeps/{id}/timeline merged sweep progress (SSE)
 //	GET    /ui/                   embedded exploration UI (vanilla JS+SVG)
 //	GET    /healthz               liveness: 200 while the process serves
 //	GET    /readyz                readiness: 200 accepting work / 503 while
@@ -41,6 +49,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/series", s.handleJobSeries)
 	mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
 	mux.HandleFunc("GET /v1/series/{digest}", s.handleSeries)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/timeline", s.handleSweepTimeline)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -211,6 +224,67 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sr)
 }
 
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed sweep spec: "+err.Error())
+		return
+	}
+	sw, err := s.SubmitSweep(spec)
+	if err != nil {
+		var ve *ValidationError
+		var qf *QueueFullError
+		switch {
+		case errors.As(err, &ve):
+			httpError(w, http.StatusBadRequest, ve.Error())
+		case errors.As(err, &qf):
+			w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter.Round(time.Second)/time.Second)))
+			httpError(w, http.StatusTooManyRequests, "too many live sweeps; retry later")
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.viewOfSweep(sw, true))
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	sweeps := s.Sweeps()
+	views := make([]sweepView, 0, len(sweeps))
+	for _, sw := range sweeps {
+		views = append(views, s.viewOfSweep(sw, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.SweepByID(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewOfSweep(sw, true))
+}
+
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	okCancel, err := s.CancelSweep(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if !okCancel {
+		httpError(w, http.StatusConflict, "sweep "+id+" already finished")
+		return
+	}
+	sw, _ := s.SweepByID(id)
+	writeJSON(w, http.StatusOK, s.viewOfSweep(sw, true))
+}
+
 // handleHealthz is liveness: the process is up and serving HTTP. It stays
 // 200 through a drain — a draining daemon is still alive and must not be
 // restarted by an orchestrator's liveness probe while it checkpoints.
@@ -274,6 +348,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE crispd_checkpoint_fallbacks_total counter\ncrispd_checkpoint_fallbacks_total %d\n", st.CheckpointFallbacks)
 	fmt.Fprintf(w, "# TYPE crispd_chaos_kills_total counter\ncrispd_chaos_kills_total %d\n", st.ChaosKills)
 	fmt.Fprintf(w, "# TYPE crispd_chaos_corruptions_total counter\ncrispd_chaos_corruptions_total %d\n", st.ChaosCorruptions)
+	fmt.Fprintf(w, "# HELP crispd_chaos_hb_drops_total Chaos faults fired: leases made deaf to heartbeat renewals.\n")
+	fmt.Fprintf(w, "# TYPE crispd_chaos_hb_drops_total counter\ncrispd_chaos_hb_drops_total %d\n", st.Fleet.HeartbeatDrops)
+	fmt.Fprintf(w, "# HELP crispd_fleet_shards Sweep-tier shard pool size.\n")
+	fmt.Fprintf(w, "# TYPE crispd_fleet_shards gauge\ncrispd_fleet_shards %d\n", st.Fleet.Shards)
+	fmt.Fprintf(w, "# TYPE crispd_sweeps_active gauge\ncrispd_sweeps_active %d\n", st.Fleet.SweepsActive)
+	fmt.Fprintf(w, "# TYPE crispd_sweeps gauge\n")
+	for _, state := range []State{StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "crispd_sweeps{state=%q} %d\n", state, st.Fleet.SweepsByState[state])
+	}
+	fmt.Fprintf(w, "# TYPE crispd_sweep_tasks_total counter\n")
+	fmt.Fprintf(w, "crispd_sweep_tasks_total{state=\"done\"} %d\n", st.Fleet.TasksDone)
+	fmt.Fprintf(w, "crispd_sweep_tasks_total{state=\"failed\"} %d\n", st.Fleet.TasksFailed)
+	fmt.Fprintf(w, "# HELP crispd_lease_grants_total Task leases granted to fleet shards.\n")
+	fmt.Fprintf(w, "# TYPE crispd_lease_grants_total counter\ncrispd_lease_grants_total %d\n", st.Fleet.LeaseGrants)
+	fmt.Fprintf(w, "# TYPE crispd_lease_renewals_total counter\ncrispd_lease_renewals_total %d\n", st.Fleet.LeaseRenewals)
+	fmt.Fprintf(w, "# HELP crispd_lease_expirations_total Leases that expired after missed heartbeats.\n")
+	fmt.Fprintf(w, "# TYPE crispd_lease_expirations_total counter\ncrispd_lease_expirations_total %d\n", st.Fleet.LeaseExpirations)
+	fmt.Fprintf(w, "# HELP crispd_lease_revocations_total Leases revoked (worker crash or heartbeat expiry) and reassigned.\n")
+	fmt.Fprintf(w, "# TYPE crispd_lease_revocations_total counter\ncrispd_lease_revocations_total %d\n", st.Fleet.LeaseRevocations)
+	fmt.Fprintf(w, "# HELP crispd_fleet_resumes_total Reassigned sweep attempts that resumed from a shipped checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE crispd_fleet_resumes_total counter\ncrispd_fleet_resumes_total %d\n", st.Fleet.FleetResumes)
+	fmt.Fprintf(w, "# HELP crispd_duplicate_results_total Results from revoked leases discarded by digest (exactly-once commit).\n")
+	fmt.Fprintf(w, "# TYPE crispd_duplicate_results_total counter\ncrispd_duplicate_results_total %d\n", st.Fleet.DuplicateResults)
+	fmt.Fprintf(w, "# HELP crispd_federated_cache_hits_total Sweep dispatches answered from a federated result cache.\n")
+	fmt.Fprintf(w, "# TYPE crispd_federated_cache_hits_total counter\ncrispd_federated_cache_hits_total %d\n", st.Fleet.FederatedHits)
 	fmt.Fprintf(w, "# HELP crispd_timeline_subscribers Live timeline (SSE) subscriptions across all job hubs.\n")
 	fmt.Fprintf(w, "# TYPE crispd_timeline_subscribers gauge\ncrispd_timeline_subscribers %d\n", st.Subscribers)
 	fmt.Fprintf(w, "# TYPE crispd_timeline_events_total counter\ncrispd_timeline_events_total %d\n", st.TimelineEvents)

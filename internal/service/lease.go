@@ -1,0 +1,133 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Lease-based supervision: a fleet shard holds a time-bounded lease on
+// the task it is executing, renewed by heartbeat (wall-clock ticks plus
+// interval samples — any sign of life). A lease that reaches its expiry
+// without a renewal is presumed held by a dead or partitioned worker: the
+// coordinator revokes it and reassigns the task to a healthy shard,
+// resuming from the newest shipped checkpoint. Epochs make revocation
+// safe without coordination: every grant gets a fresh, table-unique
+// epoch, and a commit or failure report carrying a stale epoch is
+// recognized as coming from a revoked holder.
+
+// lease is one shard's claim on one task.
+type lease struct {
+	key     string // task key ("sweepID/index")
+	worker  int    // shard id holding the claim
+	epoch   uint64 // table-unique grant number
+	expires time.Time
+	// deaf is a chaos fault (hbdrop): renewals are acknowledged to the
+	// holder but silently swallowed, so the lease expires while its
+	// holder keeps working — the network-partition simulation that
+	// forces the duplicate-commit race the coordinator must win.
+	deaf bool
+}
+
+// expiredLease is one revocation candidate collected by Expired.
+type expiredLease struct {
+	key    string
+	worker int
+	epoch  uint64
+}
+
+// leaseTable tracks every live lease. All methods are safe for concurrent
+// use; the zero value is not usable — call newLeaseTable.
+type leaseTable struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	leases map[string]*lease
+	nextEp uint64
+
+	grants      int64
+	renewals    int64
+	expirations int64
+}
+
+func newLeaseTable(ttl time.Duration) *leaseTable {
+	return &leaseTable{ttl: ttl, leases: make(map[string]*lease), nextEp: 1}
+}
+
+// Grant claims key for worker and returns the grant's epoch. An existing
+// lease on the same key is replaced (the caller revoked it first).
+func (t *leaseTable) Grant(key string, worker int, deaf bool) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ep := t.nextEp
+	t.nextEp++
+	t.leases[key] = &lease{key: key, worker: worker, epoch: ep, expires: time.Now().Add(t.ttl), deaf: deaf}
+	t.grants++
+	return ep
+}
+
+// Renew extends the lease by one TTL. It reports whether the holder still
+// owns the lease: false means the lease was revoked or replaced and the
+// holder should abandon the attempt — except for a deaf lease, which lies
+// (returns true) while letting the clock run out, exactly like a
+// partition that drops heartbeats after acknowledging them is
+// indistinguishable from one that never delivers them.
+func (t *leaseTable) Renew(key string, epoch uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[key]
+	if !ok || l.epoch != epoch {
+		return false
+	}
+	if l.deaf {
+		return true
+	}
+	l.expires = time.Now().Add(t.ttl)
+	t.renewals++
+	return true
+}
+
+// Release drops the lease if the holder still owns it (normal completion
+// or failure handoff). Reports whether a lease was removed.
+func (t *leaseTable) Release(key string, epoch uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[key]
+	if !ok || l.epoch != epoch {
+		return false
+	}
+	delete(t.leases, key)
+	return true
+}
+
+// Expired removes and returns every lease whose expiry has passed. The
+// expiry monitor revokes and reassigns each returned task.
+func (t *leaseTable) Expired(now time.Time) []expiredLease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []expiredLease
+	for key, l := range t.leases {
+		if now.After(l.expires) {
+			out = append(out, expiredLease{key: key, worker: l.worker, epoch: l.epoch})
+			delete(t.leases, key)
+			t.expirations++
+		}
+	}
+	return out
+}
+
+// Holder reports the current lease on key, if any.
+func (t *leaseTable) Holder(key string) (worker int, epoch uint64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, found := t.leases[key]
+	if !found {
+		return 0, 0, false
+	}
+	return l.worker, l.epoch, true
+}
+
+// Counters returns the lifetime grant/renewal/expiration counts.
+func (t *leaseTable) Counters() (grants, renewals, expirations int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.grants, t.renewals, t.expirations
+}

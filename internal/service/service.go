@@ -76,6 +76,26 @@ type Config struct {
 	// reconnects replay from this ring; a cursor older than it forces a
 	// full /series refetch. Default obs.DefaultHubCapacity.
 	TimelineBuffer int
+	// MaxTimelineSubs bounds live SSE subscribers per timeline hub; a
+	// subscriber beyond it gets 503 + Retry-After instead of a stream, so
+	// a subscriber flood cannot exhaust file descriptors. Default 256;
+	// negative = unlimited.
+	MaxTimelineSubs int
+
+	// FleetWorkers is the sweep tier's shard count: how many sweep tasks
+	// execute concurrently under lease-based supervision. Default Workers.
+	FleetWorkers int
+	// LeaseTTL bounds how long a shard may go without renewing its task
+	// lease (heartbeats, samples) before the coordinator presumes it dead,
+	// revokes the lease, and reassigns the task. Default 10s.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the lease-renewal cadence. Default LeaseTTL/4.
+	HeartbeatEvery time.Duration
+	// MaxSweeps bounds concurrently live (non-terminal) sweeps; beyond it
+	// submissions get 429 + Retry-After. Default 16.
+	MaxSweeps int
+	// MaxSweepTasks bounds one sweep's grid expansion. Default 512.
+	MaxSweepTasks int
 
 	// MaxAttempts is the supervised-retry budget per job: a job whose
 	// execution fails retryably this many times (counted across daemon
@@ -114,6 +134,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TimelineBuffer <= 0 {
 		c.TimelineBuffer = obs.DefaultHubCapacity
+	}
+	if c.MaxTimelineSubs == 0 {
+		c.MaxTimelineSubs = 256
+	}
+	if c.FleetWorkers <= 0 {
+		c.FleetWorkers = c.Workers
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 4
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = DefaultMaxSweeps
+	}
+	if c.MaxSweepTasks <= 0 {
+		c.MaxSweepTasks = DefaultMaxSweepTasks
 	}
 	return c
 }
@@ -257,6 +298,10 @@ type Server struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
+	// coord owns the sweep tier: sharded execution with lease-based
+	// supervision and checkpoint handoff (coordinator.go).
+	coord *coordinator
+
 	cache *resultCache
 	// series holds completed jobs' interval series by job digest (the
 	// retained window of the primary execution's timeline), mirrored to
@@ -319,7 +364,18 @@ func New(cfg Config) (*Server, error) {
 	for _, j := range recovered {
 		s.readmit(j)
 	}
+	s.coord = newCoordinator(s)
 	return s, nil
+}
+
+// resultsDir is the persisted content-addressed result store ("" when
+// memory-only) — the directory isolated fleet workers consult as their
+// local cache (federation).
+func (s *Server) resultsDir() string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.StateDir, "results")
 }
 
 // Start launches the worker pool and marks the server ready: startup
@@ -329,6 +385,7 @@ func (s *Server) Start() {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.coord.start()
 	s.ready.Store(true)
 }
 
@@ -723,77 +780,25 @@ func (s *Server) runAttempt(ctx context.Context, job *Job, resumeFrom string) (*
 	return s.runInProcess(ctx, job, resumeFrom, killAt)
 }
 
-// runInProcess is the direct execution path. A chaos kill (killAt > 0)
-// panics with a KindInjected SimError from the metrics sink on the sim
-// goroutine: the core's deferred recovery flushes a final snapshot first,
-// so the retry has the kill-time state to resume from.
+// runInProcess is the direct execution path, built on the shared core in
+// fleet.go. A chaos kill (killAt > 0) panics with a KindInjected SimError
+// from the metrics sink on the sim goroutine: the core's deferred
+// recovery flushes a final snapshot first, so the retry has the kill-time
+// state to resume from.
 func (s *Server) runInProcess(ctx context.Context, job *Job, resumeFrom string, killAt int64) (*StoredResult, error) {
-	r := job.res
-	sink := job.noteSample
-	if killAt > 0 {
-		sink = func(smp obs.Sample) {
-			job.noteSample(smp)
-			if smp.Cycle >= killAt {
-				panic(chaos.Injected(smp.Cycle))
+	p := s.paramsFor(job.res, resumeFrom, s.jobDir(job), killAt)
+	stored, wall, err := runDirect(ctx, p, attemptHooks{
+		onSample: job.noteSample,
+		onFallback: func(corrupt []string) {
+			for _, c := range corrupt {
+				log.Printf("crispd: job %s: corrupt checkpoint %s renamed aside", job.ID, c)
 			}
-		}
-	}
-	runOpts := []crisp.RunOption{
-		crisp.WithMetrics(s.cfg.ProgressInterval),
-		crisp.WithMetricsSink(sink),
-	}
-	budget := r.budget
-	if budget == 0 {
-		budget = s.cfg.DefaultBudget
-	}
-	if budget > 0 {
-		runOpts = append(runOpts, crisp.WithCycleBudget(budget))
-	}
-	wdog := r.wdog
-	if wdog == 0 {
-		wdog = s.cfg.WatchdogWindow
-	}
-	if wdog != 0 {
-		runOpts = append(runOpts, crisp.WithWatchdog(wdog))
-	}
-	if s.cfg.RunWorkers != 0 {
-		runOpts = append(runOpts, crisp.WithWorkers(s.cfg.RunWorkers))
-	}
-	if dir := s.jobDir(job); dir != "" {
-		runOpts = append(runOpts, crisp.WithCheckpointDir(dir))
-		if s.cfg.CheckpointEvery > 0 {
-			runOpts = append(runOpts, crisp.WithCheckpointEvery(s.cfg.CheckpointEvery))
-		}
-	}
-
-	t0 := time.Now()
-	var res *crisp.Result
-	var err error
-	if resumeFrom != "" {
-		// Resume from the newest readable snapshot; corrupt ones are
-		// renamed aside and skipped (fallback-to-previous). A directory
-		// with nothing readable falls back to a fresh run — losing
-		// progress, never the job.
-		env, corrupt, lerr := loadResume(resumeFrom)
-		for _, c := range corrupt {
-			log.Printf("crispd: job %s: corrupt checkpoint %s renamed aside", job.ID, c)
-		}
-		if len(corrupt) > 0 {
 			s.fallbacks.Add(1)
-		}
-		if lerr == nil {
-			res, err = crisp.Resume(ctx, env, runOpts...)
-		}
-	}
-	if res == nil && err == nil {
-		res, err = crisp.RunPairContext(ctx, r.cfg, r.scene, r.compute, r.policy, r.opts, runOpts...)
-	}
-	wall := time.Since(t0)
+		},
+		onKill: func(cycle int64) { panic(chaos.Injected(cycle)) },
+	})
 	s.observeRunTime(wall)
-	if err != nil {
-		return nil, err
-	}
-	return storedFromResult(r, res, float64(wall.Microseconds())/1000)
+	return stored, err
 }
 
 // loadResume loads the snapshot a retry resumes from: a directory loads
@@ -977,6 +982,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	idle := make(chan struct{})
 	go func() {
+		// The sweep tier drains first (its shards cancel their attempts
+		// and exit), then the job pool.
+		s.coord.drain()
 		s.wg.Wait()
 		close(idle)
 	}()
@@ -1056,6 +1064,10 @@ type Stats struct {
 	TimelineEvents uint64
 	SubsDropped    uint64
 	EvsDropped     uint64
+
+	// Fleet is the sweep tier's counter snapshot (leases, revocations,
+	// checkpoint handoffs, federation).
+	Fleet FleetStats
 }
 
 // Snapshot returns current server statistics.
@@ -1091,6 +1103,7 @@ func (s *Server) Snapshot() Stats {
 	st.WorkerCrashes = s.crashes.Load()
 	st.CheckpointFallbacks = s.fallbacks.Load()
 	st.ChaosKills, st.ChaosCorruptions = s.chaosCtrl.Stats()
+	st.Fleet = s.coord.stats()
 	st.CachedResults = s.cache.len()
 	st.Ready = s.Ready()
 	st.UptimeSec = time.Since(s.launchedAt).Seconds()

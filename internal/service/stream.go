@@ -35,6 +35,28 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
 		return
 	}
+	s.streamHub(w, r, job.hub)
+}
+
+// handleSweepTimeline streams a sweep's merged progress — per-task
+// lifecycle markers and the shards' interleaved interval samples — in the
+// same SSE framing as a job timeline.
+func (s *Server) handleSweepTimeline(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.SweepByID(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep "+r.PathValue("id"))
+		return
+	}
+	s.streamHub(w, r, sw.hub)
+}
+
+// streamHub is the shared SSE loop behind the job and sweep timeline
+// endpoints: retained backlog first (from Last-Event-ID when given), then
+// live until the hub closes or the client goes away. Concurrent streams
+// per hub are bounded by Config.MaxTimelineSubs — one slow proxied
+// consumer is survivable, ten thousand are a memory bill — so past the
+// cap new subscribers get 503 + Retry-After instead of a subscription.
+func (s *Server) streamHub(w http.ResponseWriter, r *http.Request, hub *obs.Hub) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
@@ -58,7 +80,12 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	// Registration and backlog copy are atomic in the hub, so the
 	// concatenation written below has no gap and no duplicate around the
 	// catch-up/live boundary.
-	backlog, sub, gapped := job.hub.Subscribe(from, 256)
+	backlog, sub, gapped, admitted := hub.SubscribeLimited(from, 256, s.cfg.MaxTimelineSubs)
+	if !admitted {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "timeline subscriber limit reached; retry later or fetch the series endpoint")
+		return
+	}
 	defer sub.Cancel()
 
 	h := w.Header()
@@ -69,7 +96,7 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	if gapped {
-		oldest := job.hub.Stats().OldestSeq
+		oldest := hub.Stats().OldestSeq
 		fmt.Fprintf(w, "event: gap\ndata: {\"requested\":%d,\"oldest_retained\":%d,\"hint\":\"history evicted; fetch the series endpoint for the full view\"}\n\n", from, oldest)
 	}
 	for _, ev := range backlog {
@@ -82,7 +109,7 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		select {
 		case ev, live := <-sub.C:
 			if !live {
-				// Hub closed: either the job finished (the terminal
+				// Hub closed: either the run finished (the terminal
 				// lifecycle event was already written) or this consumer
 				// lagged and was dropped.
 				if sub.Lagged() {

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"crisp/internal/experiments"
+	"crisp/internal/obs"
+	"crisp/internal/snapshot"
+)
+
+// SweepSpec is the submission body of POST /v1/sweeps: a policy ×
+// workload × config grid (internal/experiments decomposition) plus the
+// per-job options every cell shares. The coordinator expands it into one
+// task per grid point, each content-addressed by the same
+// snapshot.Spec.JobDigest a direct submission of that cell would get —
+// which is what lets fleet results, single-node results, and cached
+// results merge under one key.
+type SweepSpec struct {
+	// GPUs, Scenes, Computes, Policies are the grid axes (see
+	// experiments.Grid): an empty axis contributes one default entry; a ""
+	// element inside Scenes/Computes means "no workload on this axis for
+	// that point".
+	GPUs     []string `json:"gpus,omitempty"`
+	Scenes   []string `json:"scenes,omitempty"`
+	Computes []string `json:"computes,omitempty"`
+	Policies []string `json:"policies,omitempty"`
+	// Shared per-cell options, forwarded into each JobSpec verbatim.
+	Width          int   `json:"width,omitempty"`
+	Height         int   `json:"height,omitempty"`
+	LoD            *bool `json:"lod,omitempty"`
+	CycleBudget    int64 `json:"cycle_budget,omitempty"`
+	WatchdogWindow int64 `json:"watchdog_window,omitempty"`
+}
+
+// decompose expands the grid into concrete job specs, in the grid's
+// deterministic order — decomposed twice (or on two coordinators), a
+// sweep yields the same task list and therefore the same merged digest.
+func (sp *SweepSpec) decompose() ([]JobSpec, error) {
+	g := experiments.Grid{GPUs: sp.GPUs, Scenes: sp.Scenes, Computes: sp.Computes, Policies: sp.Policies}
+	pts := g.Points()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("sweep grid expands to zero runnable points (every cell needs a scene and/or a compute workload)")
+	}
+	specs := make([]JobSpec, 0, len(pts))
+	for _, pt := range pts {
+		specs = append(specs, JobSpec{
+			GPU:            pt.GPU,
+			Scene:          pt.Scene,
+			Compute:        pt.Compute,
+			Policy:         pt.Policy,
+			Width:          sp.Width,
+			Height:         sp.Height,
+			LoD:            sp.LoD,
+			CycleBudget:    sp.CycleBudget,
+			WatchdogWindow: sp.WatchdogWindow,
+		})
+	}
+	return specs, nil
+}
+
+// Task lifecycle states inside a sweep. Unlike jobs, tasks have no
+// queued/running split visible to clients — a leased task is running on
+// some shard (or presumed to be, until its lease says otherwise).
+type taskState string
+
+const (
+	taskPending taskState = "pending"
+	taskLeased  taskState = "leased"
+	taskDone    taskState = "done"
+	taskFailed  taskState = "failed"
+)
+
+// sweepTask is one grid cell of one sweep. Mutable fields are guarded by
+// the coordinator's mutex.
+type sweepTask struct {
+	sweep  *Sweep
+	index  int
+	spec   JobSpec
+	res    *resolved
+	digest string
+	// dir is the task's checkpoint-handoff root; each attempt writes into
+	// its own subdirectory (a1, a2, ...) so a reassigned attempt resumes
+	// from a dead shard's checkpoints without ever sharing a write path
+	// with a still-running orphan.
+	dir string
+
+	state      taskState
+	epoch      uint64 // current lease epoch (meaningful while leased)
+	worker     int    // shard holding the lease
+	attempts   int    // failed or revoked attempts so far
+	resumeFrom string // checkpoint dir the next attempt resumes from
+	resumed    bool   // some committed or running attempt resumed from a checkpoint
+	cacheHit   bool   // committed from a cache, not an execution
+	result     *StoredResult
+	errMsg     string
+}
+
+// key is the lease-table key: unique across sweeps.
+func (t *sweepTask) key() string {
+	return t.sweep.ID + "/" + fmt.Sprint(t.index)
+}
+
+// attemptDir is attempt n's private checkpoint directory ("" when the
+// sweep has no handoff root).
+func (t *sweepTask) attemptDir(n int) string {
+	if t.dir == "" {
+		return ""
+	}
+	return filepath.Join(t.dir, fmt.Sprintf("a%d", n))
+}
+
+// bestResume picks the attempt directory holding the newest readable
+// checkpoint — the handoff point a reassigned attempt resumes from. ""
+// when no attempt shipped a checkpoint yet (the retry restarts at cycle
+// 0, losing progress but never the task).
+func (t *sweepTask) bestResume(upTo int) string {
+	best, bestCycle := "", int64(-1)
+	for n := 1; n <= upTo; n++ {
+		dir := t.attemptDir(n)
+		if dir == "" {
+			return ""
+		}
+		if cyc, ok := snapshot.NewestCycle(dir); ok && cyc > bestCycle {
+			best, bestCycle = dir, cyc
+		}
+	}
+	return best
+}
+
+// Sweep is one tracked sweep submission. Mutable fields are guarded by
+// the coordinator's mutex.
+type Sweep struct {
+	ID   string
+	Spec SweepSpec
+
+	// hub is the sweep's merged progress stream: per-task lifecycle
+	// markers (dispatch, commit, revocation, duplicate discard) and the
+	// shards' interval samples, interleaved — the same ring/SSE machinery
+	// jobs use.
+	hub *obs.Hub
+
+	tasks []*sweepTask
+
+	state    State
+	canceled bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	scratch  string // temp checkpoint root to remove when finished ("" = none)
+	merged   string // merged digest, set when every task committed
+
+	doneN   int
+	failedN int
+	// Per-sweep robustness accounting (mirrored by the server-wide
+	// counters; these make one sweep's story self-contained).
+	revoked int // leases revoked (crash or expiry) for this sweep's tasks
+	resumes int // reassigned attempts that resumed from a shipped checkpoint
+	dups    int // duplicate results discarded by digest
+}
+
+// note publishes a lifecycle marker on the sweep's timeline.
+func (sw *Sweep) note(state State, detail string) {
+	var cycle int64
+	if ev, ok := sw.hub.Latest(""); ok {
+		cycle = ev.Cycle
+	}
+	sw.hub.Publish(obs.TimelineEvent{Cycle: cycle, Kind: obs.TimelineLifecycle, State: string(state), Detail: detail})
+}
+
+// mergedDigest folds the sweep's per-task (job digest, stats digest)
+// pairs, in task order, through the canonical hasher. Two sweeps share a
+// merged digest iff every cell produced bit-identical results — the
+// fleet-vs-single-node convergence observable.
+func (sw *Sweep) mergedDigest() string {
+	h := snapshot.NewHasher()
+	h.PutInt(len(sw.tasks))
+	for _, t := range sw.tasks {
+		h.PutStr(t.digest)
+		if t.result != nil {
+			h.PutStr(t.result.StatsDigest)
+		} else {
+			h.PutStr("")
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ---- wire views ------------------------------------------------------
+
+// sweepTaskView is one task's status on the wire.
+type sweepTaskView struct {
+	Index       int       `json:"index"`
+	Digest      string    `json:"digest"`
+	State       taskState `json:"state"`
+	Worker      int       `json:"worker,omitempty"`
+	Attempts    int       `json:"attempts,omitempty"`
+	Resumed     bool      `json:"resumed,omitempty"`
+	Cached      bool      `json:"cached,omitempty"`
+	StatsDigest string    `json:"stats_digest,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	Spec        JobSpec   `json:"spec"`
+}
+
+// sweepView is a sweep's status on the wire.
+type sweepView struct {
+	ID           string          `json:"id"`
+	State        State           `json:"state"`
+	Tasks        []sweepTaskView `json:"tasks,omitempty"`
+	Total        int             `json:"total"`
+	Done         int             `json:"done"`
+	Failed       int             `json:"failed,omitempty"`
+	MergedDigest string          `json:"merged_digest,omitempty"`
+	Revocations  int             `json:"lease_revocations,omitempty"`
+	Resumes      int             `json:"checkpoint_resumes,omitempty"`
+	Duplicates   int             `json:"duplicates_discarded,omitempty"`
+	Created      string          `json:"created,omitempty"`
+	Started      string          `json:"started,omitempty"`
+	Finished     string          `json:"finished,omitempty"`
+	// Events is the sweep timeline's newest sequence number — pass it as
+	// Last-Event-ID to resume the SSE stream from here.
+	Events uint64 `json:"events,omitempty"`
+}

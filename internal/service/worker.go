@@ -1,95 +1,44 @@
 package service
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"log"
 	"os"
-	"os/exec"
 	"os/signal"
-	"sync"
+	"path/filepath"
 	"syscall"
 	"time"
 
-	crisp "crisp"
-	"crisp/internal/obs"
 	"crisp/internal/robust"
 )
 
 // Process-isolation mode: with Config.Isolate each execution attempt runs
 // in a child worker process, so a hard crash — SIGKILL, OOM kill, a
 // runtime fault deep in the simulator — kills one job instead of the
-// daemon. Parent and child speak a two-message stdio protocol:
-//
-//	parent → child (stdin):  one workerRequest JSON document
-//	child  → parent (stdout): newline-delimited workerEvent JSON —
-//	    any number of "sample" and "fallback" events, then exactly one
-//	    terminal "result" or "error" event
+// daemon. Parent and child speak the stdio wire protocol defined in
+// protocol.go; the shared execution core in fleet.go does the actual
+// simulating on both sides of the pipe.
 //
 // A child that exits without a terminal event was crashed (the supervisor
 // classifies it KindCrash and retries from the job's last checkpoint); a
 // child whose death was requested (cancel, drain) terminates via SIGTERM,
-// flushes a final snapshot, and reports a "canceled" error event. The
-// protocol carries summaries, never simulator internals, so the child and
-// parent rebuild the job independently from the same by-value JobSpec —
-// the exact shape a future coordinator/worker network split needs.
+// flushes a final snapshot, and reports a "canceled" error event.
 
 // WorkerEnv marks a process as a crispd worker: when the variable is "1",
 // cmd/crispd (and the service test binary) run WorkerMain instead of the
 // daemon. The supervisor re-execs its own binary with this set, so no
-// separate worker binary needs to be installed.
+// separate worker binary needs to be installed; `crispd -worker-mode`
+// enters the same loop explicitly for fleet peers launched by hand.
 const WorkerEnv = "CRISPD_WORKER"
-
-// workerRequest is everything one attempt needs, resolved by the parent.
-type workerRequest struct {
-	Spec JobSpec `json:"spec"`
-	// ResumeDir, when set, resumes from the newest readable snapshot in
-	// the directory (corrupt ones renamed aside, reported via "fallback").
-	ResumeDir string `json:"resume_dir,omitempty"`
-	// CheckpointDir/CheckpointEvery enable periodic checkpoints — the
-	// supervisor's recovery points if this worker dies.
-	CheckpointDir   string `json:"checkpoint_dir,omitempty"`
-	CheckpointEvery int64  `json:"checkpoint_every,omitempty"`
-	// Budget and Watchdog are the server-default-merged limits.
-	Budget   int64 `json:"budget,omitempty"`
-	Watchdog int64 `json:"watchdog,omitempty"`
-	// ProgressInterval is the sample cadence; RunWorkers the -j knob.
-	ProgressInterval int64 `json:"progress_interval,omitempty"`
-	RunWorkers       int   `json:"run_workers,omitempty"`
-	// KillAt is a chaos fault: the worker SIGKILLs itself at this
-	// simulated cycle (0 = none), leaving no final snapshot — the hardest
-	// crash the supervisor must recover from.
-	KillAt int64 `json:"kill_at,omitempty"`
-}
-
-// workerEvent is one newline-delimited protocol message from the child.
-type workerEvent struct {
-	Type string `json:"type"` // "sample" | "fallback" | "result" | "error"
-	// Sample carries interval telemetry (Type "sample"), forwarded to the
-	// job's hub so isolation is invisible to timeline subscribers.
-	Sample *obs.Sample `json:"sample,omitempty"`
-	// Corrupt lists checkpoints renamed aside during resume (Type
-	// "fallback").
-	Corrupt []string `json:"corrupt,omitempty"`
-	// Result is the completed attempt's cache entry (Type "result").
-	Result *StoredResult `json:"result,omitempty"`
-	// ErrKind/ErrCycle/ErrMsg reconstruct the SimError (Type "error").
-	ErrKind  string `json:"err_kind,omitempty"`
-	ErrCycle int64  `json:"err_cycle,omitempty"`
-	ErrMsg   string `json:"err_msg,omitempty"`
-}
 
 // WorkerMain is the crispd-worker entry point: it reads one workerRequest
 // from stdin, runs the attempt, and streams workerEvents to stdout. It is
 // called by cmd/crispd-worker, and by cmd/crispd (or a test binary) when
-// WorkerEnv is set. Returns the process exit code: 0 when the protocol
-// completed (including reported simulation failures — the supervisor
-// classifies those from the error event), nonzero only when the protocol
-// itself broke.
+// WorkerEnv is set or -worker-mode is passed. Returns the process exit
+// code: 0 when the protocol completed (including reported simulation
+// failures — the supervisor classifies those from the error event),
+// nonzero only when the protocol itself broke.
 func WorkerMain() int {
 	var req workerRequest
 	if err := json.NewDecoder(os.Stdin).Decode(&req); err != nil {
@@ -101,6 +50,15 @@ func WorkerMain() int {
 	r, err := req.Spec.resolve()
 	if err != nil {
 		enc.error(&robust.SimError{Kind: robust.KindValidation, Msg: err.Error()})
+		return 0
+	}
+
+	// Cache federation: a worker that already holds this digest in its
+	// local content-addressed store answers from it without simulating —
+	// the coordinator merges the result under the same digest key it
+	// would have computed.
+	if sr, ok := localResult(req.ResultsDir, r.digest); ok {
+		enc.event(workerEvent{Type: evResult, Result: sr, Cached: true})
 		return 0
 	}
 
@@ -116,50 +74,48 @@ func WorkerMain() int {
 	}()
 	defer signal.Stop(sigc)
 
-	sink := func(smp obs.Sample) {
-		enc.sample(smp)
-		if req.KillAt > 0 && smp.Cycle >= req.KillAt {
+	// Wall-clock heartbeats: the lease-renewal signal a fleet coordinator
+	// watches between samples. Stops with the run.
+	if req.HeartbeatEvery > 0 {
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go func() {
+			tick := time.NewTicker(time.Duration(req.HeartbeatEvery))
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-tick.C:
+					enc.heartbeat()
+				}
+			}
+		}()
+	}
+
+	p := runParams{
+		res:              r,
+		resumeFrom:       req.ResumeDir,
+		checkpointDir:    req.CheckpointDir,
+		checkpointEvery:  req.CheckpointEvery,
+		budget:           req.Budget,
+		wdog:             req.Watchdog,
+		progressInterval: req.ProgressInterval,
+		runWorkers:       req.RunWorkers,
+		killAt:           req.KillAt,
+	}
+	stored, _, rerr := runDirect(ctx, p, attemptHooks{
+		onSample: enc.sample,
+		onFallback: func(corrupt []string) {
+			enc.event(workerEvent{Type: evFallback, Corrupt: corrupt})
+		},
+		onKill: func(cycle int64) {
 			// Chaos hard-kill: die without flushing anything, exactly like
 			// an OOM kill. The supervisor must fall back to the last
 			// periodic checkpoint.
 			syscall.Kill(os.Getpid(), syscall.SIGKILL)
-		}
-	}
-	runOpts := []crisp.RunOption{
-		crisp.WithMetrics(req.ProgressInterval),
-		crisp.WithMetricsSink(sink),
-	}
-	if req.Budget > 0 {
-		runOpts = append(runOpts, crisp.WithCycleBudget(req.Budget))
-	}
-	if req.Watchdog != 0 {
-		runOpts = append(runOpts, crisp.WithWatchdog(req.Watchdog))
-	}
-	if req.RunWorkers != 0 {
-		runOpts = append(runOpts, crisp.WithWorkers(req.RunWorkers))
-	}
-	if req.CheckpointDir != "" {
-		runOpts = append(runOpts, crisp.WithCheckpointDir(req.CheckpointDir))
-		if req.CheckpointEvery > 0 {
-			runOpts = append(runOpts, crisp.WithCheckpointEvery(req.CheckpointEvery))
-		}
-	}
-
-	t0 := time.Now()
-	var res *crisp.Result
-	var rerr error
-	if req.ResumeDir != "" {
-		env, corrupt, lerr := loadResume(req.ResumeDir)
-		if len(corrupt) > 0 {
-			enc.event(workerEvent{Type: "fallback", Corrupt: corrupt})
-		}
-		if lerr == nil {
-			res, rerr = crisp.Resume(ctx, env, runOpts...)
-		}
-	}
-	if res == nil && rerr == nil {
-		res, rerr = crisp.RunPairContext(ctx, r.cfg, r.scene, r.compute, r.policy, r.opts, runOpts...)
-	}
+		},
+	})
 	if rerr != nil {
 		if se, ok := robust.AsSimError(rerr); ok {
 			enc.error(se)
@@ -168,47 +124,26 @@ func WorkerMain() int {
 		}
 		return 0
 	}
-	stored, serr := storedFromResult(r, res, float64(time.Since(t0).Microseconds())/1000)
-	if serr != nil {
-		enc.error(&robust.SimError{Kind: robust.KindSnapshot, Msg: serr.Error()})
-		return 0
-	}
-	enc.event(workerEvent{Type: "result", Result: stored})
+	enc.event(workerEvent{Type: evResult, Result: stored})
 	return 0
 }
 
-// eventWriter serializes protocol events onto one stream: the sample sink
-// runs on the simulation goroutine while the signal handler goroutine is
-// live, so writes are mutexed.
-type eventWriter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	w   *bufio.Writer
-}
-
-func newEventWriter(w io.Writer) *eventWriter {
-	bw := bufio.NewWriter(w)
-	return &eventWriter{enc: json.NewEncoder(bw), w: bw}
-}
-
-func (e *eventWriter) event(ev workerEvent) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.enc.Encode(ev) // Encode appends the newline framing
-	e.w.Flush()
-}
-
-func (e *eventWriter) sample(smp obs.Sample) {
-	e.event(workerEvent{Type: "sample", Sample: &smp})
-}
-
-func (e *eventWriter) error(se *robust.SimError) {
-	e.event(workerEvent{
-		Type:     "error",
-		ErrKind:  robust.DeepestKind(se).String(),
-		ErrCycle: se.Cycle,
-		ErrMsg:   se.Error(),
-	})
+// localResult reads a worker-local cached result for digest from a
+// results directory ("" = no local cache). A malformed or mismatched
+// entry is ignored — the worker simulates instead.
+func localResult(dir, digest string) (*StoredResult, bool) {
+	if dir == "" || !validDigest(digest) {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(dir, digest+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var sr StoredResult
+	if err := json.Unmarshal(b, &sr); err != nil || sr.Digest != digest {
+		return nil, false
+	}
+	return &sr, true
 }
 
 // workerKillDelay bounds how long a SIGTERMed worker may take to flush its
@@ -217,9 +152,7 @@ const workerKillDelay = 10 * time.Second
 
 // runIsolated executes one attempt in a child worker process. The child's
 // samples are forwarded to the job's hub; its terminal event becomes this
-// function's return. A child that dies without a terminal event — the
-// SIGKILL/OOM case — is classified KindCrash (retryable), or KindCanceled
-// when its death was requested through ctx.
+// function's return.
 func (s *Server) runIsolated(ctx context.Context, job *Job, resumeFrom string, killAt int64) (*StoredResult, error) {
 	req := workerRequest{
 		Spec:             job.Spec,
@@ -238,87 +171,10 @@ func (s *Server) runIsolated(ctx context.Context, job *Job, resumeFrom string, k
 	if req.Watchdog == 0 {
 		req.Watchdog = s.cfg.WatchdogWindow
 	}
-	reqJSON, err := json.Marshal(req)
-	if err != nil {
-		return nil, &robust.SimError{Kind: robust.KindValidation, Msg: "encoding worker request", Err: err}
-	}
-
-	argv := s.cfg.WorkerCommand
-	if len(argv) == 0 {
-		self, err := os.Executable()
-		if err != nil {
-			return nil, &robust.SimError{Kind: robust.KindCrash, Msg: "locating worker binary", Err: err}
-		}
-		argv = []string{self}
-	}
-	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
-	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
-	cmd.Stdin = bytes.NewReader(reqJSON)
-	cmd.Stderr = os.Stderr
-	// Graceful stop: ctx cancellation SIGTERMs the child (it flushes a
-	// final snapshot and reports canceled); WaitDelay escalates to SIGKILL
-	// if it wedges.
-	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
-	cmd.WaitDelay = workerKillDelay
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, &robust.SimError{Kind: robust.KindCrash, Msg: "worker stdout pipe", Err: err}
-	}
-	if err := cmd.Start(); err != nil {
-		return nil, &robust.SimError{Kind: robust.KindCrash, Msg: "spawning worker", Err: err}
-	}
-
-	t0 := time.Now()
-	var stored *StoredResult
-	var simErr *robust.SimError
-	sc := bufio.NewScanner(stdout)
-	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		var ev workerEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			log.Printf("crispd: job %s: malformed worker event: %v", job.ID, err)
-			continue
-		}
-		switch ev.Type {
-		case "sample":
-			if ev.Sample != nil {
-				job.noteSample(*ev.Sample)
-			}
-		case "fallback":
-			for _, c := range ev.Corrupt {
-				log.Printf("crispd: job %s: corrupt checkpoint %s renamed aside (worker)", job.ID, c)
-			}
-			if len(ev.Corrupt) > 0 {
-				s.fallbacks.Add(1)
-			}
-		case "result":
-			stored = ev.Result
-		case "error":
-			kind, ok := robust.KindFromString(ev.ErrKind)
-			if !ok {
-				kind = robust.KindPanic
-			}
-			simErr = &robust.SimError{Kind: kind, Cycle: ev.ErrCycle, Msg: ev.ErrMsg}
-		}
-	}
-	waitErr := cmd.Wait()
-	s.observeRunTime(time.Since(t0))
-
-	switch {
-	case stored != nil:
-		return stored, nil
-	case simErr != nil:
-		return nil, simErr
-	case ctx.Err() != nil:
-		// Death was requested (cancel or drain) and the child never got a
-		// terminal event out — SIGKILL escalation beat the snapshot flush.
-		return nil, &robust.SimError{Kind: robust.KindCanceled, Msg: "worker terminated by cancellation", Err: ctx.Err()}
-	default:
-		// The child vanished mid-protocol: SIGKILL, OOM kill, or a runtime
-		// fault. Only this job dies; the supervisor retries from the last
-		// periodic checkpoint.
-		s.crashes.Add(1)
-		return nil, &robust.SimError{Kind: robust.KindCrash,
-			Msg: fmt.Sprintf("worker process died without a result: %v", waitErr)}
-	}
+	return s.runWorkerProcess(ctx, req, attemptHooks{
+		onSample: job.noteSample,
+		onFallback: func(corrupt []string) {
+			s.fallbacks.Add(1)
+		},
+	}, "job "+job.ID)
 }

@@ -359,6 +359,19 @@ func Candidates(dir string) []string {
 	return out
 }
 
+// NewestCycle peeks the header cycle of the newest snapshot candidate in
+// dir without decoding the body — what a coordinator reports when a
+// reassigned task resumes from a shipped checkpoint ("resuming from cycle
+// N"). ok is false when dir holds no candidate with a readable header.
+func NewestCycle(dir string) (cycle int64, ok bool) {
+	for _, path := range Candidates(dir) {
+		if hdr, err := PeekHeader(path); err == nil {
+			return hdr.Cycle, true
+		}
+	}
+	return 0, false
+}
+
 // LoadNewest loads the newest decodable snapshot in dir, falling back to
 // progressively older checkpoints when the newest is corrupt or truncated
 // — the supervised-retry recovery path. Each undecodable file is renamed
