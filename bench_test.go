@@ -408,7 +408,7 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var insts, cycles int64
+	var insts, cycles, stepsExec, stepsSkip int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		job := core.Job{GPU: JetsonOrin(), Graphics: gfx, Compute: comp, Policy: core.PolicyEven}
@@ -421,6 +421,7 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 			insts += st.WarpInsts
 		}
 		cycles = res.Cycles
+		stepsExec, stepsSkip = res.StepsExecuted, res.StepsSkipped
 	}
 	b.StopTimer()
 	sec := b.Elapsed().Seconds()
@@ -428,6 +429,7 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	cps := float64(cycles) * float64(b.N) / sec
 	b.ReportMetric(kips, "warp_KIPS")
 	b.ReportMetric(cps, "sim_cycles/s")
+	b.ReportMetric(skipRatio(stepsExec, stepsSkip), "skip_ratio")
 	writeBenchSnapshot(b, benchEntry{
 		Bench:      "SimulatorSpeed",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -437,6 +439,82 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 		ElapsedSec: sec,
 		WarpKIPS:   kips,
 		CyclesPerS: cps,
+		SkipRatio:  skipRatio(stepsExec, stepsSkip),
+	})
+}
+
+// skipRatio is the fraction of visited core steps covered by sleeping
+// rather than executed (0 under -no-skip or when nothing ever slept).
+func skipRatio(executed, skipped int64) float64 {
+	if executed+skipped == 0 {
+		return 0
+	}
+	return float64(skipped) / float64(executed+skipped)
+}
+
+// BenchmarkSimulatorSpeedMemBound measures the event-driven sleeping
+// win on its best case: the paper's NN workload (convolution-as-matmul,
+// memory bound), where warps spend most cycles parked on in-flight DRAM
+// fills and whole cores sleep until the next fill lands. Each iteration
+// runs the same job with core sleeping on and with the -no-skip oracle,
+// and reports the throughput of both plus the speedup — the acceptance
+// number tracked in docs/PERFORMANCE.md.
+func BenchmarkSimulatorSpeedMemBound(b *testing.B) {
+	comp, err := experiments.BuildComputeForBench("NN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// RTX3070 narrowed to the latency-bound regime sleeping targets:
+	// shared memory sized so a single tiled-matmul CTA fills each SM (no
+	// co-resident CTA to hide latency behind), a small MSHR file, and 8x
+	// DRAM row latency. Every cooperative-load + barrier round then
+	// parks the whole core for a full fill wave, and the simulated-time
+	// cost concentrates exactly where cycle-by-cycle stepping wastes
+	// host time on cores that provably cannot issue.
+	cfg := RTX3070()
+	cfg.SharedMemPerSM = 6 << 10
+	cfg.L1MSHRs = 4
+	cfg.L2MSHRs = 16
+	cfg.DRAMLatency *= 8
+	run := func(noSkip bool) (cycles, stepsExec, stepsSkip int64, sec float64) {
+		t0 := time.Now()
+		job := core.Job{GPU: cfg, Compute: comp, Policy: core.PolicyMPS, NoSkip: noSkip}
+		res, err := job.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles, res.StepsExecuted, res.StepsSkipped, time.Since(t0).Seconds()
+	}
+	var onCycles, offCycles, stepsExec, stepsSkip int64
+	var onSec, offSec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float64
+		onCycles, stepsExec, stepsSkip, s = run(false)
+		onSec += s
+		offCycles, _, _, s = run(true)
+		offSec += s
+	}
+	b.StopTimer()
+	if onCycles != offCycles {
+		b.Fatalf("core sleeping changed simulated cycles: %d with skip, %d with -no-skip", onCycles, offCycles)
+	}
+	n := float64(b.N)
+	onCPS := float64(onCycles) * n / onSec
+	offCPS := float64(offCycles) * n / offSec
+	b.ReportMetric(onCPS, "sim_cycles/s")
+	b.ReportMetric(offCPS, "noskip_cycles/s")
+	b.ReportMetric(onCPS/offCPS, "speedup_x")
+	b.ReportMetric(skipRatio(stepsExec, stepsSkip), "skip_ratio")
+	writeBenchSnapshot(b, benchEntry{
+		Bench:      "SimulatorSpeedMemBound",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runs:       b.N,
+		SimCycles:  onCycles,
+		ElapsedSec: onSec / n,
+		CyclesPerS: onCPS,
+		SkipRatio:  skipRatio(stepsExec, stepsSkip),
+		SpeedupX:   onCPS / offCPS,
 	})
 }
 
@@ -448,8 +526,13 @@ type benchEntry struct {
 	SimCycles  int64   `json:"sim_cycles"`
 	WarpInsts  int64   `json:"warp_insts"`
 	ElapsedSec float64 `json:"elapsed_sec"`
-	WarpKIPS   float64 `json:"warp_kips"`
+	WarpKIPS   float64 `json:"warp_kips,omitempty"`
 	CyclesPerS float64 `json:"cycles_per_sec"`
+	// SkipRatio and SpeedupX record the event-driven sleeping telemetry:
+	// fraction of core steps skipped, and (for the mem-bound benchmark)
+	// the sim-cycles/s ratio over the -no-skip oracle.
+	SkipRatio float64 `json:"skip_ratio,omitempty"`
+	SpeedupX  float64 `json:"speedup_x,omitempty"`
 }
 
 // writeBenchSnapshot upserts entry into the JSON array at

@@ -65,8 +65,10 @@ func main() {
 	budget := flag.Int64("budget", 0, "sweep mode: per-run cycle budget; exceeding it fails the run, leaving a resumable snapshot (0 = unlimited)")
 	jsonOut := flag.String("json", "", "write the run summary (per-run cycles, stats digest, failures, snapshot timings) as JSON to this file (\"-\" = stdout)")
 	workers := flag.Int("j", 0, "host worker goroutines stepping SMs per run (0 = all CPUs, 1 = serial reference engine; results identical at any setting)")
+	noSkip := flag.Bool("no-skip", false, "disable event-driven core sleeping (cycle-by-cycle oracle; results identical either way)")
 	flag.Parse()
 	experiments.Workers = *workers
+	experiments.NoSkip = *noSkip
 
 	for _, dir := range []string{*csvDir, *dumpDir} {
 		if dir != "" {
@@ -83,7 +85,7 @@ func main() {
 			paths: *sweep, scene: *sceneName, compute: *computeName, policy: *policyName,
 			timeout: *runTimeout, dumpDir: *dumpDir,
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume, budget: *budget,
-			workers: *workers,
+			workers: *workers, noSkip: *noSkip,
 		})
 	} else {
 		outcomes = runExperiments(*exp, *scaleName, *csvDir, *dumpDir, *runTimeout)
@@ -193,6 +195,7 @@ type sweepConfig struct {
 	resume                        bool
 	budget                        int64
 	workers                       int
+	noSkip                        bool
 }
 
 // runSweep runs one scene+compute pairing across a list of GPU config
@@ -223,6 +226,9 @@ func runSweep(sc sweepConfig) []runOutcome {
 			}
 			if sc.workers != 0 {
 				runOpts = append(runOpts, crisp.WithWorkers(sc.workers))
+			}
+			if sc.noSkip {
+				runOpts = append(runOpts, crisp.WithNoSkip())
 			}
 			sub := ""
 			if sc.ckptDir != "" {

@@ -51,6 +51,7 @@ func main() {
 	stateDigest := flag.Bool("state-digest", false, "print the determinism auditor's architectural-state digest stream")
 	digestEvery := flag.Int64("digest-every", 100_000, "digest sampling period in cycles for -state-digest")
 	workers := flag.Int("j", 0, "host worker goroutines stepping SMs (0 = all CPUs, 1 = serial reference engine; results identical at any setting)")
+	noSkip := flag.Bool("no-skip", false, "disable event-driven core sleeping (cycle-by-cycle oracle; results identical either way)")
 	flag.Parse()
 
 	if *sceneName == "" && *computeName == "" && *resume == "" {
@@ -108,6 +109,9 @@ func main() {
 	}
 	if *workers != 0 {
 		runOpts = append(runOpts, crisp.WithWorkers(*workers))
+	}
+	if *noSkip {
+		runOpts = append(runOpts, crisp.WithNoSkip())
 	}
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -190,6 +190,11 @@ func WithWatchdog(window int64) RunOption { return core.WithWatchdog(window) }
 // wall-clock time changes.
 func WithWorkers(n int) RunOption { return core.WithWorkers(n) }
 
+// WithNoSkip disables event-driven core sleeping: every busy SM is
+// stepped at every visited cycle (the legacy oracle the fast path is
+// diffed against). Results are bit-identical with or without it.
+func WithNoSkip() RunOption { return core.WithNoSkip() }
+
 // WithCycleBudget caps the run at n simulated cycles; crossing the budget
 // fails the run with a budget SimError carrying a crash dump (0 = off).
 func WithCycleBudget(n int64) RunOption { return core.WithCycleBudget(n) }

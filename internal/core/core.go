@@ -138,6 +138,11 @@ type Job struct {
 	// host knob, not part of the simulated configuration (checkpoints
 	// neither record nor require it).
 	Workers int
+	// NoSkip disables event-driven core sleeping, stepping every busy SM
+	// at every visited cycle (the legacy oracle path). Like Workers it is
+	// a host knob: results, digests, and checkpoints are bit-identical
+	// with skipping on or off, so it exists to diff the fast path against.
+	NoSkip bool
 
 	// SceneName and ComputeName record how Graphics/Compute were built
 	// (RunPair sets them). They make checkpoints self-describing: a
@@ -195,6 +200,15 @@ type Result struct {
 	// (per-stream Stalls), or an empty slot.
 	SchedSlots int64
 	EmptySlots int64
+	// StepsExecuted/StepsSkipped count engine core-step visits: executed
+	// steps ran the core's pipeline model, skipped ones were covered by
+	// event-driven sleeping (bulk-accounted at wake; zero under NoSkip).
+	// BulkStallSlots is the subset of stall slots credited in bulk.
+	// SleepHist buckets skipped-run lengths by floor(log2(n)).
+	StepsExecuted  int64
+	StepsSkipped   int64
+	BulkStallSlots int64
+	SleepHist      []int64
 	// Kernels lists every completed kernel launch in completion order.
 	Kernels []gpu.KernelStat
 	// WS exposes warped-slicer state when that policy ran.
@@ -226,6 +240,7 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	g.Workers = j.Workers
+	g.NoSkip = j.NoSkip
 
 	window := j.GraphicsWindow
 	if window == 0 {
@@ -371,6 +386,8 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 	res.Metrics = g.Metrics
 	res.SchedSlots = g.SchedSlots()
 	res.EmptySlots = g.EmptySlots()
+	res.StepsExecuted, res.StepsSkipped, res.BulkStallSlots = g.SkipCounters()
+	res.SleepHist = g.SleepHist()
 	res.Kernels = g.KernelStats()
 
 	comp := g.Mem().L2Composition()
@@ -499,6 +516,10 @@ func WithCycleBudget(n int64) RunOption { return func(j *Job) { j.CycleBudget = 
 // (GOMAXPROCS), 1 or negative = the serial reference engine, N > 1 = the
 // two-phase parallel engine. Results are bit-identical at every setting.
 func WithWorkers(n int) RunOption { return func(j *Job) { j.Workers = n } }
+
+// WithNoSkip disables event-driven core sleeping (the cycle-by-cycle
+// oracle path); results are bit-identical either way.
+func WithNoSkip() RunOption { return func(j *Job) { j.NoSkip = true } }
 
 // RunPair is the one-call convenience: render sceneName (may be ""),
 // build computeName (may be ""), and run them under policy on cfg.

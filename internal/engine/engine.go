@@ -24,6 +24,18 @@
 // Both engines skip idle SMs via an O(1) per-core residency check, so the
 // long tail of a run (few busy SMs) costs one compare per idle core per
 // step under either engine.
+//
+// On top of that, both engines sleep busy cores at event granularity:
+// Core.Step reports the earliest future cycle the core could do useful
+// work, recorded as its wakeAt. A core whose wakeAt is still in the
+// future is not stepped — it accrues one unit of skip debt per skipped
+// engine step instead, bulk-accounted into identical stall/slot counters
+// when it next wakes (sm.Core.FlushSkipDebt). Because a sleeping core's
+// state is frozen and its stall disposition is cycle-independent, the
+// skipped steps are reproduced exactly, so results, digests, and
+// checkpoints stay byte-identical to cycle-by-cycle stepping. Passing
+// noSkip disables the sleeping (the -no-skip oracle) while maintaining
+// wakeAt identically, keeping the two modes digest-compatible.
 package engine
 
 import (
@@ -71,21 +83,41 @@ func Resolve(workers, numCores int) int {
 // New builds the engine for cores: serial for an effective worker count
 // of one, the two-phase parallel engine otherwise. Construction switches
 // every core into the matching effects mode, so an engine must be built
-// (and the previous one closed) before each run.
-func New(cores []*sm.Core, workers int) Engine {
+// (and the previous one closed) before each run. noSkip disables
+// event-driven core sleeping (the cycle-by-cycle oracle).
+func New(cores []*sm.Core, workers int, noSkip bool) Engine {
+	// The oracle also drops the per-warp earliest memo, so a memo
+	// invalidation bug diverges from it instead of being shared.
+	for _, c := range cores {
+		c.SetLegacyStep(noSkip)
+	}
 	w := Resolve(workers, len(cores))
 	if w <= 1 {
 		for _, c := range cores {
 			c.SetBuffered(false)
 		}
-		return &serialEngine{cores: cores}
+		return &serialEngine{cores: cores, noSkip: noSkip}
 	}
-	return newParallel(cores, w)
+	return newParallel(cores, w, noSkip)
+}
+
+// stepOrSleep is the per-core sleep gate both engines share. It returns
+// (wakeAt, false) after charging one unit of skip debt when the core is
+// asleep, and (0, true) — with any accrued debt settled — when the core
+// must actually be stepped this cycle. Always called serially.
+func stepOrSleep(c *sm.Core, now int64, noSkip bool) (int64, bool) {
+	if w := c.WakeAt(); !noSkip && now < w {
+		c.Skip()
+		return w, false
+	}
+	c.FlushSkipDebt()
+	return 0, true
 }
 
 // serialEngine is the legacy direct-effects reference path.
 type serialEngine struct {
-	cores []*sm.Core
+	cores  []*sm.Core
+	noSkip bool
 }
 
 func (e *serialEngine) Step(now int64) (int64, bool) {
@@ -96,7 +128,15 @@ func (e *serialEngine) Step(now int64) (int64, bool) {
 			continue
 		}
 		anyBusy = true
-		if n := c.Step(now); n < next {
+		if w, run := stepOrSleep(c, now, e.noSkip); !run {
+			if w < next {
+				next = w
+			}
+			continue
+		}
+		n := c.Step(now)
+		c.SetWakeAt(n)
+		if n < next {
 			next = n
 		}
 	}
@@ -117,6 +157,7 @@ const minFanout = 4
 type parallelEngine struct {
 	cores   []*sm.Core
 	workers int
+	noSkip  bool
 
 	// Per-step shards, published to workers via the work channel's
 	// happens-before edge and read back after wg.Wait.
@@ -130,10 +171,11 @@ type parallelEngine struct {
 	closed bool
 }
 
-func newParallel(cores []*sm.Core, workers int) *parallelEngine {
+func newParallel(cores []*sm.Core, workers int, noSkip bool) *parallelEngine {
 	e := &parallelEngine{
 		cores:   cores,
 		workers: workers,
+		noSkip:  noSkip,
 		busy:    make([]int, 0, len(cores)),
 		nexts:   make([]int64, len(cores)),
 		work:    make(chan struct{}),
@@ -165,20 +207,44 @@ func (e *parallelEngine) runShard() {
 		if i >= n {
 			return
 		}
-		e.nexts[i] = e.cores[e.busy[i]].Step(now)
+		c := e.cores[e.busy[i]]
+		next := c.Step(now)
+		// wakeAt is per-core state and each core is claimed by exactly one
+		// worker, so recording it here is race-free.
+		c.SetWakeAt(next)
+		e.nexts[i] = next
 	}
 }
 
 func (e *parallelEngine) Step(now int64) (int64, bool) {
+	// The busy scan doubles as the sleep gate: still-sleeping cores are
+	// left off the phase-A list (contributing only their wakeAt to next),
+	// and waking cores settle their skip debt here, in the serial prelude
+	// — FlushSkipDebt writes the shared statistics sinks, which phase A
+	// must never touch.
 	busy := e.busy[:0]
+	next := int64(sm.Never)
+	anyBusy := false
 	for id, c := range e.cores {
-		if c.Busy() {
-			busy = append(busy, id)
+		if !c.Busy() {
+			continue
 		}
+		anyBusy = true
+		if w, run := stepOrSleep(c, now, e.noSkip); !run {
+			if w < next {
+				next = w
+			}
+			continue
+		}
+		busy = append(busy, id)
 	}
 	e.busy = busy
-	if len(busy) == 0 {
+	if !anyBusy {
 		return sm.Never, false
+	}
+	if len(busy) == 0 {
+		// Every busy core is asleep; nothing to step or commit this cycle.
+		return next, true
 	}
 
 	// Phase A: step every busy core against per-SM state only.
@@ -198,7 +264,6 @@ func (e *parallelEngine) Step(now int64) (int64, bool) {
 	// Phase B: serial commit in canonical order (ascending SM id; each
 	// core's log is already in scheduler/program order). This is the only
 	// code that touches the shared memory system and statistics sinks.
-	next := int64(sm.Never)
 	for i, id := range busy {
 		e.cores[id].CommitStep(now)
 		if e.nexts[i] < next {

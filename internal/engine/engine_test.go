@@ -27,7 +27,7 @@ func TestResolve(t *testing.T) {
 
 func TestEngineKindSelection(t *testing.T) {
 	cores := []*sm.Core{}
-	e := New(cores, 1)
+	e := New(cores, 1, false)
 	defer e.Close()
 	if _, ok := e.(*serialEngine); !ok {
 		t.Errorf("workers=1 built %T, want serial engine", e)
@@ -41,7 +41,7 @@ func TestEmptyStep(t *testing.T) {
 	// Either engine with no busy cores must report idle with next=Never.
 	for name, e := range map[string]Engine{
 		"serial":   &serialEngine{},
-		"parallel": newParallel(nil, 2),
+		"parallel": newParallel(nil, 2, false),
 	} {
 		next, busy := e.Step(0)
 		if busy || next < sm.Never {
@@ -52,7 +52,7 @@ func TestEmptyStep(t *testing.T) {
 }
 
 func TestCloseIdempotent(t *testing.T) {
-	e := newParallel(nil, 4)
+	e := newParallel(nil, 4, false)
 	e.Close()
 	e.Close() // second close must not panic
 }

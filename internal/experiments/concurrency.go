@@ -129,6 +129,7 @@ func Fig13(sc Scale) (*Fig13Result, error) {
 		Policy:           core.PolicyWarpedSlicer,
 		TimelineInterval: 1024,
 		Workers:          Workers,
+		NoSkip:           NoSkip,
 	}
 	res, err := job.Run()
 	if err != nil {

@@ -46,6 +46,11 @@ func (s Scale) Res(class string) (int, int) {
 // reproduced tables — only how fast they regenerate.
 var Workers int
 
+// NoSkip disables event-driven core sleeping for every experiment's jobs
+// (crispbench -no-skip). Results are bit-identical either way; the knob
+// exists to diff the fast path against the cycle-by-cycle oracle.
+var NoSkip bool
+
 // RenderScenes lists the rendering workloads in paper order.
 var RenderScenes = []string{"SPH", "PL", "MT", "SPL", "PT", "IT"}
 
@@ -129,7 +134,7 @@ func Simulate(cfg config.GPU, sceneName string, w, h int, lod bool, computeName 
 	}
 	simMu.Unlock()
 
-	job := core.Job{GPU: cfg, Policy: policy, Workers: Workers}
+	job := core.Job{GPU: cfg, Policy: policy, Workers: Workers, NoSkip: NoSkip}
 	if sceneName != "" {
 		gfx, err := Frame(sceneName, w, h, lod)
 		if err != nil {

@@ -44,7 +44,7 @@ func CaseStudyQoS(sc Scale) (*QoSResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		job := core.Job{GPU: cfg, Graphics: gfx, Compute: comp, Policy: pol, Workers: Workers}
+		job := core.Job{GPU: cfg, Graphics: gfx, Compute: comp, Policy: pol, Workers: Workers, NoSkip: NoSkip}
 		res, err := job.Run()
 		if err != nil {
 			return nil, err

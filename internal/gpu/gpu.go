@@ -175,6 +175,13 @@ type GPU struct {
 	// wall-clock time only.
 	Workers int
 
+	// NoSkip disables event-driven core sleeping: every busy core is
+	// stepped at every visited cycle (the legacy oracle path). Results are
+	// bit-identical with skipping on or off — wakeAt bookkeeping, stall
+	// attribution, digests, and checkpoints all match — so this knob only
+	// trades wall-clock time for a reference to diff against.
+	NoSkip bool
+
 	// DigestEvery arms the determinism auditor: every DigestEvery cycles
 	// the run loop hashes the architectural state and appends the digest
 	// to the series returned by Digests. The digest covers only
@@ -432,6 +439,21 @@ func (g *GPU) OnStall(smID, stream, task int, cause obs.StallCause) {
 	st.Stalls[cause]++
 }
 
+// OnStallN implements sm.InstStats: n identical stall slots bulk-accounted
+// by a waking core's FlushSkipDebt. Pure counter increments, so the effect
+// equals n OnStall calls.
+func (g *GPU) OnStallN(smID, stream, task int, cause obs.StallCause, n int64) {
+	st := g.lastStat
+	if stream != g.lastStream || st == nil {
+		st = g.statsByStream[stream]
+		g.lastStream, g.lastStat = stream, st
+	}
+	if st == nil {
+		return
+	}
+	st.Stalls[cause] += n
+}
+
 // activateStreams opens stream slots respecting per-task windows.
 func (g *GPU) activateStreams() {
 	activeByTask := make(map[int]int)
@@ -642,7 +664,7 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 		window = DefaultWatchdogWindow
 	}
 	ctxDone := ctx.Done() // nil for background contexts: check skipped entirely
-	eng := engine.New(g.cores, g.effectiveWorkers())
+	eng := engine.New(g.cores, g.effectiveWorkers(), g.NoSkip)
 	defer eng.Close()
 	ls := &g.loop
 	for {
@@ -709,6 +731,14 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 		if g.policy != nil && g.now-ls.lastTick >= g.epoch {
 			g.policy.Tick(g.now)
 			ls.lastTick = g.now
+			// A repartition can change what a sleeping core could do (CTA
+			// placement limits), so force every core awake for the next
+			// step. Unconditional in both skip modes — the digest below
+			// hashes wakeAt, and this keeps the two modes' values aligned
+			// on tick boundaries.
+			for _, c := range g.cores {
+				c.SetWakeAt(g.now)
+			}
 		}
 		// Watchdog bookkeeping precedes the checkpoint so the captured
 		// progress window matches the uninterrupted run's; the digest
@@ -785,6 +815,7 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 // folds counters so the dump's stall snapshot is current, emits a trace
 // event for the abort, and attaches the crash dump.
 func (g *GPU) fail(kind robust.Kind, kernel, reason, format string, args ...any) *robust.SimError {
+	g.settleCores()
 	g.foldMemCounters()
 	if t := g.tracer; t != nil {
 		t.Emit(obs.Event{Cycle: g.now, Kind: obs.EvWatchdog, Stream: -1, Task: -1,
@@ -911,9 +942,50 @@ func (g *GPU) sampleTimeline() {
 	g.Timeline.Samples = append(g.Timeline.Samples, sample)
 }
 
+// settleCores flushes every core's accumulated sleep debt so any
+// observer (metrics sample, crash dump, state capture, stats fold) sees
+// the same counters a cycle-by-cycle run would show at this cycle. It
+// does not wake anybody: sleeping cores keep their wakeAt and simply
+// start a fresh debt window.
+func (g *GPU) settleCores() {
+	for _, c := range g.cores {
+		c.FlushSkipDebt()
+	}
+}
+
+// SkipCounters aggregates the cores' event-skipping counters: real Step
+// calls executed, engine steps slept through, and stall slots
+// synthesized by bulk accounting.
+func (g *GPU) SkipCounters() (executed, skipped, bulkStalls int64) {
+	for _, c := range g.cores {
+		e, s, b := c.SkipCounters()
+		executed += e
+		skipped += s
+		bulkStalls += b
+	}
+	return executed, skipped, bulkStalls
+}
+
+// SleepHist sums the cores' log2 sleep-length histograms (bucket i
+// counts flushed sleeps of 2^i..2^(i+1)-1 skipped steps).
+func (g *GPU) SleepHist() []int64 {
+	var agg []int64
+	for _, c := range g.cores {
+		h := c.SleepHist()
+		if agg == nil {
+			agg = make([]int64, len(h))
+		}
+		for i, v := range h {
+			agg[i] += v
+		}
+	}
+	return agg
+}
+
 // sampleMetrics appends one interval metrics sample: per-task rates
 // derived from cumulative counter deltas since the previous sample.
 func (g *GPU) sampleMetrics() {
+	g.settleCores()
 	nt := g.maxTask + 1
 	if g.mPrev == nil {
 		g.mPrev = make([]taskSnap, nt)
@@ -944,7 +1016,8 @@ func (g *GPU) sampleMetrics() {
 		}
 		return 1 - float64(miss)/float64(acc)
 	}
-	sample := obs.Sample{Cycle: g.now}
+	sample := obs.Sample{Cycle: g.now, CyclesSimulated: g.now}
+	sample.StepsExecuted, sample.StepsSkipped, sample.BulkStallSlots = g.SkipCounters()
 	for task := 0; task < nt; task++ {
 		if !cur[task].hasStreams {
 			continue

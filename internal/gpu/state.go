@@ -25,6 +25,11 @@ func gpuStateErr(format string, args ...any) error {
 // cycle. It is safe at any run-loop iteration boundary (the built-in
 // checkpoint hook only calls it there).
 func (g *GPU) CaptureState() (*snapshot.GPUState, error) {
+	// Settle sleep debt before anything is captured: the flush credits
+	// stall slots into the per-stream stats, which are serialized below
+	// before the cores are, so settling inside each core's own capture
+	// would be too late for digest parity with a cycle-by-cycle run.
+	g.settleCores()
 	st := &snapshot.GPUState{}
 	a := &st.Arch
 	a.Cycle = g.now

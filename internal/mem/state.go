@@ -63,26 +63,27 @@ func (c *Cache) restoreState(cs snapshot.CacheState) error {
 	return nil
 }
 
-// capturePending flattens an MSHR merge map into a granule-sorted slice.
-func capturePending(m map[uint64]int64) snapshot.PendingFills {
+// capturePending flattens an MSHR fill table into a granule-sorted slice.
+func capturePending(t *fillTable) snapshot.PendingFills {
 	var p snapshot.PendingFills
-	if len(m) == 0 {
+	if t.size() == 0 {
 		return p
 	}
-	p.Fills = make([]snapshot.Fill, 0, len(m))
-	for g, r := range m {
-		p.Fills = append(p.Fills, snapshot.Fill{Granule: g, Ready: r})
+	p.Fills = make([]snapshot.Fill, 0, t.size())
+	for i, st := range t.state {
+		if st == fillLive {
+			p.Fills = append(p.Fills, snapshot.Fill{Granule: t.keys[i], Ready: t.ready[i]})
+		}
 	}
 	sort.Slice(p.Fills, func(i, j int) bool { return p.Fills[i].Granule < p.Fills[j].Granule })
 	return p
 }
 
-func restorePending(p snapshot.PendingFills) map[uint64]int64 {
-	m := make(map[uint64]int64, len(p.Fills))
+func restorePending(t *fillTable, p snapshot.PendingFills) {
+	t.reset()
 	for _, f := range p.Fills {
-		m[f.Granule] = f.Ready
+		t.set(f.Granule, f.Ready)
 	}
-	return m
 }
 
 // CaptureState snapshots the complete memory-system state: cache tag
@@ -95,13 +96,13 @@ func (s *System) CaptureState() snapshot.MemState {
 	ms.L1Pending = make([]snapshot.PendingFills, len(s.l1Pending))
 	for i, c := range s.l1 {
 		ms.L1[i] = c.captureState()
-		ms.L1Pending[i] = capturePending(s.l1Pending[i])
+		ms.L1Pending[i] = capturePending(&s.l1Pending[i])
 	}
 	ms.L2 = make([]snapshot.CacheState, len(s.l2))
 	ms.L2Pending = make([]snapshot.PendingFills, len(s.l2Pending))
 	for i, c := range s.l2 {
 		ms.L2[i] = c.captureState()
-		ms.L2Pending[i] = capturePending(s.l2Pending[i])
+		ms.L2Pending[i] = capturePending(&s.l2Pending[i])
 	}
 	ms.L2NextFree = append([]int64(nil), s.l2NextFree...)
 	ms.DRAMNextFree = append([]int64(nil), s.dramNextFree...)
@@ -138,13 +139,13 @@ func (s *System) RestoreState(ms snapshot.MemState) error {
 		if err := c.restoreState(ms.L1[i]); err != nil {
 			return err
 		}
-		s.l1Pending[i] = restorePending(ms.L1Pending[i])
+		restorePending(&s.l1Pending[i], ms.L1Pending[i])
 	}
 	for i, c := range s.l2 {
 		if err := c.restoreState(ms.L2[i]); err != nil {
 			return err
 		}
-		s.l2Pending[i] = restorePending(ms.L2Pending[i])
+		restorePending(&s.l2Pending[i], ms.L2Pending[i])
 	}
 	copy(s.l2NextFree, ms.L2NextFree)
 	copy(s.dramNextFree, ms.DRAMNextFree)

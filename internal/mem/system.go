@@ -25,11 +25,11 @@ type System struct {
 	cfg *config.GPU
 
 	l1        []*Cache
-	l1Pending []map[uint64]int64 // per SM: in-flight line fills (MSHR merge)
+	l1Pending []fillTable // per SM: in-flight line fills (MSHR merge)
 
 	l2         []*Cache
-	l2NextFree []int64            // per bank single-server queue
-	l2Pending  []map[uint64]int64 // per bank: in-flight line fills (L2 MSHR merge)
+	l2NextFree []int64     // per bank single-server queue
+	l2Pending  []fillTable // per bank: in-flight line fills (L2 MSHR merge)
 	setsPer    int
 
 	dramNextFree []int64 // per channel
@@ -64,7 +64,7 @@ func NewSystem(cfg *config.GPU) (*System, error) {
 	s := &System{
 		cfg:          cfg,
 		l1:           make([]*Cache, cfg.NumSMs),
-		l1Pending:    make([]map[uint64]int64, cfg.NumSMs),
+		l1Pending:    make([]fillTable, cfg.NumSMs),
 		l2:           make([]*Cache, cfg.L2Banks),
 		l2NextFree:   make([]int64, cfg.L2Banks),
 		dramNextFree: make([]int64, cfg.MemChannels),
@@ -81,10 +81,10 @@ func NewSystem(cfg *config.GPU) (*System, error) {
 			return nil, err
 		}
 		s.l1[i] = c
-		s.l1Pending[i] = make(map[uint64]int64)
+		s.l1Pending[i].initTable(cfg.L1MSHRs)
 	}
 	bankSize := cfg.L2Size / cfg.L2Banks
-	s.l2Pending = make([]map[uint64]int64, cfg.L2Banks)
+	s.l2Pending = make([]fillTable, cfg.L2Banks)
 	for i := range s.l2 {
 		c, err := NewCache(bankSize, cfg.L2Assoc, cfg.LineSize)
 		if err != nil {
@@ -94,7 +94,7 @@ func NewSystem(cfg *config.GPU) (*System, error) {
 			return nil, err
 		}
 		s.l2[i] = c
-		s.l2Pending[i] = make(map[uint64]int64)
+		s.l2Pending[i].initTable(cfg.L2MSHRs)
 	}
 	s.setsPer = s.l2[0].Sets()
 	s.fillBytes = cfg.LineSize
@@ -148,11 +148,12 @@ func (s *System) Load(now int64, sm, stream int, class trace.MemClass, addr uint
 	// MSHR merge: if a fill for this granule is still in flight, the
 	// access rides the outstanding request (a hit-under-miss: it waits,
 	// but produces no new L2 traffic and no new miss).
-	if ready, ok := s.l1Pending[sm][granule]; ok {
+	pending := &s.l1Pending[sm]
+	if ready, ok := pending.get(granule); ok {
 		if ready > now {
 			return ready
 		}
-		delete(s.l1Pending[sm], granule)
+		pending.del(granule)
 	}
 
 	l1 := s.l1[sm]
@@ -164,28 +165,18 @@ func (s *System) Load(now int64, sm, stream int, class trace.MemClass, addr uint
 	// MSHR capacity: when full, the LDST unit stalls behind the earliest
 	// completing fill.
 	start := now
-	if len(s.l1Pending[sm]) >= s.cfg.L1MSHRs {
-		earliest := int64(1<<62 - 1)
-		for _, r := range s.l1Pending[sm] {
-			if r < earliest {
-				earliest = r
-			}
-		}
-		if earliest > start {
+	if pending.size() >= s.cfg.L1MSHRs {
+		if earliest := pending.minReady(); earliest > start {
 			start = earliest
 		}
 	}
 
 	ready := s.l2Access(start+int64(s.cfg.L1Latency), stream, cnt, class, addr, false)
 	l1.Access(now, addr, false, class, stream, -1)
-	s.l1Pending[sm][granule] = ready
+	pending.set(granule, ready)
 	// Garbage-collect completed fills opportunistically.
-	if len(s.l1Pending[sm]) > 4*s.cfg.L1MSHRs {
-		for k, r := range s.l1Pending[sm] {
-			if r <= now {
-				delete(s.l1Pending[sm], k)
-			}
-		}
+	if pending.size() > 4*s.cfg.L1MSHRs {
+		pending.gc(now)
 	}
 	return ready
 }
@@ -247,21 +238,18 @@ func (s *System) l2Access(now int64, stream int, cnt *Counters, class trace.MemC
 	// L2 MSHR merge: a fill for this line already in flight (typically
 	// the same texture line missed by several SMs at once) is ridden
 	// rather than duplicated at DRAM.
-	if ready, ok := s.l2Pending[bank][granule]; ok {
+	pending := &s.l2Pending[bank]
+	if ready, ok := pending.get(granule); ok {
 		if ready > start {
 			return ready
 		}
-		delete(s.l2Pending[bank], granule)
+		pending.del(granule)
 	}
 	// Miss: fetch line from DRAM (write-allocate covers stores too).
 	ready := s.dramTransfer(start+int64(s.cfg.L2Latency), bank, stream, cnt, false)
-	s.l2Pending[bank][granule] = ready
-	if len(s.l2Pending[bank]) > 4*s.cfg.L2MSHRs {
-		for k, r := range s.l2Pending[bank] {
-			if r <= start {
-				delete(s.l2Pending[bank], k)
-			}
-		}
+	pending.set(granule, ready)
+	if pending.size() > 4*s.cfg.L2MSHRs {
+		pending.gc(start)
 	}
 	if res.Writeback {
 		// Dirty eviction: schedule the writeback; it consumes bandwidth
@@ -314,12 +302,12 @@ func (s *System) InvalidateAll() {
 		c.InvalidateAll()
 	}
 	for i := range s.l1Pending {
-		s.l1Pending[i] = make(map[uint64]int64)
+		s.l1Pending[i].reset()
 	}
 	for _, c := range s.l2 {
 		c.InvalidateAll()
 	}
 	for i := range s.l2Pending {
-		s.l2Pending[i] = make(map[uint64]int64)
+		s.l2Pending[i].reset()
 	}
 }

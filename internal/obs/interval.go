@@ -27,10 +27,24 @@ type SeriesPoint struct {
 	Stalls [NumStallCauses]int64 `json:"stalls"`
 }
 
-// Sample is one interval's points for every active task-stream.
+// Sample is one interval's points for every active task-stream, plus the
+// machine-level event-skipping counters (cumulative as of Cycle).
 type Sample struct {
 	Cycle  int64         `json:"cycle"` // cycle at which the sample was taken
 	Points []SeriesPoint `json:"points"`
+
+	// CyclesSimulated is the simulated cycle count (== Cycle); named
+	// separately so exports read as a skip-ratio numerator/denominator
+	// pair: the event-driven engine simulates CyclesSimulated cycles in
+	// only StepsExecuted real core-step calls.
+	CyclesSimulated int64 `json:"cycles_simulated,omitempty"`
+	// StepsExecuted counts real sm.Core.Step calls across the SM array.
+	StepsExecuted int64 `json:"steps_executed,omitempty"`
+	// StepsSkipped counts engine steps cores slept through.
+	StepsSkipped int64 `json:"steps_skipped,omitempty"`
+	// BulkStallSlots counts stall slots synthesized by bulk accounting
+	// when sleeping cores woke.
+	BulkStallSlots int64 `json:"bulk_stall_slots,omitempty"`
 }
 
 // IntervalSeries accumulates interval metrics samples at a fixed cycle

@@ -336,6 +336,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, state := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateQuarantined} {
 		fmt.Fprintf(w, "crispd_jobs{state=%q} %d\n", state, st.JobsByState[state])
 	}
+	skipRatio := 0.0
+	if visited := st.StepsExecuted + st.StepsSkipped; visited > 0 {
+		skipRatio = float64(st.StepsSkipped) / float64(visited)
+	}
+	fmt.Fprintf(w, "# HELP crispd_sim_cycles Simulated cycles reached, summed over tracked jobs' latest samples.\n")
+	fmt.Fprintf(w, "# TYPE crispd_sim_cycles gauge\ncrispd_sim_cycles %d\n", st.CyclesSimulated)
+	fmt.Fprintf(w, "# HELP crispd_sim_steps_executed Core steps executed (event-driven sleeping skips the rest).\n")
+	fmt.Fprintf(w, "# TYPE crispd_sim_steps_executed gauge\ncrispd_sim_steps_executed %d\n", st.StepsExecuted)
+	fmt.Fprintf(w, "# HELP crispd_sim_steps_skipped Core steps skipped while cores slept until their wake cycle.\n")
+	fmt.Fprintf(w, "# TYPE crispd_sim_steps_skipped gauge\ncrispd_sim_steps_skipped %d\n", st.StepsSkipped)
+	fmt.Fprintf(w, "# HELP crispd_sim_bulk_stall_slots Scheduler stall slots accounted in bulk at core wake.\n")
+	fmt.Fprintf(w, "# TYPE crispd_sim_bulk_stall_slots gauge\ncrispd_sim_bulk_stall_slots %d\n", st.BulkStallSlots)
+	fmt.Fprintf(w, "# HELP crispd_sim_skip_ratio Fraction of visited core steps skipped by sleeping (0 when idle or -no-skip).\n")
+	fmt.Fprintf(w, "# TYPE crispd_sim_skip_ratio gauge\ncrispd_sim_skip_ratio %g\n", skipRatio)
 	fmt.Fprintf(w, "# HELP crispd_attempts_total Supervised execution attempts started (>= executions).\n")
 	fmt.Fprintf(w, "# TYPE crispd_attempts_total counter\ncrispd_attempts_total %d\n", st.Attempts)
 	fmt.Fprintf(w, "# HELP crispd_retries_total Retry attempts: checkpoint-resumed re-executions after a retryable failure.\n")

@@ -210,6 +210,13 @@ type Job struct {
 	// including ones recorded by previous daemon instances (attempts.json)
 	// — the quarantine threshold compares against this.
 	failedAttempts int
+	// Skip-ratio telemetry from the latest interval sample: cumulative
+	// counters for the job's current execution attempt (engine core
+	// sleeping — see internal/engine). Guarded by mu.
+	simCycles    int64
+	stepsExec    int64
+	stepsSkipped int64
+	bulkStalls   int64
 }
 
 func (j *Job) setState(st State) {
@@ -223,6 +230,12 @@ func (j *Job) setState(st State) {
 // mutex + ring write when nobody is watching, so the simulation never
 // waits on an observer.
 func (j *Job) noteSample(s obs.Sample) {
+	j.mu.Lock()
+	j.simCycles = s.CyclesSimulated
+	j.stepsExec = s.StepsExecuted
+	j.stepsSkipped = s.StepsSkipped
+	j.bulkStalls = s.BulkStallSlots
+	j.mu.Unlock()
 	j.hub.Publish(obs.TimelineEvent{Cycle: s.Cycle, Kind: obs.TimelineSample, Sample: &s})
 }
 
@@ -1057,6 +1070,14 @@ type Stats struct {
 
 	// JobsByState counts every tracked job by current lifecycle state.
 	JobsByState map[State]int
+
+	// Skip-ratio telemetry summed over every tracked job's latest
+	// interval sample: how much simulated time the event-driven engine
+	// covered versus how many core steps it actually executed.
+	CyclesSimulated int64
+	StepsExecuted   int64
+	StepsSkipped    int64
+	BulkStallSlots  int64
 	// Telemetry aggregates every job hub's counters: live timeline
 	// subscribers, events published, and the slow-subscriber drop
 	// counters.
@@ -1083,6 +1104,10 @@ func (s *Server) Snapshot() Stats {
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		st.JobsByState[j.state]++
+		st.CyclesSimulated += j.simCycles
+		st.StepsExecuted += j.stepsExec
+		st.StepsSkipped += j.stepsSkipped
+		st.BulkStallSlots += j.bulkStalls
 		j.mu.Unlock()
 		hs := j.hub.Stats()
 		st.Subscribers += hs.Subscribers

@@ -153,8 +153,11 @@ func (c *Core) CommitStep(now int64) {
 				ready += c.TexFilterLatency
 			}
 			if ev.dst != isa.RegNone {
-				ev.warp.regReady[ev.dst] = ready
-				ev.warp.regFromMem[ev.dst] = true
+				// The warp's slot is stable between the buffered issue and
+				// this commit: a scheduler issues at most once per step, so
+				// no retire can have compacted its slots in between. setReg
+				// also invalidates the slot's memoized earliest.
+				ev.warp.sched.setReg(ev.warp.slot, ev.dst, ready, true)
 			}
 		case logStore:
 			for _, la := range lg.lines[ev.lineLo:ev.lineHi] {

@@ -102,6 +102,13 @@ type InstStats interface {
 	// schedulers are accounted locally (see Core.EmptySlots) and do not
 	// reach this method.
 	OnStall(smID, stream, task int, cause obs.StallCause)
+	// OnStallN reports n identical stall slots at once. A sleeping core's
+	// binding stall cause and warp are constant over the sleep window (no
+	// per-core state changes while it sleeps), so the engine bulk-accounts
+	// the skipped slots in one call when the core wakes. Always invoked
+	// from a serial context; counters are commutative, so bulk accounting
+	// is indistinguishable from n OnStall calls.
+	OnStallN(smID, stream, task int, cause obs.StallCause, n int64)
 }
 
 // ctaRT is the runtime state of one resident CTA.
@@ -117,22 +124,27 @@ type ctaRT struct {
 	onComplete func(now int64)
 }
 
-// warpRT is the runtime state of one resident warp.
+// warpRT is the runtime state of one resident warp. The hot per-warp
+// state the scheduler sweeps every issue slot — the register scoreboard
+// and the from-memory marks — does not live here: it is laid out in
+// dense per-scheduler SoA blocks (scheduler.sb / scheduler.memBits)
+// indexed by the warp's slot, so the ready-warp sweep walks contiguous
+// memory instead of pointer-chasing ~2.3KB warp structs.
 type warpRT struct {
 	insts        []trace.Inst
 	warpIdx      int // index within the CTA's warp list (trace identity)
 	pc           int
-	regReady     [256]int64
 	blockedUntil int64
 	done         bool
 	stream       int
 	task         int
 	cta          *ctaRT
 	arrival      int64
-	// regFromMem marks registers whose pending write comes from the
-	// memory path (LDG/TEX/LDS/LDC) rather than an ALU pipeline, so stall
-	// slots can be attributed to memory versus plain scoreboard latency.
-	regFromMem [256]bool
+	// sched/slot locate this warp's scoreboard block inside its
+	// scheduler's SoA arrays. slot tracks the warp's index in
+	// scheduler.warps (retire compacts both in lockstep).
+	sched *scheduler
+	slot  int
 }
 
 // SchedPolicy selects the warp-scheduling discipline.
@@ -147,13 +159,94 @@ const (
 	SchedLRR
 )
 
+// regsPerWarp is the scoreboard width of one warp slot in the SoA block.
+const regsPerWarp = 256
+
+// memWords is the number of uint64 words in one warp slot's from-memory
+// bitmap (256 registers / 64 bits).
+const memWords = regsPerWarp / 64
+
 // scheduler is one of the SM's warp schedulers with its private pipelines.
+//
+// The per-warp hot state is structure-of-arrays: sb holds regsPerWarp
+// scoreboard entries per warp slot and memBits holds the matching
+// from-memory bitmaps, both indexed by warpRT.slot. earliestOf memoizes
+// each slot's (earliest, cause) result; the memo is invalidated by a
+// scheduler-wide version bump on every issue (issues mutate unitFree and
+// the issuing warp) and per-slot on cross-slot writes (mem fills
+// committed in phase B, barrier releases).
 type scheduler struct {
 	core     *Core
 	warps    []*warpRT
 	last     *warpRT
 	rr       int // round-robin cursor (SchedLRR)
 	unitFree [isa.UnitCount]int64
+
+	sb      []int64  // regsPerWarp per slot: cycle each register is ready
+	memBits []uint64 // memWords per slot: pending write is from memory
+
+	version   uint64 // bumped on issue; memo valid iff memoVer == version
+	memoE     []int64
+	memoCause []obs.StallCause
+	memoVer   []uint64 // 0 = invalid (version starts at 1)
+
+	// legacy disables the memo (every step recomputes from the
+	// scoreboard), making the -no-skip oracle independent of the memo
+	// invalidation logic it is used to verify.
+	legacy bool
+}
+
+// regReady reads one scoreboard entry.
+func (s *scheduler) regReady(slot int, r isa.Reg) int64 {
+	return s.sb[slot*regsPerWarp+int(r)]
+}
+
+// regFromMem reads one from-memory mark.
+func (s *scheduler) regFromMem(slot int, r isa.Reg) bool {
+	return s.memBits[slot*memWords+int(r)/64]&(1<<(uint(r)%64)) != 0
+}
+
+// setReg writes one scoreboard entry plus its from-memory mark and
+// invalidates the slot's memoized earliest (the write may shorten it).
+func (s *scheduler) setReg(slot int, r isa.Reg, ready int64, fromMem bool) {
+	s.sb[slot*regsPerWarp+int(r)] = ready
+	w := slot*memWords + int(r)/64
+	bit := uint64(1) << (uint(r) % 64)
+	if fromMem {
+		s.memBits[w] |= bit
+	} else {
+		s.memBits[w] &^= bit
+	}
+	s.memoVer[slot] = 0
+}
+
+// growSlot appends one zeroed warp slot (all registers ready, nothing
+// from memory, memo invalid) and returns its index.
+func (s *scheduler) growSlot() int {
+	slot := len(s.warps)
+	var zero [regsPerWarp]int64
+	s.sb = append(s.sb, zero[:]...)
+	s.memBits = append(s.memBits, make([]uint64, memWords)...)
+	s.memoE = append(s.memoE, 0)
+	s.memoCause = append(s.memoCause, 0)
+	s.memoVer = append(s.memoVer, 0)
+	return slot
+}
+
+// dropSlot removes warp slot i, shifting later slots down one (retire
+// preserves arrival order, so the SoA blocks shift in lockstep with the
+// warps slice). Callers must re-number the shifted warps' slot fields.
+func (s *scheduler) dropSlot(i int) {
+	n := len(s.memoE)
+	copy(s.sb[i*regsPerWarp:], s.sb[(i+1)*regsPerWarp:])
+	s.sb = s.sb[:(n-1)*regsPerWarp]
+	copy(s.memBits[i*memWords:], s.memBits[(i+1)*memWords:])
+	s.memBits = s.memBits[:(n-1)*memWords]
+	// Memo contents need not shift: the issue that triggered this retire
+	// bumps version, invalidating every slot's memo anyway.
+	s.memoE = s.memoE[:n-1]
+	s.memoCause = s.memoCause[:n-1]
+	s.memoVer = s.memoVer[:n-1]
 }
 
 // Core is one SM.
@@ -166,15 +259,37 @@ type Core struct {
 
 	scheds []scheduler
 
-	usageByTask map[int]*Resources
-	usageTotal  Resources
+	// tasks tracks per-task resource usage and resident-warp counts in a
+	// dense lo-band array (task ids are small) with a sorted hi-band
+	// fallback, keeping map ops off the CTA issue/retire path.
+	tasks      taskAccounts
+	usageTotal Resources
 	// LimitFor returns the resource envelope available to a task on this
 	// SM. Policies install it; nil means the full SM for every task.
 	LimitFor func(task int) Resources
 
-	residentWarpsByTask map[int]int
-	resident            int // total resident warps, so Busy is O(1)
-	arrivalSeq          int64
+	resident   int // total resident warps, so Busy is O(1)
+	arrivalSeq int64
+
+	// wakeAt is the earliest cycle this core could do useful work, as
+	// reported by its last Step. The engine skips stepping a busy core
+	// while now < wakeAt; each skipped step accrues one unit of debt in
+	// pendingSkipped, bulk-accounted by FlushSkipDebt before the next
+	// step, observation, or resident-set mutation. wakeAt is maintained
+	// identically with skipping disabled (the -no-skip oracle) so state
+	// digests match bit-for-bit across modes.
+	wakeAt         int64
+	pendingSkipped int64
+
+	// Observability-only skip counters (never serialized or digested):
+	// stepsExecuted counts real Step calls, stepsSkipped counts engine
+	// steps this core slept through, bulkStallSlots counts stall slots
+	// synthesized by FlushSkipDebt, and sleepHist buckets flushed sleep
+	// lengths by log2.
+	stepsExecuted  int64
+	stepsSkipped   int64
+	bulkStallSlots int64
+	sleepHist      [sleepHistBuckets]int64
 
 	// log, when non-nil, switches the core into buffered (two-phase) mode:
 	// issue slots record their cross-SM effects here instead of applying
@@ -200,17 +315,16 @@ type Core struct {
 // NewCore builds one SM attached to the shared memory system.
 func NewCore(id int, cfg *config.GPU, memsys *mem.System, stats InstStats) *Core {
 	c := &Core{
-		ID:                  id,
-		cfg:                 cfg,
-		memsys:              memsys,
-		stats:               stats,
-		scheds:              make([]scheduler, cfg.SchedulersPerSM),
-		usageByTask:         make(map[int]*Resources),
-		residentWarpsByTask: make(map[int]int),
-		TexFilterLatency:    24,
+		ID:               id,
+		cfg:              cfg,
+		memsys:           memsys,
+		stats:            stats,
+		scheds:           make([]scheduler, cfg.SchedulersPerSM),
+		TexFilterLatency: 24,
 	}
 	for i := range c.scheds {
 		c.scheds[i].core = c
+		c.scheds[i].version = 1
 	}
 	return c
 }
@@ -222,21 +336,20 @@ func (c *Core) SchedSlots() int64 { return c.schedSlots }
 func (c *Core) EmptySlots() int64 { return c.emptySlots }
 
 // ResidentWarps reports the warps currently resident for a task.
-func (c *Core) ResidentWarps(task int) int { return c.residentWarpsByTask[task] }
+func (c *Core) ResidentWarps(task int) int {
+	if a := c.tasks.peek(task); a != nil {
+		return a.warps
+	}
+	return 0
+}
 
 // TotalResidentWarps reports all resident warps.
-func (c *Core) TotalResidentWarps() int {
-	n := 0
-	for _, v := range c.residentWarpsByTask {
-		n += v
-	}
-	return n
-}
+func (c *Core) TotalResidentWarps() int { return c.resident }
 
 // Usage reports the resources currently used by a task.
 func (c *Core) Usage(task int) Resources {
-	if u := c.usageByTask[task]; u != nil {
-		return *u
+	if a := c.tasks.peek(task); a != nil {
+		return a.usage
 	}
 	return Resources{}
 }
@@ -276,8 +389,8 @@ func (c *Core) CanAccept(k *trace.Kernel, task int) bool {
 		return false
 	}
 	taskUsage := Resources{}
-	if u := c.usageByTask[task]; u != nil {
-		taskUsage = *u
+	if a := c.tasks.peek(task); a != nil {
+		taskUsage = a.usage
 	}
 	return fits(taskUsage, need, c.limitFor(task)) && fits(c.usageTotal, need, Full(c.cfg))
 }
@@ -285,6 +398,12 @@ func (c *Core) CanAccept(k *trace.Kernel, task int) bool {
 // IssueCTA places CTA ctaIdx of kernel k on this SM. onComplete runs when
 // the CTA's last warp exits. The caller must have checked CanAccept.
 func (c *Core) IssueCTA(now int64, k *trace.Kernel, ctaIdx, task int, onComplete func(now int64)) {
+	// A new CTA changes what the schedulers can do, so any sleep debt must
+	// be settled against the pre-arrival state (the stall disposition over
+	// the slept window), and the core must wake for the upcoming step.
+	c.FlushSkipDebt()
+	c.wakeAt = 0
+
 	need := Need(k)
 	cta := &ctaRT{
 		kernel:     k,
@@ -295,12 +414,8 @@ func (c *Core) IssueCTA(now int64, k *trace.Kernel, ctaIdx, task int, onComplete
 		warpsLeft:  len(k.CTAs[ctaIdx].Warps),
 		onComplete: onComplete,
 	}
-	u := c.usageByTask[task]
-	if u == nil {
-		u = &Resources{}
-		c.usageByTask[task] = u
-	}
-	u.add(need)
+	a := c.tasks.get(task)
+	a.usage.add(need)
 	c.usageTotal.add(need)
 
 	for wi := range k.CTAs[ctaIdx].Warps {
@@ -314,8 +429,10 @@ func (c *Core) IssueCTA(now int64, k *trace.Kernel, ctaIdx, task int, onComplete
 		}
 		c.arrivalSeq++
 		s := &c.scheds[wi%len(c.scheds)]
+		w.sched = s
+		w.slot = s.growSlot()
 		s.warps = append(s.warps, w)
-		c.residentWarpsByTask[task]++
+		a.warps++
 		c.resident++
 	}
 }
@@ -323,6 +440,7 @@ func (c *Core) IssueCTA(now int64, k *trace.Kernel, ctaIdx, task int, onComplete
 // Step runs every scheduler for cycle now and returns the earliest future
 // cycle at which this SM could do useful work (never if it is empty).
 func (c *Core) Step(now int64) int64 {
+	c.stepsExecuted++
 	next := never
 	for i := range c.scheds {
 		if n := c.scheds[i].step(now); n < next {
@@ -330,6 +448,131 @@ func (c *Core) Step(now int64) int64 {
 		}
 	}
 	return next
+}
+
+// WakeAt reports the core's current wake cycle (see the field comment).
+func (c *Core) WakeAt() int64 { return c.wakeAt }
+
+// SetWakeAt records the core's wake cycle. The engine calls it with
+// Step's return value after every real step; the driver calls it to
+// force a wake when a cross-core event (policy repartition) could let
+// the core make progress earlier than it predicted.
+func (c *Core) SetWakeAt(v int64) { c.wakeAt = v }
+
+// SetLegacyStep switches the schedulers onto the legacy stepping path:
+// the per-slot earliest memo is bypassed and every step recomputes from
+// the scoreboard. The -no-skip oracle runs this way so its digests are
+// produced without trusting the memo invalidation it verifies.
+func (c *Core) SetLegacyStep(v bool) {
+	for i := range c.scheds {
+		c.scheds[i].legacy = v
+	}
+}
+
+// Skip records one engine step this core slept through. The debt is
+// bulk-accounted by FlushSkipDebt before anything can observe or change
+// the core's state.
+func (c *Core) Skip() { c.pendingSkipped++ }
+
+// sleepHistBuckets is the number of log2 buckets in the sleep-length
+// histogram: bucket i counts flushed sleeps of 2^i..2^(i+1)-1 skipped
+// steps (the last bucket is open-ended).
+const sleepHistBuckets = 16
+
+func histBucket(n int64) int {
+	b := 0
+	for n > 1 && b < sleepHistBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// FlushSkipDebt settles the core's accumulated sleep debt: for each
+// skipped engine step it synthesizes the scheduler slots the skipped
+// Step calls would have produced. While the core sleeps no per-core
+// state changes — warps, scoreboards, pipelines, and cursors are all
+// frozen, and the stall disposition is independent of the cycle number —
+// so every skipped step would have charged the same (warp, cause) stall
+// on every scheduler. Bulk accounting therefore reproduces the
+// cycle-by-cycle counters exactly (the -no-skip oracle digests
+// identically). Always called from a serial context.
+func (c *Core) FlushSkipDebt() {
+	n := c.pendingSkipped
+	if n == 0 {
+		return
+	}
+	c.pendingSkipped = 0
+	c.stepsSkipped += n
+	c.sleepHist[histBucket(n)]++
+	for i := range c.scheds {
+		s := &c.scheds[i]
+		c.schedSlots += n
+		if len(s.warps) == 0 {
+			c.emptySlots += n
+			continue
+		}
+		w, cause := s.stallDisposition()
+		if w == nil {
+			c.emptySlots += n
+			continue
+		}
+		c.bulkStallSlots += n
+		if c.stats != nil {
+			c.stats.OnStallN(c.ID, w.stream, w.task, cause, n)
+		}
+	}
+}
+
+// SkipCounters reports the core's event-skipping counters: real Step
+// calls executed, engine steps slept through, and stall slots
+// synthesized by bulk accounting.
+func (c *Core) SkipCounters() (executed, skipped, bulkStalls int64) {
+	return c.stepsExecuted, c.stepsSkipped, c.bulkStallSlots
+}
+
+// SleepHist returns the log2 histogram of flushed sleep lengths.
+func (c *Core) SleepHist() [sleepHistBuckets]int64 { return c.sleepHist }
+
+// stallDisposition recomputes which (warp, cause) a non-issuing step
+// would charge, mirroring step/stepLRR's selection exactly: the
+// strict-< minimum of earliestOf over live warps in sweep order (GTO
+// visits non-last warps in arrival order, then the last-issued warp;
+// LRR sweeps from one past the cursor). nil means every slot would have
+// been empty (no live warps). The result is valid for the whole sleep
+// window because nothing the selection reads changes while the core
+// sleeps.
+func (s *scheduler) stallDisposition() (*warpRT, obs.StallCause) {
+	best := never
+	var bestWarp *warpRT
+	var bestCause obs.StallCause
+	if s.core.Sched == SchedLRR {
+		n := len(s.warps)
+		for i := 0; i < n; i++ {
+			w := s.warps[(s.rr+1+i)%n]
+			if w.done {
+				continue
+			}
+			if e, cause := s.earliestOf(w); e < best {
+				best, bestWarp, bestCause = e, w, cause
+			}
+		}
+		return bestWarp, bestCause
+	}
+	for _, w := range s.warps {
+		if w.done || w == s.last {
+			continue
+		}
+		if e, cause := s.earliestOf(w); e < best {
+			best, bestWarp, bestCause = e, w, cause
+		}
+	}
+	if s.last != nil && !s.last.done {
+		if e, cause := s.earliestOf(s.last); e < best {
+			best, bestWarp, bestCause = e, s.last, cause
+		}
+	}
+	return bestWarp, bestCause
 }
 
 // Busy reports whether any warps are resident. It is O(1) so the engine's
@@ -442,24 +685,41 @@ func (s *scheduler) noteStall(w *warpRT, cause obs.StallCause) {
 // earliestFor computes when w could issue its current instruction and,
 // when it cannot issue now, which constraint binds (the stall cause).
 func (s *scheduler) earliestFor(w *warpRT, now int64) (canNow bool, earliest int64, cause obs.StallCause) {
+	e, cause := s.earliestOf(w)
+	return e <= now, e, cause
+}
+
+// earliestOf computes the earliest cycle w could issue and the binding
+// constraint. Both are independent of the current cycle (all inputs are
+// absolute cycle numbers), so the result is memoized per slot and
+// reused until the scheduler's state changes: any issue bumps version,
+// and cross-slot writes (phase-B mem fills, barrier releases) clear the
+// slot's memoVer. In legacy (-no-skip oracle) mode the memo is bypassed
+// entirely — every step recomputes from the scoreboard — so a memo
+// invalidation bug shows up as a digest divergence against the oracle
+// instead of being shared by both sides of the comparison.
+func (s *scheduler) earliestOf(w *warpRT) (earliest int64, cause obs.StallCause) {
+	if !s.legacy && s.memoVer[w.slot] == s.version {
+		return s.memoE[w.slot], s.memoCause[w.slot]
+	}
 	in := &w.insts[w.pc]
 	// blockedUntil is only ever set by barriers, so it is the barrier
 	// cause whenever it binds.
 	e := w.blockedUntil
 	cause = obs.StallBarrier
 	if in.Dst != isa.RegNone {
-		if r := w.regReady[in.Dst]; r > e {
+		if r := s.regReady(w.slot, in.Dst); r > e {
 			e = r
-			cause = regCause(w, in.Dst)
+			cause = s.regCause(w.slot, in.Dst)
 		}
 	}
 	for _, src := range [3]isa.Reg{in.SrcA, in.SrcB, in.SrcC} {
 		if src == isa.RegNone {
 			continue
 		}
-		if r := w.regReady[src]; r > e {
+		if r := s.regReady(w.slot, src); r > e {
 			e = r
-			cause = regCause(w, src)
+			cause = s.regCause(w.slot, src)
 		}
 	}
 	unit := isa.UnitOf(in.Op)
@@ -469,13 +729,16 @@ func (s *scheduler) earliestFor(w *warpRT, now int64) (canNow bool, earliest int
 			cause = obs.StallPipeBusy
 		}
 	}
-	return e <= now, e, cause
+	s.memoE[w.slot] = e
+	s.memoCause[w.slot] = cause
+	s.memoVer[w.slot] = s.version
+	return e, cause
 }
 
 // regCause distinguishes waiting on memory from a plain scoreboard
 // dependence for a pending register.
-func regCause(w *warpRT, r isa.Reg) obs.StallCause {
-	if w.regFromMem[r] {
+func (s *scheduler) regCause(slot int, r isa.Reg) obs.StallCause {
+	if s.regFromMem(slot, r) {
 		return obs.StallMemPending
 	}
 	return obs.StallScoreboard
@@ -501,9 +764,13 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 		cta := w.cta
 		cta.barArrived++
 		if cta.barArrived == cta.warpsLeft {
-			// Last arrival releases everyone.
+			// Last arrival releases everyone. Waiters may live on other
+			// schedulers of this core, whose memoized earliest the write
+			// invalidates (the releasing scheduler's version bump below
+			// does not cover them).
 			for _, bw := range cta.barWaiting {
 				bw.blockedUntil = now + 1
+				bw.sched.memoVer[bw.slot] = 0
 			}
 			cta.barWaiting = cta.barWaiting[:0]
 			cta.barArrived = 0
@@ -535,8 +802,7 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 			ready += core.TexFilterLatency
 		}
 		if in.Dst != isa.RegNone {
-			w.regReady[in.Dst] = ready
-			w.regFromMem[in.Dst] = true
+			s.setReg(w.slot, in.Dst, ready, true)
 		}
 	case isa.OpSTG:
 		lines := coalesce(in.Addrs, uint64(core.cfg.LineSize))
@@ -552,8 +818,7 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 		conflicts := sharedConflictDegree(in)
 		s.unitFree[isa.UnitLDST] = now + int64(conflicts)
 		if in.Dst != isa.RegNone {
-			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op)) + int64(conflicts-1)*2
-			w.regFromMem[in.Dst] = true
+			s.setReg(w.slot, in.Dst, now+int64(isa.Latency(in.Op))+int64(conflicts-1)*2, true)
 		}
 	case isa.OpSTS:
 		s.unitFree[isa.UnitLDST] = now + int64(sharedConflictDegree(in))
@@ -561,14 +826,12 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 		// Constant cache: modeled as a fixed-latency hit.
 		s.unitFree[isa.UnitLDST] = now + int64(isa.InitiationInterval(in.Op))
 		if in.Dst != isa.RegNone {
-			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op))
-			w.regFromMem[in.Dst] = true
+			s.setReg(w.slot, in.Dst, now+int64(isa.Latency(in.Op)), true)
 		}
 	default:
 		s.unitFree[unit] = now + int64(isa.InitiationInterval(in.Op))
 		if in.Dst != isa.RegNone {
-			w.regReady[in.Dst] = now + int64(isa.Latency(in.Op))
-			w.regFromMem[in.Dst] = false
+			s.setReg(w.slot, in.Dst, now+int64(isa.Latency(in.Op)), false)
 		}
 	}
 
@@ -580,6 +843,10 @@ func (s *scheduler) tryIssue(w *warpRT, now int64) (bool, int64, obs.StallCause)
 		}
 	}
 	w.pc++
+	// An issue mutates scheduler state every memoized earliest may depend
+	// on (unitFree, the issuing warp's scoreboard and pc, slot layout
+	// after a retire), so invalidate the whole scheduler's memo.
+	s.version++
 	return true, now, 0
 }
 
@@ -588,6 +855,10 @@ func (s *scheduler) retire(w *warpRT, now int64) {
 	for i, x := range s.warps {
 		if x == w {
 			s.warps = append(s.warps[:i], s.warps[i+1:]...)
+			s.dropSlot(i)
+			for j := i; j < len(s.warps); j++ {
+				s.warps[j].slot = j
+			}
 			break
 		}
 	}
@@ -595,13 +866,15 @@ func (s *scheduler) retire(w *warpRT, now int64) {
 		s.last = nil
 	}
 	core := s.core
-	core.residentWarpsByTask[w.task]--
+	if a := core.tasks.peek(w.task); a != nil {
+		a.warps--
+	}
 	core.resident--
 	cta := w.cta
 	cta.warpsLeft--
 	if cta.warpsLeft == 0 {
-		if u := core.usageByTask[cta.task]; u != nil {
-			u.sub(cta.res)
+		if a := core.tasks.peek(cta.task); a != nil {
+			a.usage.sub(cta.res)
 		}
 		core.usageTotal.sub(cta.res)
 		if cta.onComplete != nil {

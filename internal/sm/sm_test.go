@@ -33,6 +33,11 @@ func (c *issueCounter) OnStall(smID, stream, task int, cause obs.StallCause) {
 	c.stalled++
 }
 
+func (c *issueCounter) OnStallN(smID, stream, task int, cause obs.StallCause, n int64) {
+	c.stalls[cause] += n
+	c.stalled += n
+}
+
 func testCore(t *testing.T) (*Core, *issueCounter, *config.GPU) {
 	t.Helper()
 	cfg := config.JetsonOrin()

@@ -3,6 +3,7 @@ package sm
 import (
 	"fmt"
 
+	"crisp/internal/isa"
 	"crisp/internal/robust"
 	"crisp/internal/snapshot"
 	"crisp/internal/trace"
@@ -30,11 +31,17 @@ func smStateErr(format string, args ...any) error {
 // constraints strictly after the current cycle), so only future entries
 // are recorded.
 func (c *Core) CaptureState(now int64, kernelIdx func(stream int, k *trace.Kernel) (int, error)) (snapshot.CoreState, error) {
+	// Settle any sleep debt so the captured slot counters match what a
+	// cycle-by-cycle run would have accumulated by this cycle. (The GPU
+	// settles every core before capturing stream stats too; this makes a
+	// directly-captured core self-consistent.)
+	c.FlushSkipDebt()
 	cs := snapshot.CoreState{
 		ID:         c.ID,
 		ArrivalSeq: c.arrivalSeq,
 		SchedSlots: c.schedSlots,
 		EmptySlots: c.emptySlots,
+		WakeAt:     c.wakeAt,
 	}
 
 	// Pass 1: assign positional refs. Warps get consecutive refs in
@@ -102,12 +109,13 @@ func (c *Core) CaptureState(now int64, kernelIdx func(stream int, k *trace.Kerne
 				BlockedUntil: w.blockedUntil,
 				Arrival:      w.arrival,
 			}
-			for r := range w.regReady {
-				if w.regReady[r] > now {
+			sb := s.sb[wi*regsPerWarp : (wi+1)*regsPerWarp]
+			for r := range sb {
+				if sb[r] > now {
 					ws.PendingRegs = append(ws.PendingRegs, snapshot.RegState{
 						Reg:     r,
-						Ready:   w.regReady[r],
-						FromMem: w.regFromMem[r],
+						Ready:   sb[r],
+						FromMem: s.regFromMem(wi, isa.Reg(r)),
 					})
 				}
 			}
@@ -141,9 +149,10 @@ func (c *Core) RestoreState(cs snapshot.CoreState, env RestoreEnv) error {
 	c.arrivalSeq = cs.ArrivalSeq
 	c.schedSlots = cs.SchedSlots
 	c.emptySlots = cs.EmptySlots
-	c.usageByTask = make(map[int]*Resources)
+	c.wakeAt = cs.WakeAt
+	c.pendingSkipped = 0
+	c.tasks.reset()
 	c.usageTotal = Resources{}
-	c.residentWarpsByTask = make(map[int]int)
 	c.resident = 0
 
 	// Rebuild CTAs.
@@ -175,12 +184,7 @@ func (c *Core) RestoreState(cs snapshot.CoreState, env RestoreEnv) error {
 			cta.onComplete = env.OnComplete(st.StreamID, st.KernelIdx, st.CTAIdx, c.ID)
 		}
 		ctas[i] = cta
-		u := c.usageByTask[cta.task]
-		if u == nil {
-			u = &Resources{}
-			c.usageByTask[cta.task] = u
-		}
-		u.add(cta.res)
+		c.tasks.get(cta.task).usage.add(cta.res)
 		c.usageTotal.add(cta.res)
 	}
 
@@ -197,6 +201,12 @@ func (c *Core) RestoreState(cs snapshot.CoreState, env RestoreEnv) error {
 		s.rr = ss.RR
 		s.last = nil
 		s.warps = s.warps[:0]
+		s.sb = s.sb[:0]
+		s.memBits = s.memBits[:0]
+		s.memoE = s.memoE[:0]
+		s.memoCause = s.memoCause[:0]
+		s.memoVer = s.memoVer[:0]
+		s.version = 1
 		for _, ws := range ss.Warps {
 			if ws.CTA < 0 || ws.CTA >= len(ctas) {
 				return smStateErr("SM %d: warp references unknown CTA %d", c.ID, ws.CTA)
@@ -219,20 +229,21 @@ func (c *Core) RestoreState(cs snapshot.CoreState, env RestoreEnv) error {
 				task:         cta.task,
 				cta:          cta,
 				arrival:      ws.Arrival,
+				sched:        s,
 			}
+			w.slot = s.growSlot()
 			for _, rs := range ws.PendingRegs {
-				if rs.Reg < 0 || rs.Reg >= len(w.regReady) {
+				if rs.Reg < 0 || rs.Reg >= regsPerWarp {
 					return smStateErr("SM %d: pending register %d out of range", c.ID, rs.Reg)
 				}
-				w.regReady[rs.Reg] = rs.Ready
-				w.regFromMem[rs.Reg] = rs.FromMem
+				s.setReg(w.slot, isa.Reg(rs.Reg), rs.Ready, rs.FromMem)
 			}
 			if _, dup := warpByRef[ws.Ref]; dup {
 				return smStateErr("SM %d: duplicate warp ref %d", c.ID, ws.Ref)
 			}
 			warpByRef[ws.Ref] = w
 			s.warps = append(s.warps, w)
-			c.residentWarpsByTask[cta.task]++
+			c.tasks.get(cta.task).warps++
 			c.resident++
 		}
 	}

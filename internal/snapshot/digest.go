@@ -167,6 +167,7 @@ func hashCore(h *Hasher, c *CoreState) {
 	h.PutI64(c.ArrivalSeq)
 	h.PutI64(c.SchedSlots)
 	h.PutI64(c.EmptySlots)
+	h.PutI64(c.WakeAt)
 
 	h.PutU64(uint64(len(c.CTAs)))
 	for i := range c.CTAs {

@@ -194,8 +194,13 @@ type CoreState struct {
 	ArrivalSeq int64
 	SchedSlots int64
 	EmptySlots int64
-	CTAs       []CTAState
-	Scheds     []SchedState
+	// WakeAt is the earliest cycle the core could do useful work, as
+	// reported by its last Step. The event-driven engine sleeps the core
+	// until then; capturing it keeps a resume's sleep windows (and the
+	// digest) bit-identical to the uninterrupted run.
+	WakeAt int64
+	CTAs   []CTAState
+	Scheds []SchedState
 }
 
 // CTAState is one resident CTA.
