@@ -12,12 +12,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 
 	"crisp"
@@ -29,6 +31,7 @@ func main() {
 	log.SetFlags(0)
 	sceneName := flag.String("scene", "", "rendering workload: SPL, SPH, PT, IT, PL, MT (empty = none)")
 	computeName := flag.String("compute", "", "compute workload: VIO, HOLO, NN, UPSCALE, ATW (empty = none)")
+	scenarioName := flag.String("scenario", "", "N-tenant scenario preset: "+strings.Join(crisp.MixPresetNames(), ", ")+" (mutually exclusive with -scene/-compute)")
 	policy := flag.String("policy", "serial", "partition policy: serial, MPS, MiG, EVEN, WarpedSlicer, TAP, Priority")
 	gpuName := flag.String("gpu", "JetsonOrin", "GPU config: JetsonOrin or RTX3070")
 	gpuFile := flag.String("config", "", "JSON GPU configuration file (overrides -gpu; artifact-style customization)")
@@ -54,8 +57,13 @@ func main() {
 	noSkip := flag.Bool("no-skip", false, "disable event-driven core sleeping (cycle-by-cycle oracle; results identical either way)")
 	flag.Parse()
 
-	if *sceneName == "" && *computeName == "" && *resume == "" {
-		fmt.Fprintln(os.Stderr, "need -scene and/or -compute (or -resume)")
+	if *sceneName == "" && *computeName == "" && *scenarioName == "" && *resume == "" {
+		fmt.Fprintln(os.Stderr, "need -scene and/or -compute (or -scenario, or -resume)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *scenarioName != "" && (*sceneName != "" || *computeName != "") {
+		fmt.Fprintln(os.Stderr, "-scenario names its own workloads; drop -scene/-compute")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,10 +145,22 @@ func main() {
 		}
 		*sceneName, *computeName, *policy = env.Spec.Scene, env.Spec.Compute, env.Spec.Policy
 		cfg = env.Spec.GPU
+		if len(env.Spec.Mix) > 0 {
+			var m crisp.MixSpec
+			if json.Unmarshal(env.Spec.Mix, &m) == nil {
+				*scenarioName = m.Name
+			}
+		}
 		if *policy == "" {
 			*policy = "serial"
 		}
 		res, err = crisp.Resume(ctx, env, runOpts...)
+	} else if *scenarioName != "" {
+		mix, merr := crisp.MixPreset(*scenarioName)
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		res, err = crisp.RunMixContext(ctx, cfg, mix, crisp.PolicyKind(*policy), opts, runOpts...)
 	} else {
 		res, err = crisp.RunPairContext(ctx, cfg, *sceneName, *computeName, crisp.PolicyKind(*policy), opts, runOpts...)
 	}
@@ -176,7 +196,7 @@ func main() {
 		fmt.Printf("metrics     : %s\n", *metricsOut)
 	}
 
-	fmt.Printf("%s", header(*sceneName, *computeName, cfg.Name, *policy))
+	fmt.Printf("%s", header(*sceneName, *computeName, *scenarioName, cfg.Name, *policy))
 	if res.Resumed {
 		fmt.Printf("resumed from: cycle %d\n", res.ResumedFrom)
 	}
@@ -192,16 +212,24 @@ func main() {
 	}
 
 	t := stats.Table{Header: []string{"task", "warp insts", "IPC", "L1 hit", "L2 hit", "DRAM rd KB", "DRAM wr KB"}}
-	for task := 0; task < 2; task++ {
-		st, ok := res.PerTask[task]
-		if !ok {
-			continue
-		}
+	tasks := make([]int, 0, len(res.PerTask))
+	for task := range res.PerTask {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	for _, task := range tasks {
+		st := res.PerTask[task]
 		t.AddRow(fmt.Sprint(task), fmt.Sprint(st.WarpInsts), stats.F(st.IPC()),
 			stats.Pct(st.L1HitRate()), stats.Pct(st.L2HitRate()),
 			fmt.Sprint(st.DRAMReads/1024), fmt.Sprint(st.DRAMWrites/1024))
 	}
 	fmt.Println(t.String())
+
+	// Scenario runs carry per-tenant QoS accounting: deadlines, tardiness,
+	// turnaround.
+	if res.QoS != nil {
+		fmt.Println(res.QoS.String())
+	}
 
 	// Print classes in sorted order: map iteration order would make the
 	// output differ run to run, which the CI determinism gate diffs.
@@ -270,13 +298,16 @@ func writeMetrics(path string, res *crisp.Result) error {
 	return f.Close()
 }
 
-func header(sceneName, computeName, gpu, policy string) string {
+func header(sceneName, computeName, scenarioName, gpu, policy string) string {
 	pair := sceneName
 	if computeName != "" {
 		if pair != "" {
 			pair += "+"
 		}
 		pair += computeName
+	}
+	if scenarioName != "" {
+		pair = "scenario " + scenarioName
 	}
 	return fmt.Sprintf("== %s on %s under %s ==\n", pair, gpu, policy)
 }

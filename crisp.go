@@ -36,6 +36,7 @@ import (
 	"crisp/internal/obs"
 	"crisp/internal/render"
 	"crisp/internal/robust"
+	"crisp/internal/scenario"
 	"crisp/internal/scene"
 	"crisp/internal/snapshot"
 )
@@ -221,6 +222,59 @@ func RunPair(cfg GPUConfig, sceneName, computeName string, policy PolicyKind, op
 func RunPairContext(ctx context.Context, cfg GPUConfig, sceneName, computeName string, policy PolicyKind, opts RenderOptions, runOpts ...RunOption) (res *Result, err error) {
 	defer robust.RecoverAsError(&err, "crisp.RunPairContext")
 	return core.RunPairContext(ctx, cfg, sceneName, computeName, policy, opts, runOpts...)
+}
+
+// MixSpec describes an N-tenant scenario: up to eight tenants (render
+// frames and compute requests) with placement priorities, arrival
+// schedules, and optional per-instance deadlines. See RunMix.
+type MixSpec = scenario.MixSpec
+
+// MixTenant is one tenant of a MixSpec: exactly one of Scene/Compute
+// names its workload.
+type MixTenant = scenario.Tenant
+
+// Arrival schedules a tenant's instances: immediate, fixed-offset,
+// periodic (a frame cadence), or seeded-bursty — always deterministic,
+// never wall-clock.
+type Arrival = scenario.Arrival
+
+// The arrival schedule kinds.
+const (
+	ArriveImmediate = scenario.ArriveImmediate
+	ArriveOffset    = scenario.ArriveOffset
+	ArrivePeriodic  = scenario.ArrivePeriodic
+	ArriveBursty    = scenario.ArriveBursty
+)
+
+// QoSReport is the per-tenant deadline/turnaround accounting of a mix run
+// (Result.QoS).
+type QoSReport = scenario.QoSReport
+
+// TenantReport is one tenant's QoS accounting within a QoSReport.
+type TenantReport = scenario.TenantReport
+
+// MixPresetNames lists the named scenario presets (e.g.
+// "vr-frame-deadline", "n-way-fair").
+func MixPresetNames() []string { return scenario.PresetNames() }
+
+// MixPreset returns a fresh, validated copy of a named preset mix.
+func MixPreset(name string) (MixSpec, error) { return scenario.Preset(name) }
+
+// RunMix simulates an N-tenant scenario under policy on cfg: every tenant
+// becomes one GPU task with its own stream range, arrivals gate work
+// admission at the scheduled cycles, and Result.QoS reports deadline and
+// turnaround accounting per tenant. A two-tenant mix with immediate
+// arrivals reproduces RunPair bit-identically. opts applies to every
+// render tenant. Panics are recovered and returned as errors.
+func RunMix(cfg GPUConfig, mix MixSpec, policy PolicyKind, opts RenderOptions, runOpts ...RunOption) (res *Result, err error) {
+	defer robust.RecoverAsError(&err, "crisp.RunMix")
+	return core.RunMix(cfg, mix, policy, opts, runOpts...)
+}
+
+// RunMixContext is RunMix with cooperative cancellation.
+func RunMixContext(ctx context.Context, cfg GPUConfig, mix MixSpec, policy PolicyKind, opts RenderOptions, runOpts ...RunOption) (res *Result, err error) {
+	defer robust.RecoverAsError(&err, "crisp.RunMixContext")
+	return core.RunMixContext(ctx, cfg, mix, policy, opts, runOpts...)
 }
 
 // SimError is a structured simulation failure (validation, deadlock,

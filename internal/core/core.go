@@ -16,6 +16,7 @@ import (
 	"crisp/internal/obs"
 	"crisp/internal/partition"
 	"crisp/internal/render"
+	"crisp/internal/scenario"
 	"crisp/internal/scene"
 	"crisp/internal/sm"
 	"crisp/internal/snapshot"
@@ -89,10 +90,19 @@ type Job struct {
 	Compute  *compute.Workload
 	// Computes adds further compute workloads as additional tasks
 	// (2, 3, …) — the more-than-two-workloads extension the paper's
-	// limitation section describes. MPS and EVEN generalize to n tasks;
-	// WarpedSlicer and TAP remain pairwise.
+	// limitation section describes. Every policy generalizes to n tasks
+	// (the pairwise implementations stay in force at n ≤ 2).
 	Computes []*compute.Workload
-	Policy   PolicyKind
+	// Tenants, when non-empty, replaces Graphics/Compute/Computes with an
+	// N-tenant scenario mix: tenant i is task i and owns stream range
+	// [i*ComputeStreamBase, (i+1)*ComputeStreamBase). Build with
+	// BuildMixJob, which also fills MixJSON.
+	Tenants []Tenant
+	// MixJSON is the canonical scenario.MixSpec JSON the tenants were
+	// lowered from; it rides in checkpoint specs and the job digest so
+	// mixes are as resumable and cacheable as pairs.
+	MixJSON []byte
+	Policy  PolicyKind
 	// GraphicsWindow bounds concurrently active rendering batch streams
 	// (the binning buffer); 0 means the default of 4.
 	GraphicsWindow int
@@ -213,6 +223,9 @@ type Result struct {
 	Kernels []gpu.KernelStat
 	// WS exposes warped-slicer state when that policy ran.
 	WS *partition.WarpedSlicer
+	// QoS is the per-tenant deadline/turnaround accounting for scenario
+	// mixes (nil for plain pair jobs).
+	QoS *scenario.QoSReport
 	// Digests is the determinism-auditor series when Job.DigestEvery > 0.
 	Digests []snapshot.DigestEntry
 	// Resumed/ResumedFrom report whether (and from which cycle) the run
@@ -232,7 +245,7 @@ func (j *Job) Run() (*Result, error) { return j.RunContext(context.Background())
 // terminates the simulation with a canceled SimError carrying a crash
 // dump of where the run stood.
 func (j *Job) RunContext(ctx context.Context) (*Result, error) {
-	if j.Graphics == nil && j.Compute == nil {
+	if j.Graphics == nil && j.Compute == nil && len(j.Tenants) == 0 {
 		return nil, fmt.Errorf("core: job has neither graphics nor compute work")
 	}
 	g, err := gpu.New(j.GPU)
@@ -242,6 +255,34 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 	g.Workers = j.Workers
 	g.NoSkip = j.NoSkip
 
+	var totalTasks int
+	if len(j.Tenants) > 0 {
+		if j.Graphics != nil || j.Compute != nil || len(j.Computes) > 0 {
+			return nil, fmt.Errorf("core: a job carries either a tenant mix or pair workloads, not both")
+		}
+		totalTasks, err = j.addTenantStreams(g)
+		if err != nil {
+			return nil, err
+		}
+	} else if totalTasks, err = j.addPairStreams(g); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Policy: j.Policy}
+	pol, ws, err := BuildPolicyWS(g, j.Policy, totalTasks)
+	if err != nil {
+		return nil, err
+	}
+	if pol != nil {
+		g.SetPolicy(pol)
+	}
+	res.WS = ws
+	return j.runOn(ctx, g, res)
+}
+
+// addPairStreams realizes the classic pair job (graphics frame replay plus
+// compute workloads) on the GPU, returning the task count.
+func (j *Job) addPairStreams(g *gpu.GPU) (int, error) {
 	window := j.GraphicsWindow
 	if window == 0 {
 		window = defaultGraphicsWindow
@@ -264,7 +305,7 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 		}
 		stride := maxID + 1
 		if frames*stride > ComputeStreamBase {
-			return nil, fmt.Errorf("core: %d frames × %d streams exceed the graphics stream space", frames, stride)
+			return 0, fmt.Errorf("core: %d frames × %d streams exceed the graphics stream space", frames, stride)
 		}
 		for f := 0; f < frames; f++ {
 			for _, st := range j.Graphics.Streams {
@@ -275,7 +316,7 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 				}
 				def := gpu.StreamDef{ID: id, Task: partition.TaskGraphics, Label: label, Kernels: renumber(st.Kernels, id)}
 				if err := g.AddStream(def); err != nil {
-					return nil, err
+					return 0, err
 				}
 			}
 		}
@@ -295,22 +336,16 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 		}
 		def := gpu.StreamDef{ID: id, Task: task, Label: w.Name, Kernels: kernels}
 		if err := g.AddStream(def); err != nil {
-			return nil, err
+			return 0, err
 		}
 	}
+	return 1 + len(computes), nil
+}
 
-	totalTasks := 1 + len(computes)
-
-	res := &Result{Policy: j.Policy}
-	pol, ws, err := BuildPolicyWS(g, j.Policy, totalTasks)
-	if err != nil {
-		return nil, err
-	}
-	if pol != nil {
-		g.SetPolicy(pol)
-	}
-	res.WS = ws
-
+// runOn finishes RunContext after streams and policy are installed:
+// observability wiring, checkpointing, optional restore, the run itself,
+// and result folding.
+func (j *Job) runOn(ctx context.Context, g *gpu.GPU, res *Result) (*Result, error) {
 	if j.TimelineInterval > 0 {
 		g.Timeline = &stats.Timeline{Interval: j.TimelineInterval}
 	}
@@ -397,6 +432,9 @@ func (j *Job) RunContext(ctx context.Context) (*Result, error) {
 	for stream, n := range comp.ByStream {
 		res.L2ByTask[TaskOf(stream)] += n
 	}
+	if len(j.Tenants) > 0 {
+		res.QoS = scenario.Account(g.QoSTenants(), g.QoSDone(), cycles)
+	}
 	return res, nil
 }
 
@@ -417,8 +455,9 @@ func renumber(kernels []*trace.Kernel, id int) []*trace.Kernel {
 }
 
 // BuildPolicy constructs the named partitioning policy for a GPU hosting
-// totalTasks tasks (nil for PolicySerial). MPS and EVEN generalize to any
-// task count; MiG, WarpedSlicer, TAP, and Priority are pairwise.
+// totalTasks tasks (nil for PolicySerial). Every policy generalizes to n
+// tasks: at n ≤ 2 the original pairwise implementations run (bit-identical
+// to the paper's studies), beyond that the n-way variants take over.
 func BuildPolicy(g *gpu.GPU, kind PolicyKind, totalTasks int) (gpu.Policy, error) {
 	p, _, err := BuildPolicyWS(g, kind, totalTasks)
 	return p, err
@@ -428,12 +467,6 @@ func BuildPolicy(g *gpu.GPU, kind PolicyKind, totalTasks int) (gpu.Policy, error
 // instance when that policy was selected (its sampling state is part of
 // the Fig. 13 experiment).
 func BuildPolicyWS(g *gpu.GPU, kind PolicyKind, totalTasks int) (gpu.Policy, *partition.WarpedSlicer, error) {
-	pairwise := func() error {
-		if totalTasks > 2 {
-			return fmt.Errorf("core: policy %s supports exactly two tasks, got %d", kind, totalTasks)
-		}
-		return nil
-	}
 	cfg := g.Config()
 	switch kind {
 	case PolicySerial, "":
@@ -445,10 +478,11 @@ func BuildPolicyWS(g *gpu.GPU, kind PolicyKind, totalTasks int) (gpu.Policy, *pa
 		p, err := partition.NewSMGroups(cfg.NumSMs, totalTasks)
 		return p, nil, err
 	case PolicyMiG:
-		if err := pairwise(); err != nil {
-			return nil, nil, err
+		if totalTasks <= 2 {
+			return partition.NewMiG(g, TaskOf), nil, nil
 		}
-		return partition.NewMiG(g, TaskOf), nil, nil
+		p, err := partition.NewMiGN(g, TaskOf, totalTasks)
+		return p, nil, err
 	case PolicyEven:
 		if totalTasks <= 2 {
 			return partition.NewFGEven(g), nil, nil
@@ -456,21 +490,24 @@ func BuildPolicyWS(g *gpu.GPU, kind PolicyKind, totalTasks int) (gpu.Policy, *pa
 		p, err := partition.NewFGN(g, totalTasks)
 		return p, nil, err
 	case PolicyWarpedSlicer:
-		if err := pairwise(); err != nil {
-			return nil, nil, err
+		if totalTasks <= 2 {
+			ws := partition.NewWarpedSlicer(g)
+			return ws, ws, nil
 		}
-		ws := partition.NewWarpedSlicer(g)
-		return ws, ws, nil
+		p, err := partition.NewWarpedSlicerN(g, totalTasks)
+		return p, nil, err
 	case PolicyTAP:
-		if err := pairwise(); err != nil {
-			return nil, nil, err
+		if totalTasks <= 2 {
+			return partition.NewTAP(g, TaskOf), nil, nil
 		}
-		return partition.NewTAP(g, TaskOf), nil, nil
+		p, err := partition.NewTAPN(g, TaskOf, totalTasks)
+		return p, nil, err
 	case PolicyPriority:
-		if err := pairwise(); err != nil {
-			return nil, nil, err
+		if totalTasks <= 2 {
+			return partition.NewPriorityEven(g), nil, nil
 		}
-		return partition.NewPriorityEven(g), nil, nil
+		p, err := partition.NewPriorityEvenN(g, totalTasks)
+		return p, nil, err
 	}
 	return nil, nil, fmt.Errorf("core: unknown policy %q", kind)
 }

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"crisp/internal/compute"
+	"crisp/internal/config"
+	"crisp/internal/gpu"
+	"crisp/internal/render"
+	"crisp/internal/scenario"
+	"crisp/internal/trace"
+)
+
+// This file lowers a scenario.MixSpec — N tenants with priorities, arrival
+// schedules, and deadlines — onto a Job. Each tenant becomes one task and
+// owns the stream-id range [task*ComputeStreamBase, (task+1)*
+// ComputeStreamBase): a render tenant's frame f occupies a stride of batch
+// streams inside it, a compute tenant's request i is the single stream
+// base+i. The lowering reproduces RunPair's stream construction exactly,
+// so a two-tenant mix with immediate arrivals and no deadlines is
+// bit-identical to the pair it describes.
+
+// Tenant is one lowered mix tenant: exactly one of Graphics/Compute holds
+// its workload, Arrivals lists the absolute arrival cycle of each instance
+// (frames for render tenants, requests for compute ones), and Deadline is
+// the per-instance completion budget in cycles after arrival (0 = none).
+type Tenant struct {
+	Name     string
+	Graphics *render.Result
+	Compute  *compute.Workload
+	Priority int
+	Arrivals []int64
+	Deadline int64
+}
+
+// MixEnv lets callers override how workloads are materialized when
+// lowering a mix (e.g. the experiments package injects its frame cache).
+// Overrides must produce bit-identical results to the by-name builders —
+// the mix spec resumes and re-runs through them.
+type MixEnv struct {
+	// Render renders a named scene; nil means RenderScene.
+	Render func(sceneName string, opts render.Options) (*render.Result, error)
+	// Compute builds a named compute workload; nil means compute.ByName.
+	Compute func(name string) (*compute.Workload, error)
+}
+
+// BuildMixJob validates and lowers a mix onto a runnable Job. opts applies
+// to every render tenant (mirroring RunPair's single options argument).
+func BuildMixJob(cfg config.GPU, mix scenario.MixSpec, policy PolicyKind, opts render.Options) (*Job, error) {
+	return BuildMixJobEnv(cfg, mix, policy, opts, MixEnv{})
+}
+
+// BuildMixJobEnv is BuildMixJob with workload materialization overrides.
+func BuildMixJobEnv(cfg config.GPU, mix scenario.MixSpec, policy PolicyKind, opts render.Options, env MixEnv) (*Job, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	m := mix
+	m.Tenants = append([]scenario.Tenant(nil), mix.Tenants...)
+	m.Normalize()
+	mixJSON, err := json.Marshal(&m)
+	if err != nil {
+		return nil, fmt.Errorf("core: marshaling mix spec: %w", err)
+	}
+	renderFn := env.Render
+	if renderFn == nil {
+		renderFn = RenderScene
+	}
+	computeFn := env.Compute
+	if computeFn == nil {
+		computeFn = func(name string) (*compute.Workload, error) {
+			return compute.ByName(name, ComputeStreamBase)
+		}
+	}
+	j := &Job{GPU: cfg, Policy: policy, MixJSON: mixJSON}
+	hasRender := false
+	for _, t := range m.Tenants {
+		arrivals, err := t.Arrival.Times()
+		if err != nil {
+			return nil, err
+		}
+		ct := Tenant{Name: t.Name, Priority: t.Priority, Arrivals: arrivals, Deadline: t.Deadline}
+		if t.Scene != "" {
+			res, err := renderFn(t.Scene, opts)
+			if err != nil {
+				return nil, err
+			}
+			ct.Graphics = res
+			hasRender = true
+		} else {
+			w, err := computeFn(t.Compute)
+			if err != nil {
+				return nil, err
+			}
+			ct.Compute = w
+		}
+		j.Tenants = append(j.Tenants, ct)
+	}
+	if hasRender {
+		j.RenderOpts = opts
+	}
+	return j, nil
+}
+
+// addTenantStreams realizes the mix on the GPU: streams with NotBefore
+// arrival gates, per-render-tenant batch windows, QoS instance tracking,
+// and explicit placement priorities. It returns the task count.
+func (j *Job) addTenantStreams(g *gpu.GPU) (int, error) {
+	if len(j.Tenants) > scenario.MaxTenants {
+		return 0, fmt.Errorf("core: mix has %d tenants, max is %d", len(j.Tenants), scenario.MaxTenants)
+	}
+	window := j.GraphicsWindow
+	if window == 0 {
+		window = defaultGraphicsWindow
+	}
+	qos := make([]gpu.QoSTenant, 0, len(j.Tenants))
+	prios := make([]int, len(j.Tenants))
+	for ti, tn := range j.Tenants {
+		if (tn.Graphics == nil) == (tn.Compute == nil) {
+			return 0, fmt.Errorf("core: mix tenant %d must carry exactly one of graphics or compute work", ti)
+		}
+		prios[ti] = tn.Priority
+		base := ti * ComputeStreamBase
+		arrivals := tn.Arrivals
+		if len(arrivals) == 0 {
+			arrivals = []int64{0}
+		}
+		qt := gpu.QoSTenant{Task: ti, Label: tn.Name, Priority: tn.Priority}
+		if tn.Graphics != nil {
+			// A render instance is one frame: the same stream layout as
+			// RunPair's GraphicsFrames replay, offset into the tenant's
+			// stream range, with the frame's arrival gating its batches.
+			maxID := 0
+			for _, st := range tn.Graphics.Streams {
+				if st.Stream > maxID {
+					maxID = st.Stream
+				}
+			}
+			stride := maxID + 1
+			if len(arrivals)*stride > ComputeStreamBase {
+				return 0, fmt.Errorf("core: tenant %q: %d frames × %d streams exceed the tenant stream space", tn.Name, len(arrivals), stride)
+			}
+			g.TaskWindows[ti] = window
+			for f, at := range arrivals {
+				for _, st := range tn.Graphics.Streams {
+					id := base + f*stride + st.Stream
+					label := st.Label
+					if len(arrivals) > 1 {
+						label = fmt.Sprintf("f%d.%s", f, st.Label)
+					}
+					def := gpu.StreamDef{ID: id, Task: ti, Label: label, Kernels: renumber(st.Kernels, id), NotBefore: at}
+					if err := g.AddStream(def); err != nil {
+						return 0, err
+					}
+				}
+				qt.Instances = append(qt.Instances, gpu.QoSInstance{
+					Arrival: at, Deadline: absDeadline(at, tn.Deadline),
+					FirstStream: base + f*stride, LastStream: base + (f+1)*stride - 1,
+				})
+			}
+		} else {
+			// A compute instance is one request: the workload's kernel list
+			// on its own stream.
+			if len(arrivals) > ComputeStreamBase {
+				return 0, fmt.Errorf("core: tenant %q: %d requests exceed the tenant stream space", tn.Name, len(arrivals))
+			}
+			for i, at := range arrivals {
+				id := base + i
+				label := tn.Name
+				if len(arrivals) > 1 {
+					label = fmt.Sprintf("i%d.%s", i, tn.Name)
+				}
+				kernels := make([]*trace.Kernel, len(tn.Compute.Kernels))
+				for ki, k := range tn.Compute.Kernels {
+					kk := *k
+					kk.Stream = id
+					kernels[ki] = &kk
+				}
+				def := gpu.StreamDef{ID: id, Task: ti, Label: label, Kernels: kernels, NotBefore: at}
+				if err := g.AddStream(def); err != nil {
+					return 0, err
+				}
+				qt.Instances = append(qt.Instances, gpu.QoSInstance{
+					Arrival: at, Deadline: absDeadline(at, tn.Deadline),
+					FirstStream: id, LastStream: id,
+				})
+			}
+		}
+		qos = append(qos, qt)
+	}
+	g.SetQoS(qos)
+	g.SetTaskPriorities(prios)
+	return len(j.Tenants), nil
+}
+
+// absDeadline converts a relative per-instance deadline to the absolute
+// cycle the QoS runtime checks against.
+func absDeadline(arrival, deadline int64) int64 {
+	if deadline <= 0 {
+		return 0
+	}
+	return arrival + deadline
+}
+
+// hasGraphicsTenant reports whether any tenant renders.
+func (j *Job) hasGraphicsTenant() bool {
+	for _, t := range j.Tenants {
+		if t.Graphics != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RunMix is the mix counterpart of RunPair: build the named workloads,
+// lower the mix, and run it under policy on cfg.
+func RunMix(cfg config.GPU, mix scenario.MixSpec, policy PolicyKind, opts render.Options, runOpts ...RunOption) (*Result, error) {
+	return RunMixContext(context.Background(), cfg, mix, policy, opts, runOpts...)
+}
+
+// RunMixContext is RunMix with cooperative cancellation.
+func RunMixContext(ctx context.Context, cfg config.GPU, mix scenario.MixSpec, policy PolicyKind, opts render.Options, runOpts ...RunOption) (*Result, error) {
+	job, err := BuildMixJob(cfg, mix, policy, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range runOpts {
+		o(job)
+	}
+	return job.RunContext(ctx)
+}

@@ -44,7 +44,10 @@ func TestThreeTaskJob(t *testing.T) {
 	}
 }
 
-func TestPairwisePoliciesRejectThreeTasks(t *testing.T) {
+// TestNWayPoliciesAcceptThreeTasks pins the scenario-engine extension: the
+// formerly pairwise policies now route to their n-way variants beyond two
+// tasks and run three-task jobs to completion.
+func TestNWayPoliciesAcceptThreeTasks(t *testing.T) {
 	gfx, err := RenderScene("PL", tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -58,8 +61,15 @@ func TestPairwisePoliciesRejectThreeTasks(t *testing.T) {
 			Computes: []*compute.Workload{vio, holo},
 			Policy:   pol,
 		}
-		if _, err := job.Run(); err == nil {
-			t.Errorf("%s accepted three tasks", pol)
+		res, err := job.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		for task := 0; task < 3; task++ {
+			st, ok := res.PerTask[task]
+			if !ok || st.WarpInsts == 0 {
+				t.Errorf("%s: task %d missing or idle", pol, task)
+			}
 		}
 	}
 }

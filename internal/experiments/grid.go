@@ -19,18 +19,26 @@ type Grid struct {
 	// Policies lists partitioning policies; empty means one "" entry
 	// (the serial default).
 	Policies []string
+	// Scenarios lists named scenario presets (scenario.PresetNames); each
+	// entry crosses with GPUs and Policies to form N-tenant mix points,
+	// appended after the pair points. Empty means no scenario points.
+	Scenarios []string
 }
 
-// GridPoint is one concrete cell of the cross product.
+// GridPoint is one concrete cell of the cross product. Either Scenario
+// names an N-tenant mix (Scene/Compute empty), or Scene/Compute describe
+// a pair.
 type GridPoint struct {
-	GPU     string
-	Scene   string
-	Compute string
-	Policy  string
+	GPU      string
+	Scene    string
+	Compute  string
+	Policy   string
+	Scenario string
 }
 
-// Points expands the grid in GPU-major, scene, compute, policy-minor order.
-// Points with neither a scene nor a compute workload are skipped — they
+// Points expands the grid in GPU-major, scene, compute, policy-minor
+// order, followed by the scenario × policy points for each GPU. Pair
+// points with neither a scene nor a compute workload are skipped — they
 // describe no simulation. The expansion is pure: no deduplication, no
 // validation of the names themselves (callers resolve each point and
 // reject unknown names there).
@@ -44,7 +52,7 @@ func (g Grid) Points() []GridPoint {
 	gpus, scenes := axis(g.GPUs), axis(g.Scenes)
 	computes, policies := axis(g.Computes), axis(g.Policies)
 
-	out := make([]GridPoint, 0, len(gpus)*len(scenes)*len(computes)*len(policies))
+	out := make([]GridPoint, 0, len(gpus)*(len(scenes)*len(computes)+len(g.Scenarios))*len(policies))
 	for _, gpu := range gpus {
 		for _, sc := range scenes {
 			for _, comp := range computes {
@@ -54,6 +62,14 @@ func (g Grid) Points() []GridPoint {
 				for _, pol := range policies {
 					out = append(out, GridPoint{GPU: gpu, Scene: sc, Compute: comp, Policy: pol})
 				}
+			}
+		}
+		for _, scen := range g.Scenarios {
+			if scen == "" {
+				continue
+			}
+			for _, pol := range policies {
+				out = append(out, GridPoint{GPU: gpu, Scenario: scen, Policy: pol})
 			}
 		}
 	}

@@ -5,7 +5,8 @@ import (
 
 	"crisp/internal/config"
 	"crisp/internal/core"
-	"crisp/internal/partition"
+	"crisp/internal/render"
+	"crisp/internal/scenario"
 	"crisp/internal/stats"
 )
 
@@ -14,50 +15,109 @@ import (
 // requirements, which must be considered in the system design as well."
 // The rendering task has a frame deadline (motion-to-photon budget); the
 // study measures when the frame finishes — not just aggregate throughput —
-// under each sharing policy.
+// under each sharing policy. The accounting runs on the scenario engine
+// (core.RunMix → Result.QoS), the single source of truth for deadline
+// bookkeeping.
 type QoSResult struct {
 	Table *stats.Table
-	// FrameDone maps policy → cycle at which the last rendering stream
-	// completed (the frame's ready time).
+	// FrameDone maps policy → cycle at which the frame completed (the
+	// render tenant's last-done cycle).
 	FrameDone map[core.PolicyKind]int64
-	// Makespan maps policy → total cycles (both tasks done).
+	// Makespan maps policy → total cycles (all tenants done).
 	Makespan map[core.PolicyKind]int64
+	// DeadlinesMet maps policy → whether the frame met its deadline (set
+	// at 2× the isolated frame time, i.e. 100% sharing slack).
+	DeadlinesMet map[core.PolicyKind]bool
+	// Slowdown maps policy → tenant name → shared/isolated turnaround —
+	// the per-tenant interference cost of sharing.
+	Slowdown map[core.PolicyKind]map[string]float64
 }
 
-// CaseStudyQoS co-runs PT (the frame) with VIO (the tracking service) on
-// the Orin and compares frame-ready time and total throughput across
-// EVEN, Priority, and MPS.
-func CaseStudyQoS(sc Scale) (*QoSResult, error) {
-	cfg := config.JetsonOrin()
-	gfx, err := Frame("PT", sc.W2K, sc.H2K, true)
+// qosMixEnv routes mix workload materialization through the experiment
+// caches, so repeated policies reuse one rendered frame.
+func qosMixEnv() core.MixEnv {
+	return core.MixEnv{
+		Render: func(name string, opts render.Options) (*render.Result, error) {
+			return Frame(name, opts.W, opts.H, opts.LoD)
+		},
+		Compute: buildCompute,
+	}
+}
+
+// runQoSMix lowers and runs one mix with the experiment's host knobs.
+func runQoSMix(cfg config.GPU, mix scenario.MixSpec, pol core.PolicyKind, opts render.Options) (*core.Result, error) {
+	job, err := core.BuildMixJobEnv(cfg, mix, pol, opts, qosMixEnv())
 	if err != nil {
 		return nil, err
 	}
+	job.Workers = Workers
+	job.NoSkip = NoSkip
+	return job.Run()
+}
+
+// CaseStudyQoS co-runs PT (the frame) with VIO (the tracking service) on
+// the Orin and compares frame-ready time, deadline outcome, and per-tenant
+// slowdown versus isolated execution across MPS, EVEN, and Priority.
+func CaseStudyQoS(sc Scale) (*QoSResult, error) {
+	cfg := config.JetsonOrin()
+	opts := render.DefaultOptions()
+	opts.W, opts.H = sc.W2K, sc.H2K
+	opts.LoD = true
+	opts.CollectRefTex = true
+
+	tenants := []scenario.Tenant{
+		{Name: "PT", Scene: "PT", Priority: 1},
+		{Name: "VIO", Compute: "VIO"},
+	}
+
+	// Isolated baselines: each tenant alone on the whole GPU. Their
+	// turnarounds anchor the slowdown metric, and the isolated frame time
+	// sets the deadline at 2× (a 100% sharing budget).
+	isolated := make(map[string]int64, len(tenants))
+	for _, tn := range tenants {
+		res, err := runQoSMix(cfg, scenario.MixSpec{Name: "isolated-" + tn.Name,
+			Tenants: []scenario.Tenant{tn}}, core.PolicySerial, opts)
+		if err != nil {
+			return nil, err
+		}
+		tr := res.QoS.Tenants[0]
+		isolated[tn.Name] = tr.LastDone - tr.FirstArrival
+	}
+	deadline := 2 * isolated["PT"]
+	tenants[0].Deadline = deadline
+
 	policies := []core.PolicyKind{core.PolicyMPS, core.PolicyEven, core.PolicyPriority}
 	out := &QoSResult{
-		Table:     &stats.Table{Header: []string{"policy", "frame-ready", "makespan"}},
-		FrameDone: map[core.PolicyKind]int64{},
-		Makespan:  map[core.PolicyKind]int64{},
+		Table:        &stats.Table{Header: []string{"policy", "frame-ready", "deadline", "makespan", "slowdown-PT", "slowdown-VIO"}},
+		FrameDone:    map[core.PolicyKind]int64{},
+		Makespan:     map[core.PolicyKind]int64{},
+		DeadlinesMet: map[core.PolicyKind]bool{},
+		Slowdown:     map[core.PolicyKind]map[string]float64{},
 	}
 	for _, pol := range policies {
-		comp, err := buildCompute("VIO")
+		mix := scenario.MixSpec{Name: "qos-case-study", Tenants: tenants}
+		res, err := runQoSMix(cfg, mix, pol, opts)
 		if err != nil {
 			return nil, err
 		}
-		job := core.Job{GPU: cfg, Graphics: gfx, Compute: comp, Policy: pol, Workers: Workers, NoSkip: NoSkip}
-		res, err := job.Run()
-		if err != nil {
-			return nil, err
-		}
-		var frameDone int64
-		for _, st := range res.PerStream {
-			if core.TaskOf(st.Stream) == partition.TaskGraphics && st.Cycles > frameDone {
-				frameDone = st.Cycles
+		slow := make(map[string]float64, len(res.QoS.Tenants))
+		for _, tr := range res.QoS.Tenants {
+			if iso := isolated[tr.Name]; iso > 0 {
+				slow[tr.Name] = float64(tr.LastDone-tr.FirstArrival) / float64(iso)
 			}
 		}
-		out.FrameDone[pol] = frameDone
+		frame := res.QoS.Tenants[0]
+		out.FrameDone[pol] = frame.LastDone
 		out.Makespan[pol] = res.Cycles
-		out.Table.AddRow(string(pol), fmt.Sprint(frameDone), fmt.Sprint(res.Cycles))
+		out.DeadlinesMet[pol] = frame.DeadlinesMissed == 0
+		out.Slowdown[pol] = slow
+		verdict := "met"
+		if frame.DeadlinesMissed > 0 {
+			verdict = "MISS"
+		}
+		out.Table.AddRow(string(pol), fmt.Sprint(frame.LastDone), verdict,
+			fmt.Sprint(res.Cycles),
+			fmt.Sprintf("%.2f", slow["PT"]), fmt.Sprintf("%.2f", slow["VIO"]))
 	}
 	return out, nil
 }

@@ -77,6 +77,11 @@ type StreamDef struct {
 	Task    int
 	Label   string
 	Kernels []*trace.Kernel
+	// NotBefore gates the stream's activation: it may not start before
+	// this cycle (a tenant arrival in a scenario mix). Zero — the default —
+	// is eligible immediately. Arrivals are wake events: an otherwise-idle
+	// machine jumps straight to the next arrival cycle.
+	NotBefore int64
 }
 
 // maxTasks bounds the number of distinct tasks a run may contain. The
@@ -193,6 +198,24 @@ type GPU struct {
 	taskLabels map[int]string
 	mPrev      []taskSnap
 	mPrevCycle int64
+
+	// taskPrio holds explicit per-task CTA placement priorities
+	// (SetTaskPriorities); nil means launch order / policy Prioritizer.
+	taskPrio []int
+
+	// Tenant QoS runtime (SetQoS): instance declarations, live completion
+	// state, the stream-range index, and the arrival trace-event schedule.
+	// Derived bookkeeping only — never part of the state digest.
+	qos          []QoSTenant
+	qosRT        [][]qosInstRT
+	qosRanges    []qosRange
+	qosArrEvents []qosArrEvent
+	qosArrCursor int
+
+	// nextArrival is the earliest NotBefore among streams that have not
+	// yet arrived, recomputed by activateStreams each iteration; the run
+	// loop clamps its time jumps to it so arrivals behave as wake events.
+	nextArrival int64
 
 	// loop holds the run loop's cursor state; a field (not locals) so
 	// checkpoints can carry it and a resumed run keeps its sampling
@@ -454,8 +477,11 @@ func (g *GPU) OnStallN(smID, stream, task int, cause obs.StallCause, n int64) {
 	st.Stalls[cause] += n
 }
 
-// activateStreams opens stream slots respecting per-task windows.
+// activateStreams opens stream slots respecting per-task windows and
+// tenant arrival cycles. It also recomputes nextArrival — the earliest
+// NotBefore still in the future — which the run loop uses as a wake event.
 func (g *GPU) activateStreams() {
+	g.nextArrival = sm.Never
 	activeByTask := make(map[int]int)
 	for _, st := range g.streams {
 		if st.active && st.idx < len(st.def.Kernels) {
@@ -464,6 +490,12 @@ func (g *GPU) activateStreams() {
 	}
 	for _, st := range g.streams {
 		if st.active || st.idx >= len(st.def.Kernels) {
+			continue
+		}
+		if g.now < st.def.NotBefore {
+			if st.def.NotBefore < g.nextArrival {
+				g.nextArrival = st.def.NotBefore
+			}
 			continue
 		}
 		w := g.TaskWindows[st.def.Task]
@@ -519,11 +551,11 @@ func (g *GPU) launchReady() {
 // sweep, as hardware CTA schedulers do) before stacking SMs deeper.
 func (g *GPU) issueCTAs() {
 	running := g.running
-	if pr, ok := g.policy.(Prioritizer); ok {
+	if prio, ok := g.placementPriority(); ok {
 		running = make([]*launch, len(g.running))
 		copy(running, g.running)
 		sort.SliceStable(running, func(i, j int) bool {
-			return pr.Priority(running[i].task) > pr.Priority(running[j].task)
+			return prio(running[i].task) > prio(running[j].task)
 		})
 	}
 	for _, l := range running {
@@ -594,6 +626,9 @@ func (g *GPU) reapFinished() {
 			l.stream.idx++
 			if l.stream.idx >= len(l.stream.def.Kernels) {
 				l.stream.active = false
+				if g.qos != nil {
+					g.qosStreamDone(l.stream.def.ID, l.lastDone)
+				}
 			}
 			if t := g.tracer; t != nil {
 				t.Emit(obs.Event{Cycle: l.lastDone, Kind: obs.EvKernelDone, Stream: l.k.Stream,
@@ -664,12 +699,16 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 		window = DefaultWatchdogWindow
 	}
 	ctxDone := ctx.Done() // nil for background contexts: check skipped entirely
+	if g.qos != nil && g.tracer != nil {
+		g.buildArrivalEvents()
+	}
 	eng := engine.New(g.cores, g.effectiveWorkers(), g.NoSkip)
 	defer eng.Close()
 	ls := &g.loop
 	for {
 		ls.iter++
 		g.activateStreams()
+		g.emitArrivals()
 		g.launchReady()
 		g.issueCTAs()
 		g.reapFinished()
@@ -697,7 +736,14 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 					"gpu: deadlock at cycle %d: kernel %q cannot place CTAs under policy %s",
 					g.now, g.running[0].k.Name, g.policyName())
 			}
-			g.now++
+			// Nothing resident and nothing placeable: the only pending work
+			// is future tenant arrivals, so jump straight to the earliest
+			// one (an arrival is a wake event, in both skip modes).
+			if g.nextArrival > g.now && g.nextArrival < sm.Never {
+				g.now = g.nextArrival
+			} else {
+				g.now++
+			}
 			continue
 		}
 		if next >= sm.Never {
@@ -710,6 +756,11 @@ func (g *GPU) RunContext(ctx context.Context) (int64, error) {
 			return g.now, g.fail(robust.KindWatchdog, k,
 				"all resident warps permanently blocked (barrier livelock)",
 				"gpu: livelock at cycle %d: all resident warps blocked at barriers (kernel %q)", g.now, k)
+		}
+		// A pending arrival bounds the time jump: the machine must be at
+		// the arrival cycle to admit the tenant's streams on time.
+		if g.nextArrival > g.now && g.nextArrival < next {
+			next = g.nextArrival
 		}
 		if next <= g.now {
 			next = g.now + 1
@@ -1040,11 +1091,46 @@ func (g *GPU) sampleMetrics() {
 		for i := range pt.Stalls {
 			pt.Stalls[i] = d.stalls[i] - p.stalls[i]
 		}
+		g.fillQoSPoint(task, &pt)
 		sample.Points = append(sample.Points, pt)
 	}
 	g.Metrics.Append(sample)
 	copy(g.mPrev, cur)
 	g.mPrevCycle = g.now
+}
+
+// fillQoSPoint folds the task's live tenant-QoS progress into a metrics
+// point: instances arrived/completed so far, and deadline outcomes —
+// counting an overdue-but-incomplete instance as missed already, so SSE
+// consumers see violations as they happen, not at run end.
+func (g *GPU) fillQoSPoint(task int, pt *obs.SeriesPoint) {
+	if g.qos == nil {
+		return
+	}
+	for ti, qt := range g.qos {
+		if qt.Task != task {
+			continue
+		}
+		for ii, inst := range qt.Instances {
+			if inst.Arrival <= g.now {
+				pt.QoSArrived++
+			}
+			rt := g.qosRT[ti][ii]
+			switch {
+			case rt.left == 0:
+				pt.QoSDone++
+				if inst.Deadline > 0 {
+					if rt.done <= inst.Deadline {
+						pt.DeadlinesMet++
+					} else {
+						pt.DeadlinesMissed++
+					}
+				}
+			case inst.Deadline > 0 && g.now > inst.Deadline:
+				pt.DeadlinesMissed++
+			}
+		}
+	}
 }
 
 // foldMemCounters copies the memory system's per-stream counters into the

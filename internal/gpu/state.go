@@ -295,6 +295,10 @@ func (g *GPU) RestoreState(st *snapshot.GPUState) error {
 	}
 	g.mPrevCycle = st.Obs.MPrevCycle
 	g.resumed = true
+	// Tenant QoS state is derived bookkeeping: rebuild it from the
+	// restored stream progress and kernel timings rather than carrying it
+	// in the snapshot.
+	g.recomputeQoS()
 	return nil
 }
 

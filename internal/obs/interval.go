@@ -25,6 +25,16 @@ type SeriesPoint struct {
 	// in over the interval, by attributed cause, indexed by StallCause
 	// (the slot-delta companion of stats.Stream.Stalls' cumulative view).
 	Stalls [NumStallCauses]int64 `json:"stalls"`
+
+	// Tenant QoS progress (scenario mixes only; zero and omitted for runs
+	// without QoS tracking). Counts are cumulative as of the sample cycle:
+	// instances arrived and completed, and deadline outcomes — an overdue
+	// incomplete instance already counts as missed, so live consumers (the
+	// /ui/ lanes, SSE) see violations as they happen.
+	QoSArrived      int64 `json:"qos_arrived,omitempty"`
+	QoSDone         int64 `json:"qos_done,omitempty"`
+	DeadlinesMet    int64 `json:"deadlines_met,omitempty"`
+	DeadlinesMissed int64 `json:"deadlines_missed,omitempty"`
 }
 
 // Sample is one interval's points for every active task-stream, plus the
@@ -83,6 +93,9 @@ func (s *IntervalSeries) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
+	if _, err := fmt.Fprint(bw, ",qos_arrived,qos_done,deadlines_met,deadlines_missed"); err != nil {
+		return err
+	}
 	fmt.Fprintln(bw)
 	for _, smp := range s.Samples {
 		for _, p := range smp.Points {
@@ -94,6 +107,9 @@ func (s *IntervalSeries) WriteCSV(w io.Writer) error {
 				if _, err := fmt.Fprintf(bw, ",%d", n); err != nil {
 					return err
 				}
+			}
+			if _, err := fmt.Fprintf(bw, ",%d,%d,%d,%d", p.QoSArrived, p.QoSDone, p.DeadlinesMet, p.DeadlinesMissed); err != nil {
+				return err
 			}
 			fmt.Fprintln(bw)
 		}

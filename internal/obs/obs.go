@@ -97,6 +97,16 @@ const (
 	// forward-progress watchdog trip, a cycle-budget overrun, a
 	// cancellation, or a placement deadlock. Name carries the reason.
 	EvWatchdog
+	// EvTenantArrive marks a scenario tenant instance (frame, request)
+	// becoming eligible to run. Name is the tenant label, Arg the instance
+	// index; immediate (cycle-0) arrivals are not emitted.
+	EvTenantArrive
+	// EvDeadlineMet marks a tenant instance completing within its
+	// deadline. Arg is the (non-positive) slack in cycles.
+	EvDeadlineMet
+	// EvDeadlineMiss marks a tenant instance completing past its deadline.
+	// Arg is the tardiness in cycles.
+	EvDeadlineMiss
 )
 
 var kindNames = [...]string{
@@ -109,6 +119,9 @@ var kindNames = [...]string{
 	EvRepartition:   "repartition",
 	EvMemContention: "mem-contention",
 	EvWatchdog:      "watchdog",
+	EvTenantArrive:  "tenant-arrive",
+	EvDeadlineMet:   "deadline-met",
+	EvDeadlineMiss:  "deadline-miss",
 }
 
 func (k EventKind) String() string {

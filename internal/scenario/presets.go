@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The preset zoo: named, validated mixes organized like a benchmark
+// suite. Each entry is a constructor so callers always get a fresh copy
+// they may tweak. Deadlines and periods are in simulated cycles and sized
+// for the default experiment scales; they are nominal service-level
+// targets, not hardware truths — the QoS accounting is exercised either
+// way.
+var presets = map[string]func() MixSpec{
+	// vr-frame-deadline is the paper's motivating scenario as a QoS mix:
+	// frames rendered on a vsync cadence, each with a completion deadline,
+	// while a sensor-fusion workload (VIO) shares the machine.
+	"vr-frame-deadline": func() MixSpec {
+		return MixSpec{
+			Name: "vr-frame-deadline",
+			Tenants: []Tenant{
+				{
+					Scene:    "SPL",
+					Priority: 1,
+					Arrival:  Arrival{Kind: ArrivePeriodic, Period: 600_000, Count: 3},
+					Deadline: 1_200_000,
+				},
+				{Compute: "VIO"},
+			},
+		}
+	},
+	// bursty-inference-under-render models an interactive ML service:
+	// inference requests (NN) arrive in seeded pseudo-random bursts under
+	// a frame being rendered, each request with a latency deadline.
+	"bursty-inference-under-render": func() MixSpec {
+		return MixSpec{
+			Name: "bursty-inference-under-render",
+			Tenants: []Tenant{
+				{Scene: "SPL", Priority: 1},
+				{
+					Compute:  "NN",
+					Arrival:  Arrival{Kind: ArriveBursty, Period: 150_000, Count: 5, Seed: 7},
+					Deadline: 2_000_000,
+				},
+			},
+		}
+	},
+	// background-batch pairs a latency-critical render with a throughput
+	// batch job (HOLO) that should only soak up leftover capacity.
+	"background-batch": func() MixSpec {
+		return MixSpec{
+			Name: "background-batch",
+			Tenants: []Tenant{
+				{Scene: "SPL", Priority: 10, Deadline: 2_000_000},
+				{Compute: "HOLO", Priority: 0},
+			},
+		}
+	},
+	// n-way-fair is the determinism workhorse: four compute tenants with
+	// staggered fixed-offset arrivals, no rendering (fast to simulate),
+	// exercising every N-way policy path. Used by the parity suite and the
+	// CI scenario-determinism job.
+	"n-way-fair": func() MixSpec {
+		return MixSpec{
+			Name: "n-way-fair",
+			Tenants: []Tenant{
+				{Compute: "VIO", Deadline: 4_000_000},
+				{Compute: "NN", Arrival: Arrival{Kind: ArriveOffset, Offset: 20_000}, Deadline: 4_000_000},
+				{Compute: "UPSCALE", Arrival: Arrival{Kind: ArriveOffset, Offset: 40_000}},
+				{Compute: "ATW", Arrival: Arrival{Kind: ArriveOffset, Offset: 60_000}},
+			},
+		}
+	},
+}
+
+// PresetNames lists the preset zoo in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns a fresh, normalized copy of the named preset mix.
+func Preset(name string) (MixSpec, error) {
+	f, ok := presets[name]
+	if !ok {
+		return MixSpec{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, PresetNames())
+	}
+	m := f()
+	if err := m.Validate(); err != nil {
+		return MixSpec{}, fmt.Errorf("scenario: preset %q is invalid: %w", name, err)
+	}
+	m.Normalize()
+	return m, nil
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"crisp/internal/gpu"
+)
+
+// TardyHistBuckets sizes the power-of-two tardiness histogram: bucket i
+// counts misses with tardiness in [2^i, 2^(i+1)) cycles (bucket 0 also
+// catches 1-cycle misses; the last bucket is open-ended).
+const TardyHistBuckets = 24
+
+// TenantReport is one tenant's QoS accounting over a finished run.
+type TenantReport struct {
+	Task     int    `json:"task"`
+	Name     string `json:"name"`
+	Priority int    `json:"priority,omitempty"`
+	// Instances / Completed count the tenant's schedulable units (frames,
+	// requests) declared and finished.
+	Instances int `json:"instances"`
+	Completed int `json:"completed"`
+	// DeadlinesMet / DeadlinesMissed partition the completed instances
+	// that carried a deadline; an instance that never completed but had a
+	// deadline counts as missed.
+	DeadlinesMet    int `json:"deadlines_met"`
+	DeadlinesMissed int `json:"deadlines_missed"`
+	// MaxTardiness is the worst lateness in cycles among missed
+	// instances; TardyHist buckets the misses by floor(log2(tardiness)).
+	MaxTardiness int64   `json:"max_tardiness,omitempty"`
+	TardyHist    []int64 `json:"tardy_hist,omitempty"`
+	// SumTurnaround totals completion-minus-arrival over completed
+	// instances (mean turnaround = SumTurnaround / Completed).
+	SumTurnaround int64 `json:"sum_turnaround"`
+	// FirstArrival / LastDone frame the tenant's activity span.
+	FirstArrival int64 `json:"first_arrival"`
+	LastDone     int64 `json:"last_done"`
+}
+
+// MeanTurnaround is the tenant's average instance turnaround in cycles.
+func (t *TenantReport) MeanTurnaround() float64 {
+	if t.Completed == 0 {
+		return 0
+	}
+	return float64(t.SumTurnaround) / float64(t.Completed)
+}
+
+// QoSReport is the per-tenant QoS accounting of one run — the single
+// source of truth for deadline bookkeeping (the GPU's live counters and
+// the experiments' case studies both derive from the same instance state
+// this folds).
+type QoSReport struct {
+	Makespan int64          `json:"makespan"`
+	Tenants  []TenantReport `json:"tenants"`
+}
+
+// Account folds the GPU's tenant declarations and per-instance completion
+// cycles into a QoS report. done is indexed [tenant][instance] with 0
+// meaning the instance never completed (gpu.QoSDone's convention; a
+// finished run completes everything).
+func Account(tenants []gpu.QoSTenant, done [][]int64, makespan int64) *QoSReport {
+	rep := &QoSReport{Makespan: makespan}
+	for ti, qt := range tenants {
+		tr := TenantReport{Task: qt.Task, Name: qt.Label, Priority: qt.Priority,
+			Instances: len(qt.Instances), FirstArrival: -1}
+		for ii, inst := range qt.Instances {
+			if tr.FirstArrival < 0 || inst.Arrival < tr.FirstArrival {
+				tr.FirstArrival = inst.Arrival
+			}
+			var d int64
+			if ti < len(done) && ii < len(done[ti]) {
+				d = done[ti][ii]
+			}
+			if d == 0 {
+				if inst.Deadline > 0 {
+					tr.DeadlinesMissed++
+				}
+				continue
+			}
+			tr.Completed++
+			tr.SumTurnaround += d - inst.Arrival
+			if d > tr.LastDone {
+				tr.LastDone = d
+			}
+			if inst.Deadline > 0 {
+				if d <= inst.Deadline {
+					tr.DeadlinesMet++
+				} else {
+					tr.DeadlinesMissed++
+					tardy := d - inst.Deadline
+					if tardy > tr.MaxTardiness {
+						tr.MaxTardiness = tardy
+					}
+					if tr.TardyHist == nil {
+						tr.TardyHist = make([]int64, TardyHistBuckets)
+					}
+					tr.TardyHist[log2Bucket(tardy)]++
+				}
+			}
+		}
+		if tr.FirstArrival < 0 {
+			tr.FirstArrival = 0
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	return rep
+}
+
+// log2Bucket maps a positive tardiness to its histogram bucket.
+func log2Bucket(n int64) int {
+	b := 0
+	for n > 1 && b < TardyHistBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// String renders the report as a fixed-width table for CLI output.
+func (r *QoSReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-16s %5s %5s %5s %6s %6s %14s %14s\n",
+		"task", "tenant", "prio", "inst", "done", "dl-met", "dl-miss", "max-tardy", "mean-turnaround")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&sb, "%-4d %-16s %5d %5d %5d %6d %6d %14d %14.0f\n",
+			t.Task, t.Name, t.Priority, t.Instances, t.Completed,
+			t.DeadlinesMet, t.DeadlinesMissed, t.MaxTardiness, t.MeanTurnaround())
+	}
+	return sb.String()
+}

@@ -1,0 +1,222 @@
+// Package scenario is CRISP's N-tenant mix engine: it describes an
+// arbitrary set of tenants (rendering frames and compute workloads), each
+// with a placement priority, an arrival schedule, and an optional
+// per-instance deadline, and provides the QoS accounting over a finished
+// run (deadlines met/missed, tardiness, turnaround).
+//
+// The package is declarative: a MixSpec is pure data, validated and
+// normalized here, then lowered by internal/core into GPU streams whose
+// NotBefore cycles realize the arrival schedule. Everything is
+// deterministic by construction — bursty arrivals come from an explicit
+// integer seed (splitmix64), never wall-clock or float math — so a mix is
+// as reproducible, cacheable, and resumable as a plain pair.
+package scenario
+
+import (
+	"fmt"
+
+	"crisp/internal/compute"
+	"crisp/internal/scene"
+)
+
+// MaxTenants bounds a mix. It matches the GPU's task-id limit (eight) —
+// far beyond the paper's pairs, and enough for every preset here.
+const MaxTenants = 8
+
+// maxInstances bounds one tenant's arrival count (frames or requests); a
+// runaway count would explode the stream table.
+const maxInstances = 1 << 16
+
+// Arrival schedule kinds.
+const (
+	// ArriveImmediate releases every instance at cycle zero (the default).
+	ArriveImmediate = "immediate"
+	// ArriveOffset releases every instance at the fixed Offset cycle.
+	ArriveOffset = "offset"
+	// ArrivePeriodic releases instance i at Offset + i*Period — a frame
+	// cadence (vsync) for render tenants, a fixed-rate request stream for
+	// compute tenants.
+	ArrivePeriodic = "periodic"
+	// ArriveBursty releases instances with pseudo-random gaps of mean
+	// Period (uniform on [1, 2*Period-1]), drawn from a splitmix64 stream
+	// seeded by Seed. Integer-only, so the schedule is bit-identical on
+	// every platform.
+	ArriveBursty = "bursty"
+)
+
+// Arrival describes when a tenant's instances (frames for render tenants,
+// requests for compute tenants) become eligible to run.
+type Arrival struct {
+	// Kind selects the schedule; "" means ArriveImmediate.
+	Kind string `json:"kind,omitempty"`
+	// Offset delays the first instance (cycles).
+	Offset int64 `json:"offset,omitempty"`
+	// Period is the inter-arrival spacing for periodic schedules and the
+	// mean gap for bursty ones.
+	Period int64 `json:"period,omitempty"`
+	// Count is the number of instances; 0 means 1.
+	Count int `json:"count,omitempty"`
+	// Seed seeds the bursty gap generator.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Tenant is one workload sharing the GPU: exactly one of Scene/Compute
+// names its work.
+type Tenant struct {
+	// Name labels the tenant in stats and reports; defaults to the
+	// workload name. Names must be unique within a mix.
+	Name string `json:"name,omitempty"`
+	// Scene names a rendering workload (scene.Names).
+	Scene string `json:"scene,omitempty"`
+	// Compute names a compute workload (compute.Names).
+	Compute string `json:"compute,omitempty"`
+	// Priority orders CTA placement when tenants compete for freed
+	// resources: higher first, ties by launch order. All-equal priorities
+	// (the default) keep plain launch order.
+	Priority int `json:"priority,omitempty"`
+	// Arrival schedules the tenant's instances.
+	Arrival Arrival `json:"arrival,omitempty"`
+	// Deadline, when > 0, is the per-instance completion deadline in
+	// cycles after the instance's arrival; the run accounts each instance
+	// as met or missed against it.
+	Deadline int64 `json:"deadline,omitempty"`
+}
+
+// MixSpec is a complete N-tenant scenario.
+type MixSpec struct {
+	// Name labels the mix (preset name, or free-form).
+	Name    string   `json:"name,omitempty"`
+	Tenants []Tenant `json:"tenants"`
+}
+
+// splitmix64 advances one step of the splitmix64 sequence: the returned
+// state feeds the next call, the returned value is the draw.
+func splitmix64(state uint64) (next, value uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Times expands the schedule into absolute arrival cycles, one per
+// instance, non-decreasing. The expansion is a pure function of the
+// Arrival fields.
+func (a Arrival) Times() ([]int64, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	count := a.Count
+	if count <= 0 {
+		count = 1
+	}
+	out := make([]int64, count)
+	switch a.Kind {
+	case "", ArriveImmediate:
+		// all zero
+	case ArriveOffset:
+		for i := range out {
+			out[i] = a.Offset
+		}
+	case ArrivePeriodic:
+		for i := range out {
+			out[i] = a.Offset + int64(i)*a.Period
+		}
+	case ArriveBursty:
+		s := a.Seed
+		t := a.Offset
+		span := uint64(2*a.Period - 1)
+		for i := range out {
+			out[i] = t
+			var r uint64
+			s, r = splitmix64(s)
+			t += 1 + int64(r%span)
+		}
+	}
+	return out, nil
+}
+
+func (a Arrival) validate() error {
+	switch a.Kind {
+	case "", ArriveImmediate, ArriveOffset, ArrivePeriodic, ArriveBursty:
+	default:
+		return fmt.Errorf("scenario: unknown arrival kind %q", a.Kind)
+	}
+	if a.Offset < 0 {
+		return fmt.Errorf("scenario: negative arrival offset %d", a.Offset)
+	}
+	if a.Count < 0 || a.Count > maxInstances {
+		return fmt.Errorf("scenario: arrival count %d outside [0, %d]", a.Count, maxInstances)
+	}
+	if (a.Kind == ArrivePeriodic || a.Kind == ArriveBursty) && a.Period <= 0 {
+		return fmt.Errorf("scenario: %s arrivals need a positive period, got %d", a.Kind, a.Period)
+	}
+	return nil
+}
+
+// Validate checks the mix against the registered workload names and the
+// structural limits. It does not modify the spec; call Normalize to fill
+// defaults.
+func (m *MixSpec) Validate() error {
+	if len(m.Tenants) == 0 {
+		return fmt.Errorf("scenario: mix %q has no tenants", m.Name)
+	}
+	if len(m.Tenants) > MaxTenants {
+		return fmt.Errorf("scenario: mix %q has %d tenants, max is %d", m.Name, len(m.Tenants), MaxTenants)
+	}
+	seen := make(map[string]bool, len(m.Tenants))
+	for i, t := range m.Tenants {
+		if (t.Scene == "") == (t.Compute == "") {
+			return fmt.Errorf("scenario: tenant %d must name exactly one of scene or compute", i)
+		}
+		if t.Scene != "" && !contains(scene.Names(), t.Scene) {
+			return fmt.Errorf("scenario: tenant %d names unknown scene %q (have %v)", i, t.Scene, scene.Names())
+		}
+		if t.Compute != "" && !contains(compute.Names(), t.Compute) {
+			return fmt.Errorf("scenario: tenant %d names unknown compute workload %q (have %v)", i, t.Compute, compute.Names())
+		}
+		if t.Deadline < 0 {
+			return fmt.Errorf("scenario: tenant %d has negative deadline %d", i, t.Deadline)
+		}
+		if err := t.Arrival.validate(); err != nil {
+			return fmt.Errorf("scenario: tenant %d: %w", i, err)
+		}
+		name := t.Name
+		if name == "" {
+			name = t.Scene + t.Compute
+		}
+		if seen[name] {
+			return fmt.Errorf("scenario: duplicate tenant name %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// Normalize fills defaults in place — tenant names, the immediate arrival
+// kind, unit counts — so two specs that mean the same mix serialize to the
+// same canonical JSON (the form embedded in snapshot specs and job
+// digests).
+func (m *MixSpec) Normalize() {
+	for i := range m.Tenants {
+		t := &m.Tenants[i]
+		if t.Name == "" {
+			t.Name = t.Scene + t.Compute
+		}
+		if t.Arrival.Kind == "" {
+			t.Arrival.Kind = ArriveImmediate
+		}
+		if t.Arrival.Count <= 0 {
+			t.Arrival.Count = 1
+		}
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"crisp/internal/gpu"
+)
+
+func TestArrivalTimes(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Arrival
+		want []int64
+	}{
+		{"immediate default", Arrival{}, []int64{0}},
+		{"immediate count", Arrival{Kind: ArriveImmediate, Count: 3}, []int64{0, 0, 0}},
+		{"offset", Arrival{Kind: ArriveOffset, Offset: 500, Count: 2}, []int64{500, 500}},
+		{"periodic", Arrival{Kind: ArrivePeriodic, Offset: 100, Period: 50, Count: 4}, []int64{100, 150, 200, 250}},
+	}
+	for _, c := range cases {
+		got, err := c.a.Times()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestBurstyDeterministic pins the bursty generator: same seed → identical
+// schedule, different seed → different schedule, gaps within [1, 2P-1],
+// and the exact expansion for one seed (a platform-independence canary —
+// integer splitmix64 must produce these cycles everywhere).
+func TestBurstyDeterministic(t *testing.T) {
+	a := Arrival{Kind: ArriveBursty, Period: 1000, Count: 6, Seed: 42}
+	x, err := a.Times()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := a.Times()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("same seed diverged: %v vs %v", x, y)
+		}
+	}
+	prev := int64(-1)
+	for i, v := range x {
+		if v <= prev && i > 0 {
+			t.Fatalf("non-increasing arrivals: %v", x)
+		}
+		if i > 0 {
+			gap := v - x[i-1]
+			if gap < 1 || gap > 2*a.Period-1 {
+				t.Fatalf("gap %d outside [1, %d]", gap, 2*a.Period-1)
+			}
+		}
+		prev = v
+	}
+	b := a
+	b.Seed = 43
+	z, _ := b.Times()
+	same := true
+	for i := range x {
+		if x[i] != z[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []MixSpec{
+		{},
+		{Tenants: []Tenant{{}}},
+		{Tenants: []Tenant{{Scene: "SPL", Compute: "VIO"}}},
+		{Tenants: []Tenant{{Scene: "nope"}}},
+		{Tenants: []Tenant{{Compute: "nope"}}},
+		{Tenants: []Tenant{{Compute: "VIO", Deadline: -1}}},
+		{Tenants: []Tenant{{Compute: "VIO", Arrival: Arrival{Kind: "sometimes"}}}},
+		{Tenants: []Tenant{{Compute: "VIO", Arrival: Arrival{Kind: ArrivePeriodic}}}},
+		{Tenants: []Tenant{{Compute: "VIO"}, {Compute: "VIO"}}},
+		{Tenants: make([]Tenant, MaxTenants+1)},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid mix accepted", i)
+		}
+	}
+}
+
+// TestNormalizeCanonicalJSON pins the cache-key property: normalizing and
+// marshaling is idempotent — unmarshal(marshal(normalized)) re-marshals
+// byte-identically, so the snapshot spec's Mix bytes are canonical.
+func TestNormalizeCanonicalJSON(t *testing.T) {
+	m := MixSpec{Tenants: []Tenant{
+		{Scene: "SPL"},
+		{Compute: "VIO", Arrival: Arrival{Kind: ArriveBursty, Period: 100, Count: 3, Seed: 9}},
+	}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.Normalize()
+	b1, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round MixSpec
+	if err := json.Unmarshal(b1, &round); err != nil {
+		t.Fatal(err)
+	}
+	round.Normalize()
+	b2, err := json.Marshal(&round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("canonical JSON not stable:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 4 {
+		t.Fatalf("preset zoo too small: %v", names)
+	}
+	for _, n := range names {
+		m, err := Preset(n)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		for i, tn := range m.Tenants {
+			if tn.Name == "" {
+				t.Errorf("%s: tenant %d not normalized", n, i)
+			}
+			if _, err := tn.Arrival.Times(); err != nil {
+				t.Errorf("%s: tenant %d arrivals: %v", n, i, err)
+			}
+		}
+	}
+	if _, err := Preset("no-such-preset"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestAccount exercises the QoS fold: met/missed classification,
+// tardiness histogram bucketing, incomplete-instance handling, and
+// turnaround arithmetic.
+func TestAccount(t *testing.T) {
+	tenants := []gpu.QoSTenant{
+		{Task: 0, Label: "a", Instances: []gpu.QoSInstance{
+			{Arrival: 0, Deadline: 100},   // done 90  -> met
+			{Arrival: 50, Deadline: 150},  // done 160 -> missed, tardy 10
+			{Arrival: 100, Deadline: 300}, // incomplete -> missed
+		}},
+		{Task: 1, Label: "b", Priority: 3, Instances: []gpu.QoSInstance{
+			{Arrival: 10}, // no deadline, done 500
+		}},
+	}
+	done := [][]int64{{90, 160, 0}, {500}}
+	rep := Account(tenants, done, 600)
+	if rep.Makespan != 600 || len(rep.Tenants) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	a := rep.Tenants[0]
+	if a.Completed != 2 || a.DeadlinesMet != 1 || a.DeadlinesMissed != 2 {
+		t.Errorf("tenant a: %+v", a)
+	}
+	if a.MaxTardiness != 10 || a.TardyHist[log2Bucket(10)] != 1 {
+		t.Errorf("tardiness: max=%d hist=%v", a.MaxTardiness, a.TardyHist)
+	}
+	if a.SumTurnaround != 90+110 {
+		t.Errorf("turnaround sum: %d", a.SumTurnaround)
+	}
+	b := rep.Tenants[1]
+	if b.Completed != 1 || b.DeadlinesMet != 0 || b.DeadlinesMissed != 0 {
+		t.Errorf("tenant b: %+v", b)
+	}
+	if got := b.MeanTurnaround(); got != 490 {
+		t.Errorf("mean turnaround: %v", got)
+	}
+	if rep.String() == "" {
+		t.Error("empty report table")
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	cases := map[int64]int{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for n, want := range cases {
+		if got := log2Bucket(n); got != want {
+			t.Errorf("log2Bucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+	huge := int64(1) << 40
+	if got := log2Bucket(huge); got != TardyHistBuckets-1 {
+		t.Errorf("log2Bucket(2^40) = %d, want clamp %d", got, TardyHistBuckets-1)
+	}
+}

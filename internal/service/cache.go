@@ -25,7 +25,13 @@ type StoredResult struct {
 	ConfigDigest string `json:"config_digest"`
 	Scene        string `json:"scene,omitempty"`
 	Compute      string `json:"compute,omitempty"`
-	Policy       string `json:"policy"`
+	// Scenario is the mix name for N-tenant scenario jobs (Scene/Compute
+	// empty); Tenants/DeadlinesMet/DeadlinesMissed summarize its QoS report.
+	Scenario        string `json:"scenario,omitempty"`
+	Tenants         int    `json:"tenants,omitempty"`
+	DeadlinesMet    int    `json:"deadlines_met,omitempty"`
+	DeadlinesMissed int    `json:"deadlines_missed,omitempty"`
+	Policy          string `json:"policy"`
 
 	Cycles      int64   `json:"cycles"`
 	FrameTimeMS float64 `json:"frame_time_ms"`
@@ -76,6 +82,16 @@ func storedFromResult(r *resolved, res *crisp.Result, wallMS float64) (*StoredRe
 		Kernels:      len(res.Kernels),
 		SimWallMS:    wallMS,
 		Resumed:      res.Resumed,
+	}
+	if r.isMix() {
+		sr.Scenario = r.mix.Name
+	}
+	if res.QoS != nil {
+		sr.Tenants = len(res.QoS.Tenants)
+		for _, tr := range res.QoS.Tenants {
+			sr.DeadlinesMet += tr.DeadlinesMet
+			sr.DeadlinesMissed += tr.DeadlinesMissed
+		}
 	}
 	tasks := make([]int, 0, len(res.PerTask))
 	for task := range res.PerTask {

@@ -130,7 +130,11 @@ func runDirect(ctx context.Context, p runParams, h attemptHooks) (*StoredResult,
 		}
 	}
 	if res == nil && err == nil {
-		res, err = crisp.RunPairContext(ctx, p.res.cfg, p.res.scene, p.res.compute, p.res.policy, p.res.opts, runOpts...)
+		if p.res.isMix() {
+			res, err = crisp.RunMixContext(ctx, p.res.cfg, p.res.mix, p.res.policy, p.res.opts, runOpts...)
+		} else {
+			res, err = crisp.RunPairContext(ctx, p.res.cfg, p.res.scene, p.res.compute, p.res.policy, p.res.opts, runOpts...)
+		}
 	}
 	wall := time.Since(t0)
 	if err != nil {

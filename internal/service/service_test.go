@@ -24,7 +24,12 @@ func directRun(t *testing.T, spec JobSpec) *crisp.Result {
 	if err != nil {
 		t.Fatalf("resolve: %v", err)
 	}
-	res, err := crisp.RunPair(r.cfg, r.scene, r.compute, r.policy, r.opts)
+	var res *crisp.Result
+	if r.isMix() {
+		res, err = crisp.RunMix(r.cfg, r.mix, r.policy, r.opts)
+	} else {
+		res, err = crisp.RunPair(r.cfg, r.scene, r.compute, r.policy, r.opts)
+	}
 	if err != nil {
 		t.Fatalf("direct run: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"crisp/internal/config"
 	"crisp/internal/core"
 	"crisp/internal/render"
+	"crisp/internal/scenario"
 	"crisp/internal/scene"
 	"crisp/internal/snapshot"
 )
@@ -26,6 +27,12 @@ type JobSpec struct {
 	// Scene and Compute name the workloads (either may be empty, not both).
 	Scene   string `json:"scene,omitempty"`
 	Compute string `json:"compute,omitempty"`
+	// Scenario names an N-tenant mix preset (scenario.PresetNames); Mix is
+	// an inline scenario.MixSpec JSON document. At most one may be set, and
+	// a scenario job carries no Scene/Compute — the mix names its own
+	// workloads. Width/Height/LoD still apply, to every render tenant.
+	Scenario string          `json:"scenario,omitempty"`
+	Mix      json.RawMessage `json:"mix,omitempty"`
 	// Policy is the partitioning policy; empty = serial.
 	Policy string `json:"policy,omitempty"`
 	// Width/Height override the render resolution (0 = default).
@@ -54,6 +61,26 @@ type resolved struct {
 	budget  int64
 	wdog    int64
 	digest  string
+	// mix/mixJSON are set for scenario jobs: the validated, normalized
+	// MixSpec and its canonical JSON — the exact bytes core.BuildMixJob
+	// embeds in snapshot specs, so cache key == snapshot header digest.
+	mix     scenario.MixSpec
+	mixJSON []byte
+}
+
+// isMix reports whether this job is an N-tenant scenario rather than a
+// pair.
+func (r *resolved) isMix() bool { return len(r.mixJSON) > 0 }
+
+// mixHasRender reports whether any mix tenant renders (RenderOptions only
+// key the digest when they affect the run).
+func (r *resolved) mixHasRender() bool {
+	for _, t := range r.mix.Tenants {
+		if t.Scene != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // resolve validates the spec and computes its canonical content digest.
@@ -75,14 +102,43 @@ func (s *JobSpec) resolve() (*resolved, error) {
 		return nil, err
 	}
 
-	if s.Scene == "" && s.Compute == "" {
-		return nil, fmt.Errorf("job needs a scene and/or a compute workload")
-	}
-	if s.Scene != "" && !contains(scene.Names(), s.Scene) {
-		return nil, fmt.Errorf("unknown scene %q (have %v)", s.Scene, scene.Names())
-	}
-	if s.Compute != "" && !contains(compute.Names(), s.Compute) {
-		return nil, fmt.Errorf("unknown compute workload %q (have %v)", s.Compute, compute.Names())
+	switch {
+	case s.Scenario != "" || len(s.Mix) > 0:
+		if s.Scenario != "" && len(s.Mix) > 0 {
+			return nil, fmt.Errorf("scenario and mix are mutually exclusive (a preset name or an inline spec, not both)")
+		}
+		if s.Scene != "" || s.Compute != "" {
+			return nil, fmt.Errorf("a scenario job names its workloads inside the mix; scene/compute must be empty")
+		}
+		if s.Scenario != "" {
+			r.mix, err = scenario.Preset(s.Scenario)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if err := json.Unmarshal(s.Mix, &r.mix); err != nil {
+				return nil, fmt.Errorf("parsing inline mix: %w", err)
+			}
+			if err := r.mix.Validate(); err != nil {
+				return nil, err
+			}
+			r.mix.Normalize()
+		}
+		// Canonical bytes: presets come back normalized, inline mixes were
+		// normalized above, so this marshal matches core.BuildMixJob's.
+		r.mixJSON, err = json.Marshal(&r.mix)
+		if err != nil {
+			return nil, fmt.Errorf("canonicalizing mix: %w", err)
+		}
+	case s.Scene == "" && s.Compute == "":
+		return nil, fmt.Errorf("job needs a scene and/or a compute workload (or a scenario)")
+	default:
+		if s.Scene != "" && !contains(scene.Names(), s.Scene) {
+			return nil, fmt.Errorf("unknown scene %q (have %v)", s.Scene, scene.Names())
+		}
+		if s.Compute != "" && !contains(compute.Names(), s.Compute) {
+			return nil, fmt.Errorf("unknown compute workload %q (have %v)", s.Compute, compute.Names())
+		}
 	}
 
 	// Normalize the empty policy to its canonical name so "" and "serial"
@@ -123,6 +179,15 @@ func (r *resolved) snapshotSpec() snapshot.Spec {
 		Scene:   r.scene,
 		Compute: r.compute,
 		Policy:  string(r.policy),
+	}
+	if r.isMix() {
+		spec.Mix = r.mixJSON
+		if r.mixHasRender() {
+			if b, err := json.Marshal(r.opts); err == nil {
+				spec.RenderOptions = b
+			}
+		}
+		return spec
 	}
 	if r.scene != "" {
 		if b, err := json.Marshal(r.opts); err == nil {

@@ -26,6 +26,9 @@ type SweepSpec struct {
 	Scenes   []string `json:"scenes,omitempty"`
 	Computes []string `json:"computes,omitempty"`
 	Policies []string `json:"policies,omitempty"`
+	// Scenarios lists N-tenant mix presets; each crosses with GPUs and
+	// Policies and expands after the pair points (see experiments.Grid).
+	Scenarios []string `json:"scenarios,omitempty"`
 	// Shared per-cell options, forwarded into each JobSpec verbatim.
 	Width          int   `json:"width,omitempty"`
 	Height         int   `json:"height,omitempty"`
@@ -38,10 +41,11 @@ type SweepSpec struct {
 // deterministic order — decomposed twice (or on two coordinators), a
 // sweep yields the same task list and therefore the same merged digest.
 func (sp *SweepSpec) decompose() ([]JobSpec, error) {
-	g := experiments.Grid{GPUs: sp.GPUs, Scenes: sp.Scenes, Computes: sp.Computes, Policies: sp.Policies}
+	g := experiments.Grid{GPUs: sp.GPUs, Scenes: sp.Scenes, Computes: sp.Computes,
+		Policies: sp.Policies, Scenarios: sp.Scenarios}
 	pts := g.Points()
 	if len(pts) == 0 {
-		return nil, fmt.Errorf("sweep grid expands to zero runnable points (every cell needs a scene and/or a compute workload)")
+		return nil, fmt.Errorf("sweep grid expands to zero runnable points (every cell needs a scene, a compute workload, or a scenario)")
 	}
 	specs := make([]JobSpec, 0, len(pts))
 	for _, pt := range pts {
@@ -49,6 +53,7 @@ func (sp *SweepSpec) decompose() ([]JobSpec, error) {
 			GPU:            pt.GPU,
 			Scene:          pt.Scene,
 			Compute:        pt.Compute,
+			Scenario:       pt.Scenario,
 			Policy:         pt.Policy,
 			Width:          sp.Width,
 			Height:         sp.Height,

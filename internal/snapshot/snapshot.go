@@ -59,6 +59,11 @@ type Spec struct {
 	Scene   string // rendering workload name ("" = none)
 	Compute string // compute workload name ("" = none)
 	Policy  string // core.PolicyKind
+	// Mix is the canonical JSON of a scenario.MixSpec for N-tenant mix
+	// jobs (nil for plain pairs; Scene/Compute are empty when set). The
+	// workloads are named inside the mix, so a mix spec is as
+	// self-describing as a pair spec.
+	Mix []byte `json:",omitempty"`
 	// RenderOptions is the JSON-marshaled render.Options used for the
 	// graphics frame (nil when the job has no graphics work).
 	RenderOptions  []byte

@@ -37,5 +37,10 @@ func (s *Spec) JobDigest() string {
 	field("graphics_window", fmt.Sprint(s.GraphicsWindow))
 	field("graphics_frames", fmt.Sprint(s.GraphicsFrames))
 	field("lrr", fmt.Sprint(s.LRRScheduler))
+	// Appended only when present so every pre-mix pair spec keeps its
+	// original digest (the service's cache keys stay valid).
+	if len(s.Mix) > 0 {
+		field("mix", string(s.Mix))
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
